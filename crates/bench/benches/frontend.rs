@@ -1,0 +1,74 @@
+//! Front-end and taint-analysis benchmarks: lexer/parser throughput on
+//! generated Python, points-to solving, and the Tab. 7 bug-finding sweep
+//! with seed vs inferred specifications.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seldon_core::{analyze_corpus, run_seldon, SeldonOptions};
+use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+use seldon_pyast::{lexer, parser};
+use seldon_taint::TaintAnalyzer;
+
+fn corpus_text(projects: usize) -> Vec<String> {
+    let universe = Universe::new();
+    generate_corpus(&universe, &CorpusOptions { projects, ..Default::default() })
+        .files()
+        .map(|(_, f)| f.content.clone())
+        .collect()
+}
+
+fn bench_lexer(c: &mut Criterion) {
+    let files = corpus_text(30);
+    let bytes: usize = files.iter().map(String::len).sum();
+    let mut g = c.benchmark_group("frontend");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("lexer", |b| {
+        b.iter(|| {
+            let mut tokens = 0usize;
+            for f in &files {
+                tokens += lexer::lex(f).expect("lexes").len();
+            }
+            tokens
+        })
+    });
+    g.bench_function("parser", |b| {
+        b.iter(|| {
+            let mut stmts = 0usize;
+            for f in &files {
+                stmts += parser::parse(f).expect("parses").body.len();
+            }
+            stmts
+        })
+    });
+    g.finish();
+}
+
+fn bench_taint_sweep(c: &mut Criterion) {
+    let universe = Universe::new();
+    let corpus = generate_corpus(&universe, &CorpusOptions { projects: 80, ..Default::default() });
+    let analyzed = analyze_corpus(&corpus, 4).expect("parses");
+    let seed = universe.seed_spec();
+    let run = run_seldon(&analyzed.graph, &seed, &SeldonOptions::default());
+    let mut combined = seed.clone();
+    combined.merge(&run.extraction.spec);
+
+    let mut g = c.benchmark_group("taint_sweep");
+    g.sample_size(20);
+    g.bench_function("seed_spec", |b| {
+        b.iter(|| {
+            TaintAnalyzer::new(&analyzed.graph, &seed)
+                .find_violations()
+                .len()
+        })
+    });
+    g.bench_function("inferred_spec", |b| {
+        b.iter(|| {
+            TaintAnalyzer::new(&analyzed.graph, &combined)
+                .find_violations()
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lexer, bench_taint_sweep);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Merlin baseline benchmarks backing Tab. 2: inference cost on collapsed
+//! vs uncollapsed graphs and across application sizes, plus the
+//! Seldon-vs-Merlin head-to-head the paper's §7.4 motivates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seldon_core::{analyze_project, run_seldon, SeldonOptions};
+use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+use seldon_merlin::{run_merlin, Inference, MerlinOptions};
+use seldon_propgraph::PropagationGraph;
+
+fn project_graph(projects: usize) -> PropagationGraph {
+    let universe = Universe::new();
+    let corpus = generate_corpus(
+        &universe,
+        &CorpusOptions { projects: projects.max(1), ..Default::default() },
+    );
+    let mut g = PropagationGraph::new();
+    for p in 0..projects {
+        let a = analyze_project(&corpus, p).expect("project");
+        g.union(&a.graph);
+    }
+    g
+}
+
+fn bench_merlin_graph_types(c: &mut Criterion) {
+    let universe = Universe::new();
+    let seed = universe.seed_spec();
+    let graph = project_graph(4);
+    let mut g = c.benchmark_group("merlin_bp");
+    g.sample_size(10);
+    for collapsed in [true, false] {
+        let label = if collapsed { "collapsed" } else { "uncollapsed" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &graph, |b, graph| {
+            b.iter(|| {
+                let res = run_merlin(
+                    graph,
+                    &seed,
+                    &MerlinOptions { collapsed, max_iters: 30, ..Default::default() },
+                );
+                res.factors
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_merlin_vs_seldon(c: &mut Criterion) {
+    let universe = Universe::new();
+    let seed = universe.seed_spec();
+    let graph = project_graph(4);
+    let mut g = c.benchmark_group("merlin_vs_seldon_same_graph");
+    g.sample_size(10);
+    g.bench_function("merlin_bp", |b| {
+        b.iter(|| {
+            run_merlin(
+                &graph,
+                &seed,
+                &MerlinOptions { max_iters: 30, ..Default::default() },
+            )
+            .factors
+        })
+    });
+    g.bench_function("merlin_gibbs", |b| {
+        b.iter(|| {
+            run_merlin(
+                &graph,
+                &seed,
+                &MerlinOptions {
+                    inference: Inference::Gibbs { burn_in: 50, seed: 1 },
+                    max_iters: 200,
+                    ..Default::default()
+                },
+            )
+            .factors
+        })
+    });
+    g.bench_function("seldon_linear", |b| {
+        b.iter(|| {
+            let opts = SeldonOptions {
+                gen: seldon_constraints::GenOptions { rep_cutoff: 2, ..Default::default() },
+                ..Default::default()
+            };
+            run_seldon(&graph, &seed, &opts).extraction.spec.role_count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_merlin_graph_types, bench_merlin_vs_seldon);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Solver benchmarks: projected-Adam cost versus constraint-system size
+//! (the scalability core of the paper's claim), plus extraction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use seldon_constraints::{ConstraintSystem, FlowConstraint, Term};
+use seldon_propgraph::EventId;
+use seldon_solver::{extract, solve, ExtractOptions, SolveOptions};
+use seldon_specs::Role;
+
+/// Builds a synthetic chain-structured constraint system with `n` triples
+/// of (source, sanitizer, sink) variables and 2 constraints per triple.
+fn synthetic_system(n: usize) -> ConstraintSystem {
+    let mut sys = ConstraintSystem::new(0.75);
+    for i in 0..n {
+        let s = sys.rep(&format!("src_{i}()"));
+        let m = sys.rep(&format!("san_{i}()"));
+        let t = sys.rep(&format!("snk_{i}()"));
+        let vs = sys.var(s, Role::Source);
+        let vm = sys.var(m, Role::Sanitizer);
+        let vt = sys.var(t, Role::Sink);
+        if i % 10 == 0 {
+            sys.pin(vs, 1.0);
+            sys.pin(vt, 1.0);
+        }
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vs, coeff: 1.0 }, Term { var: vt, coeff: 1.0 }],
+            rhs: vec![Term { var: vm, coeff: 1.0 }],
+            ..Default::default()
+        });
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vs, coeff: 1.0 }, Term { var: vm, coeff: 1.0 }],
+            rhs: vec![Term { var: vt, coeff: 1.0 }],
+            ..Default::default()
+        });
+        sys.event_reps.push((EventId(i as u32), vec![s, m, t]));
+    }
+    sys
+}
+
+fn bench_adam_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adam_solve_scaling");
+    g.sample_size(10);
+    for n in [1_000usize, 4_000, 16_000] {
+        let sys = synthetic_system(n);
+        g.throughput(Throughput::Elements(sys.constraint_count() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &sys, |b, sys| {
+            b.iter(|| {
+                let sol = solve(
+                    sys,
+                    &SolveOptions { max_iters: 100, ..Default::default() },
+                );
+                sol.objective
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let sys = synthetic_system(10_000);
+    let sol = solve(&sys, &SolveOptions { max_iters: 100, ..Default::default() });
+    c.bench_function("spec_extraction_10k", |b| {
+        b.iter(|| extract(&sys, &sol, &ExtractOptions::default()).spec.role_count())
+    });
+}
+
+criterion_group!(benches, bench_adam_scaling, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerates the paper's tables and figures from the synthetic corpus.
+//!
+//! Usage: `cargo run --release -p seldon-bench --bin tables -- [experiment...]`
+//! where each experiment is one of: table1 table2 table3 table4 table5
+//! fig10 fig11 table6 table7 q5 q6 ablations all. With no arguments, all
+//! experiments run. `--projects N` scales the corpus.
+
+use seldon_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExperimentConfig::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--projects" => {
+                cfg.projects = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.projects);
+            }
+            "--threads" => {
+                cfg.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(cfg.threads);
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        print!("{}", run_all(&cfg));
+        return;
+    }
+    // fig10 does not need the shared workbench.
+    let needs_wb = wanted.iter().any(|w| w != "fig10");
+    let wb = if needs_wb { Some(Workbench::new(&cfg)) } else { None };
+    for w in &wanted {
+        let table = match (w.as_str(), &wb) {
+            ("fig10", _) => fig10(&cfg),
+            ("table1", Some(wb)) => table1(wb),
+            ("table2", Some(wb)) => table2(wb),
+            ("table3", Some(wb)) => table3(wb),
+            ("table4", Some(wb)) => table4(wb),
+            ("table5", Some(wb)) => table5(wb),
+            ("fig11", Some(wb)) => fig11(wb),
+            ("table6", Some(wb)) => table6(wb),
+            ("table7", Some(wb)) => table7(wb),
+            ("q5", Some(wb)) => q5(wb),
+            ("q6", Some(wb)) => q6(wb),
+            ("ablations", Some(wb)) => ablations(wb),
+            ("extension", Some(wb)) => extension_param(wb),
+            ("solver_gap", Some(wb)) => solver_gap(wb),
+            ("templates", Some(wb)) => template_ablation(wb),
+            ("backoff", Some(wb)) => backoff_ablation(wb),
+            ("convergence", Some(wb)) => convergence(wb),
+            (other, _) => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        };
+        print!("{}", table.render());
+    }
+}

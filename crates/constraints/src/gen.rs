@@ -1,0 +1,432 @@
+//! Constraint generation from a propagation graph (§4.2, Fig. 4) with
+//! backoff selection (§4.3) and seed-specification pinning (§4.1).
+//!
+//! The three information-flow templates are collected by BFS exactly as the
+//! paper describes:
+//!
+//! * **Fig. 4a** — for every sanitizer candidate `s` flowing into a sink
+//!   candidate `t`: `san(s) + snk(t) ≤ Σ src(uᵢ) + C` over the source
+//!   candidates `uᵢ` flowing into `s`;
+//! * **Fig. 4b** — for every source `u` flowing into sanitizer `s`:
+//!   `src(u) + san(s) ≤ Σ snk(tₖ) + C` over sinks reachable from `s`;
+//! * **Fig. 4c** — for every source `u` flowing into sink `t`:
+//!   `src(u) + snk(t) ≤ Σ san(m) + C` over sanitizer candidates `m` lying
+//!   on a path between them.
+
+use crate::system::{ConstraintSystem, FlowConstraint, RepId, Template, Term, VarId};
+use seldon_propgraph::{EventId, PropagationGraph};
+use seldon_specs::{Role, TaintSpec};
+use std::collections::{HashMap, HashSet};
+
+/// Tunable knobs of constraint generation; defaults follow the paper.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Representations occurring fewer than this many times are dropped
+    /// (§4.3; the paper uses 5).
+    pub rep_cutoff: usize,
+    /// The implication-strength constant `C` (§4.2; the paper uses 0.75
+    /// after comparing against 1.0).
+    pub c: f64,
+    /// Cap on the number of summed terms on a constraint's right-hand side.
+    pub max_rhs_terms: usize,
+    /// Cap on the BFS frontier per event, bounding worst-case hub blowup.
+    pub max_reach: usize,
+    /// Which Fig. 4 templates to instantiate (all three by default); used
+    /// by the template-ablation experiment.
+    pub templates: [bool; 3],
+    /// Maximum number of backoff options kept per event (`usize::MAX` =
+    /// all, 1 = most-specific only). Used by the backoff ablation — §4.3
+    /// argues backoff is what makes learning possible without static
+    /// types.
+    pub max_backoff: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            rep_cutoff: 5,
+            c: 0.75,
+            max_rhs_terms: 64,
+            max_reach: 512,
+            templates: [true; 3],
+            max_backoff: usize::MAX,
+        }
+    }
+}
+
+/// Builds the constraint system for `graph`, pinning `seed` entries.
+pub fn generate(
+    graph: &PropagationGraph,
+    seed: &TaintSpec,
+    opts: &GenOptions,
+) -> ConstraintSystem {
+    let mut sys = ConstraintSystem::new(opts.c);
+    let freq = graph.representation_frequencies();
+
+    // --- backoff selection: surviving representation list per event --------
+    let mut event_reps: Vec<Option<Vec<RepId>>> = Vec::with_capacity(graph.event_count());
+    for (_, event) in graph.events() {
+        let mut reps: Vec<RepId> = Vec::new();
+        for r in event.reps.iter().take(opts.max_backoff) {
+            if freq.get(r).copied().unwrap_or(0) < opts.rep_cutoff {
+                continue;
+            }
+            if seed.is_blacklisted(r) {
+                continue;
+            }
+            let id = sys.rep(r);
+            if !reps.contains(&id) {
+                reps.push(id);
+            }
+        }
+        event_reps.push(if reps.is_empty() { None } else { Some(reps) });
+    }
+
+    // --- variables ----------------------------------------------------------
+    for (id, event) in graph.events() {
+        let Some(reps) = &event_reps[id.index()] else { continue };
+        for role in event.candidates.iter() {
+            for &rep in reps {
+                sys.var(rep, role);
+            }
+        }
+        sys.event_reps.push((id, reps.clone()));
+    }
+
+    // --- pin seed entries (fully qualified representations only, §4.4) ----
+    let rep_texts: Vec<String> =
+        (0..sys.rep_count()).map(|i| sys.rep_text(RepId(i as u32)).to_string()).collect();
+    for (i, text) in rep_texts.iter().enumerate() {
+        let rep = RepId(i as u32);
+        let roles = seed.roles(text);
+        if roles.is_empty() {
+            continue;
+        }
+        for role in Role::ALL {
+            let value = if roles.contains(role) { 1.0 } else { 0.0 };
+            // Only pin variables that exist as candidates; create the
+            // positive one if missing so the seed always takes effect.
+            match sys.lookup_var(rep, role) {
+                Some(v) => sys.pin(v, value),
+                None if value == 1.0 => {
+                    let v = sys.var(rep, role);
+                    sys.pin(v, value);
+                }
+                None => {}
+            }
+        }
+    }
+
+    // --- flow constraints ---------------------------------------------------
+    let collector = Collector { graph, sys: &mut sys, event_reps: &event_reps, opts };
+    collector.collect();
+    sys
+}
+
+struct Collector<'a> {
+    graph: &'a PropagationGraph,
+    sys: &'a mut ConstraintSystem,
+    event_reps: &'a [Option<Vec<RepId>>],
+    opts: &'a GenOptions,
+}
+
+impl Collector<'_> {
+    fn is_candidate(&self, id: EventId, role: Role) -> bool {
+        self.event_reps[id.index()].is_some()
+            && self.graph.event(id).candidates.contains(role)
+    }
+
+    /// Average-of-backoffs terms for `(event, role)` (§4.3).
+    fn terms(&mut self, id: EventId, role: Role) -> Vec<Term> {
+        let Some(reps) = &self.event_reps[id.index()] else { return Vec::new() };
+        let coeff = 1.0 / reps.len() as f64;
+        let reps = reps.clone();
+        reps.iter()
+            .map(|&rep| Term { var: self.sys.var(rep, role), coeff })
+            .collect()
+    }
+
+    fn forward(&self, id: EventId) -> Vec<EventId> {
+        let mut v = self.graph.reachable_from(id);
+        v.truncate(self.opts.max_reach);
+        v
+    }
+
+    fn backward(&self, id: EventId) -> Vec<EventId> {
+        let mut v = self.graph.reaching(id);
+        v.truncate(self.opts.max_reach);
+        v
+    }
+
+    fn collect(mut self) {
+        let ids: Vec<EventId> = self.graph.events().map(|(id, _)| id).collect();
+
+        // Fig. 4a and Fig. 4b, anchored at sanitizer candidates.
+        for &s in &ids {
+            if !self.is_candidate(s, Role::Sanitizer) {
+                continue;
+            }
+            let sinks: Vec<EventId> = self
+                .forward(s)
+                .into_iter()
+                .filter(|&t| self.is_candidate(t, Role::Sink))
+                .collect();
+            let sources: Vec<EventId> = self
+                .backward(s)
+                .into_iter()
+                .filter(|&u| self.is_candidate(u, Role::Source))
+                .collect();
+            if sinks.is_empty() && sources.is_empty() {
+                continue;
+            }
+            let san_terms = self.terms(s, Role::Sanitizer);
+            // Fig. 4a: san(s) + snk(t) ≤ Σ src(u) + C.
+            let src_sum: Vec<Term> = sources
+                .iter()
+                .take(self.opts.max_rhs_terms)
+                .flat_map(|&u| self.terms(u, Role::Source))
+                .collect();
+            if self.opts.templates[0] {
+                for &t in &sinks {
+                    let mut lhs = san_terms.clone();
+                    lhs.extend(self.terms(t, Role::Sink));
+                    self.sys.add_constraint(FlowConstraint {
+                        lhs,
+                        rhs: src_sum.clone(),
+                        template: Template::A,
+                    });
+                }
+            }
+            // Fig. 4b: src(u) + san(s) ≤ Σ snk(t) + C.
+            let snk_sum: Vec<Term> = sinks
+                .iter()
+                .take(self.opts.max_rhs_terms)
+                .flat_map(|&t| self.terms(t, Role::Sink))
+                .collect();
+            if self.opts.templates[1] {
+                for &u in &sources {
+                    let mut lhs = self.terms(u, Role::Source);
+                    lhs.extend(san_terms.clone());
+                    self.sys.add_constraint(FlowConstraint {
+                        lhs,
+                        rhs: snk_sum.clone(),
+                        template: Template::B,
+                    });
+                }
+            }
+        }
+
+        // Fig. 4c, anchored at source candidates; sanitizers on some path.
+        if !self.opts.templates[2] {
+            return;
+        }
+        let mut forward_sets: HashMap<EventId, HashSet<EventId>> = HashMap::new();
+        for &u in &ids {
+            if !self.is_candidate(u, Role::Source) {
+                continue;
+            }
+            let reach = self.forward(u);
+            let reach_set: HashSet<EventId> = reach.iter().copied().collect();
+            let sinks: Vec<EventId> = reach
+                .iter()
+                .copied()
+                .filter(|&t| self.is_candidate(t, Role::Sink))
+                .collect();
+            if sinks.is_empty() {
+                continue;
+            }
+            let sans: Vec<EventId> = reach
+                .iter()
+                .copied()
+                .filter(|&m| self.is_candidate(m, Role::Sanitizer))
+                .collect();
+            let src_terms = self.terms(u, Role::Source);
+            // Same-chain events (receiver ancestors rooted at u) cannot be
+            // "the sanitizer between": a sanitizer transforms its argument,
+            // not the object it is read off.
+            let chain_of_u: std::collections::HashSet<EventId> = {
+                let mut c = std::collections::HashSet::new();
+                let mut stack = vec![u];
+                while let Some(v) = stack.pop() {
+                    for &n in self.graph.successors(v) {
+                        if self.graph.edge_kind(v, n)
+                            == Some(seldon_propgraph::EdgeKind::Receiver)
+                            && c.insert(n)
+                        {
+                            stack.push(n);
+                        }
+                    }
+                }
+                c
+            };
+            for &t in &sinks {
+                let mut between: Vec<EventId> = Vec::new();
+                for &m in &sans {
+                    if m == t || !reach_set.contains(&m) || chain_of_u.contains(&m) {
+                        continue;
+                    }
+                    let fwd_m = forward_sets.entry(m).or_insert_with(|| {
+                        self.graph.reachable_from(m).into_iter().collect()
+                    });
+                    if fwd_m.contains(&t) {
+                        between.push(m);
+                        if between.len() >= self.opts.max_rhs_terms {
+                            break;
+                        }
+                    }
+                }
+                let mut lhs = src_terms.clone();
+                lhs.extend(self.terms(t, Role::Sink));
+                let rhs: Vec<Term> = between
+                    .iter()
+                    .flat_map(|&m| self.terms(m, Role::Sanitizer))
+                    .collect();
+                self.sys
+                    .add_constraint(FlowConstraint { lhs, rhs, template: Template::C });
+            }
+        }
+    }
+}
+
+/// Evaluates the two sides of a constraint under an assignment, returning
+/// `lhs − rhs` (violation is `max(0, lhs − rhs − C)`).
+pub fn constraint_gap(c: &FlowConstraint, assignment: &[f64]) -> f64 {
+    let lhs: f64 = c.lhs.iter().map(|t| t.coeff * assignment[t.var.index()]).sum();
+    let rhs: f64 = c.rhs.iter().map(|t| t.coeff * assignment[t.var.index()]).sum();
+    lhs - rhs
+}
+
+/// Returns the variable ids appearing in a constraint (for tests/debugging).
+pub fn constraint_vars(c: &FlowConstraint) -> Vec<VarId> {
+    c.lhs.iter().chain(&c.rhs).map(|t| t.var).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldon_propgraph::{build_source, FileId};
+
+    fn opts() -> GenOptions {
+        GenOptions { rep_cutoff: 1, ..Default::default() }
+    }
+
+    /// The Fig. 2 snippet: source → sanitizer → sink chain.
+    fn fig2_graph() -> PropagationGraph {
+        build_source(
+            r#"
+from flask import request
+from werkzeug import secure_filename
+import os
+
+def media():
+    filename = request.files['f'].filename
+    filename = secure_filename(filename)
+    path = os.path.join(blog_dir, filename)
+    request.files['f'].save(path)
+"#,
+            FileId(0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generates_all_three_templates() {
+        let g = fig2_graph();
+        let sys = generate(&g, &TaintSpec::new(), &opts());
+        assert!(sys.constraint_count() >= 3, "got {}", sys.constraint_count());
+        assert!(sys.var_count() > 0);
+        // Every constraint has a non-empty lhs of exactly two event terms
+        // (source+sink, san+sink, or src+san averages).
+        for c in &sys.constraints {
+            assert!(!c.lhs.is_empty());
+        }
+    }
+
+    #[test]
+    fn seed_pinning() {
+        let g = fig2_graph();
+        let mut seed = TaintSpec::new();
+        seed.add("werkzeug.secure_filename()", Role::Sanitizer);
+        let sys = generate(&g, &seed, &opts());
+        let rep = sys.rep_id("werkzeug.secure_filename()").expect("rep interned");
+        let san = sys.lookup_var(rep, Role::Sanitizer).expect("san var");
+        assert_eq!(sys.pinned(san), Some(1.0));
+        // Other roles of the pinned rep are pinned to 0.
+        if let Some(src) = sys.lookup_var(rep, Role::Source) {
+            assert_eq!(sys.pinned(src), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn blacklisted_reps_excluded() {
+        let g = build_source(
+            "from m import src, sink\nx = src()\ny = x.append(1)\nsink(y)\n",
+            FileId(0),
+        )
+        .unwrap();
+        let mut seed = TaintSpec::new();
+        seed.blacklist("*.append()");
+        let sys = generate(&g, &seed, &opts());
+        assert!(sys.rep_id("x.append()").is_none());
+    }
+
+    #[test]
+    fn cutoff_drops_rare_reps() {
+        let g = fig2_graph();
+        let sys = generate(&g, &TaintSpec::new(), &GenOptions::default());
+        // Every rep in this single small file occurs fewer than 5 times.
+        assert_eq!(sys.var_count(), 0);
+        assert_eq!(sys.constraint_count(), 0);
+    }
+
+    #[test]
+    fn backoff_average_coefficients() {
+        let g = fig2_graph();
+        let sys = generate(&g, &TaintSpec::new(), &opts());
+        for c in &sys.constraints {
+            // Coefficients are 1/k for k backoff options: in (0, 1].
+            for t in c.lhs.iter().chain(&c.rhs) {
+                assert!(t.coeff > 0.0 && t.coeff <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn object_reads_have_no_sink_vars() {
+        let g = fig2_graph();
+        let sys = generate(&g, &TaintSpec::new(), &opts());
+        let rep = sys.rep_id("flask.request.files['f'].filename").expect("read rep");
+        assert!(sys.lookup_var(rep, Role::Source).is_some());
+        assert!(sys.lookup_var(rep, Role::Sink).is_none());
+        assert!(sys.lookup_var(rep, Role::Sanitizer).is_none());
+    }
+
+    #[test]
+    fn constraint_gap_math() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let b = sys.rep("b()");
+        let va = sys.var(a, Role::Source);
+        let vb = sys.var(b, Role::Sink);
+        let c = FlowConstraint {
+            lhs: vec![Term { var: va, coeff: 1.0 }],
+            rhs: vec![Term { var: vb, coeff: 0.5 }],
+            ..Default::default()
+        };
+        let assignment = vec![0.8, 0.4];
+        let gap = constraint_gap(&c, &assignment);
+        assert!((gap - (0.8 - 0.2)).abs() < 1e-12);
+        assert_eq!(constraint_vars(&c), vec![va, vb]);
+    }
+
+    #[test]
+    fn event_reps_recorded_for_candidates() {
+        let g = fig2_graph();
+        let sys = generate(&g, &TaintSpec::new(), &opts());
+        assert!(!sys.event_reps.is_empty());
+        for (id, reps) in &sys.event_reps {
+            assert!(!reps.is_empty());
+            assert!(id.index() < g.event_count());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The `seldon` command-line tool: taint-check real Python files and learn
+//! taint specifications from a directory of code, end to end.
+//!
+//! ```text
+//! seldon graph  <file.py> [--dot]
+//! seldon check  <path...> [--spec <spec.txt>] [--param-sensitive]
+//! seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>]
+//! ```
+//!
+//! `--spec`/`--seed` files use the paper's App. B format (`o:`/`a:`/`i:`/
+//! `b:`/`p:` lines); without one, the paper's embedded seed specification
+//! is used.
+
+use seldon_constraints::GenOptions;
+use seldon_core::{run_seldon, SeldonOptions};
+use seldon_propgraph::{build_source_lenient, to_dot, FileId, PropagationGraph};
+use seldon_specs::{paper_seed, TaintSpec};
+use seldon_taint::{render_reports, reports_to_json, TaintAnalyzer, TaintOptions};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "graph" => cmd_graph(rest),
+        "check" => cmd_check(rest),
+        "learn" => cmd_learn(rest),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  seldon graph  <file.py> [--dot]
+  seldon check  <path...> [--spec <spec.txt>] [--param-sensitive] [--format json]
+  seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>]";
+
+/// Recursively collects `.py` files under each path.
+fn collect_py_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for p in paths {
+        walk(p, &mut out)?;
+    }
+    out.sort();
+    if out.is_empty() {
+        return Err("no .py files found".into());
+    }
+    Ok(out)
+}
+
+fn walk(p: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if p.is_file() {
+        if p.extension().is_some_and(|e| e == "py") {
+            out.push(p.to_path_buf());
+        }
+        return Ok(());
+    }
+    if p.is_dir() {
+        let entries =
+            std::fs::read_dir(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            walk(&entry.path(), out)?;
+        }
+    }
+    Ok(())
+}
+
+fn load_spec(path: Option<&str>) -> Result<TaintSpec, String> {
+    match path {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            TaintSpec::parse(&text).map_err(|e| e.to_string())
+        }
+        None => Ok(paper_seed()),
+    }
+}
+
+/// Parses paths + named options from `rest`.
+fn split_args<'a>(
+    rest: &'a [String],
+    flags: &[&str],
+    options: &[&str],
+) -> Result<(Vec<PathBuf>, HashMap<&'a str, &'a str>, Vec<&'a str>), String> {
+    let mut paths = Vec::new();
+    let mut opts = HashMap::new();
+    let mut set_flags = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if flags.contains(&a.as_str()) {
+            set_flags.push(a.as_str());
+        } else if options.contains(&a.as_str()) {
+            let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+            opts.insert(a.as_str(), v.as_str());
+        } else if a.starts_with('-') {
+            return Err(format!("unknown option `{a}`"));
+        } else {
+            paths.push(PathBuf::from(a));
+        }
+    }
+    Ok((paths, opts, set_flags))
+}
+
+fn build_graph_for(files: &[PathBuf]) -> Result<(PropagationGraph, Vec<String>), String> {
+    let mut graph = PropagationGraph::new();
+    let mut names = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        let src = std::fs::read_to_string(f)
+            .map_err(|e| format!("cannot read {}: {e}", f.display()))?;
+        let (g, errors) = build_source_lenient(&src, FileId(i as u32));
+        for e in errors {
+            eprintln!("warning: {}: {e}", f.display());
+        }
+        graph.union(&g);
+        names.push(f.display().to_string());
+    }
+    Ok((graph, names))
+}
+
+fn cmd_graph(rest: &[String]) -> Result<(), String> {
+    let (paths, _, flags) = split_args(rest, &["--dot"], &[])?;
+    let files = collect_py_files(&paths)?;
+    let (graph, _) = build_graph_for(&files)?;
+    if flags.contains(&"--dot") {
+        print!("{}", to_dot(&graph, &HashMap::new()));
+    } else {
+        println!("{} events, {} edges", graph.event_count(), graph.edge_count());
+        for (id, event) in graph.events() {
+            println!("  {id} [{}] {} (line {})", event.kind, event.rep(), event.span.line);
+        }
+        for (from, to) in graph.edges() {
+            println!("  {} -> {}", graph.event(from).rep(), graph.event(to).rep());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(rest: &[String]) -> Result<(), String> {
+    let (paths, opts, flags) =
+        split_args(rest, &["--param-sensitive"], &["--spec", "--format"])?;
+    let spec = load_spec(opts.get("--spec").copied())?;
+    let files = collect_py_files(&paths)?;
+    let (graph, names) = build_graph_for(&files)?;
+    let analyzer = TaintAnalyzer::with_options(
+        &graph,
+        &spec,
+        TaintOptions { param_sensitive: flags.contains(&"--param-sensitive") },
+    );
+    let violations = analyzer.find_violations();
+    if opts.get("--format") == Some(&"json") {
+        println!("{}", reports_to_json(&violations, &graph));
+        return Ok(());
+    }
+    if violations.is_empty() {
+        println!("no violations found in {} file(s)", names.len());
+        return Ok(());
+    }
+    // Group reports per file for readability.
+    for (i, name) in names.iter().enumerate() {
+        let of_file: Vec<_> = violations
+            .iter()
+            .filter(|v| v.file == FileId(i as u32))
+            .cloned()
+            .collect();
+        if of_file.is_empty() {
+            continue;
+        }
+        println!("== {name} ==");
+        print!("{}", render_reports(&of_file, &graph));
+    }
+    println!("{} violation(s) total", violations.len());
+    Ok(())
+}
+
+fn cmd_learn(rest: &[String]) -> Result<(), String> {
+    let (paths, opts, _) = split_args(rest, &[], &["--seed", "--out", "--cutoff"])?;
+    let seed = load_spec(opts.get("--seed").copied())?;
+    let files = collect_py_files(&paths)?;
+    let (graph, names) = build_graph_for(&files)?;
+    eprintln!(
+        "analyzed {} files: {} events, {} edges",
+        names.len(),
+        graph.event_count(),
+        graph.edge_count()
+    );
+    let cutoff: usize = opts
+        .get("--cutoff")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if names.len() < 50 { 2 } else { 5 });
+    let options = SeldonOptions {
+        gen: GenOptions { rep_cutoff: cutoff, ..Default::default() },
+        ..Default::default()
+    };
+    let run = run_seldon(&graph, &seed, &options);
+    eprintln!(
+        "{} constraints over {} variables solved in {:?} ({} iterations)",
+        run.system.constraint_count(),
+        run.system.var_count(),
+        run.solve_time,
+        run.solution.iterations
+    );
+    let text = run.extraction.spec.to_text();
+    match opts.get("--out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "wrote {} learned entries to {path}",
+                run.extraction.spec.role_count()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}

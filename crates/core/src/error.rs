@@ -1,0 +1,43 @@
+//! Pipeline errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure of the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A corpus file failed to lex/parse.
+    Parse {
+        /// Path of the offending file.
+        path: String,
+        /// Front-end error message.
+        message: String,
+    },
+    /// A project index was out of range.
+    NoSuchProject(usize),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse { path, message } => {
+                write!(f, "failed to parse {path}: {message}")
+            }
+            PipelineError::NoSuchProject(i) => write!(f, "no project with index {i}"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PipelineError::Parse { path: "a.py".into(), message: "boom".into() };
+        assert_eq!(e.to_string(), "failed to parse a.py: boom");
+        assert_eq!(PipelineError::NoSuchProject(3).to_string(), "no project with index 3");
+    }
+}

@@ -1,0 +1,42 @@
+//! # seldon-core
+//!
+//! End-to-end pipeline of the Seldon reproduction ("Scalable Taint
+//! Specification Inference with Big Code", PLDI 2019): corpus analysis
+//! (parse → per-file propagation graphs → global graph), constraint
+//! generation, projected-Adam solving, specification extraction, taint
+//! analysis, and exact evaluation against corpus ground truth.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use seldon_core::{analyze_corpus, run_seldon, SeldonOptions};
+//! use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let universe = Universe::new();
+//! let corpus = generate_corpus(
+//!     &universe,
+//!     &CorpusOptions { projects: 4, ..Default::default() },
+//! );
+//! let analyzed = analyze_corpus(&corpus, 2)?;
+//! let run = run_seldon(&analyzed.graph, &universe.seed_spec(), &SeldonOptions::default());
+//! assert!(run.system.constraint_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod eval;
+pub mod pipeline;
+
+pub use error::PipelineError;
+pub use eval::{
+    classify_all, classify_violation, evaluate_spec, reps_match, GroundTruth, ReportClass,
+    ReportSummary, RoleEval, SpecEval,
+};
+pub use pipeline::{
+    analyze_corpus, analyze_project, run_seldon, AnalyzedCorpus, FileMeta, SeldonOptions,
+    SeldonRun,
+};

@@ -1,0 +1,254 @@
+//! The end-to-end Seldon pipeline (§7.1): parse a corpus of Python files,
+//! extract per-file propagation graphs (in parallel), union them into the
+//! global graph, generate the linear constraint system, solve it with
+//! projected Adam, and extract the learned specification.
+
+use crate::error::PipelineError;
+use seldon_constraints::{generate, ConstraintSystem, GenOptions};
+use seldon_corpus::Corpus;
+use seldon_propgraph::{build_source, FileId, PropagationGraph};
+use seldon_solver::{extract, solve, ExtractOptions, Extraction, SolveOptions, Solution};
+use seldon_specs::TaintSpec;
+use std::time::{Duration, Instant};
+
+/// Metadata for one analyzed file.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Index of the project the file belongs to.
+    pub project: usize,
+    /// Path within the project.
+    pub path: String,
+}
+
+/// A corpus parsed and converted into a global propagation graph.
+#[derive(Debug)]
+pub struct AnalyzedCorpus {
+    /// The global propagation graph (union of per-file graphs; event sets
+    /// of different files stay disjoint, §4).
+    pub graph: PropagationGraph,
+    /// Per-[`FileId`] metadata, indexed by `FileId.0`.
+    pub files: Vec<FileMeta>,
+    /// Wall-clock time spent parsing and building graphs.
+    pub build_time: Duration,
+}
+
+impl AnalyzedCorpus {
+    /// The project index of a file.
+    pub fn project_of(&self, file: FileId) -> usize {
+        self.files[file.0 as usize].project
+    }
+}
+
+/// Parses every file of `corpus` and unions the per-file graphs.
+///
+/// Per-file graph extraction runs on `threads` worker threads (pass 1 for
+/// deterministic single-threaded runs; the union order is deterministic
+/// either way).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Parse`] if any generated file fails to parse —
+/// the corpus generator guarantees parseable output, so this indicates a
+/// front-end bug.
+pub fn analyze_corpus(corpus: &Corpus, threads: usize) -> Result<AnalyzedCorpus, PipelineError> {
+    let started = Instant::now();
+    let inputs: Vec<(usize, &str, &str)> = corpus
+        .files()
+        .map(|(project, f)| (project, f.path.as_str(), f.content.as_str()))
+        .collect();
+    let n = inputs.len();
+    let threads = threads.max(1).min(n.max(1));
+
+    let mut slots: Vec<Option<PropagationGraph>> = (0..n).map(|_| None).collect();
+    if threads <= 1 {
+        for (i, (_, path, content)) in inputs.iter().enumerate() {
+            let g = build_source(content, FileId(i as u32))
+                .map_err(|e| PipelineError::Parse { path: path.to_string(), message: e.to_string() })?;
+            slots[i] = Some(g);
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        let results = parking_lot::Mutex::new(Vec::<(usize, Result<PropagationGraph, PipelineError>)>::new());
+        crossbeam::scope(|scope| {
+            for (t, chunk_inputs) in inputs.chunks(chunk).enumerate() {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let base = t * chunk;
+                    let mut local = Vec::with_capacity(chunk_inputs.len());
+                    for (off, (_, path, content)) in chunk_inputs.iter().enumerate() {
+                        let i = base + off;
+                        let r = build_source(content, FileId(i as u32)).map_err(|e| {
+                            PipelineError::Parse {
+                                path: path.to_string(),
+                                message: e.to_string(),
+                            }
+                        });
+                        local.push((i, r));
+                    }
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("scoped threads do not panic");
+        for (i, r) in results.into_inner() {
+            slots[i] = Some(r?);
+        }
+    }
+
+    let mut graph = PropagationGraph::new();
+    let mut files = Vec::with_capacity(n);
+    for (i, (project, path, _)) in inputs.iter().enumerate() {
+        let g = slots[i].take().expect("all slots filled");
+        graph.union(&g);
+        files.push(FileMeta { project: *project, path: path.to_string() });
+    }
+    Ok(AnalyzedCorpus { graph, files, build_time: started.elapsed() })
+}
+
+/// Analyzes a single project of the corpus (used for the Q5 experiment).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Parse`] on front-end failure, or
+/// [`PipelineError::NoSuchProject`] for an out-of-range index.
+pub fn analyze_project(corpus: &Corpus, project: usize) -> Result<AnalyzedCorpus, PipelineError> {
+    if project >= corpus.projects.len() {
+        return Err(PipelineError::NoSuchProject(project));
+    }
+    let started = Instant::now();
+    let mut graph = PropagationGraph::new();
+    let mut files = Vec::new();
+    for f in &corpus.projects[project].files {
+        let id = FileId(files.len() as u32);
+        let g = build_source(&f.content, id).map_err(|e| PipelineError::Parse {
+            path: f.path.clone(),
+            message: e.to_string(),
+        })?;
+        graph.union(&g);
+        files.push(FileMeta { project, path: f.path.clone() });
+    }
+    Ok(AnalyzedCorpus { graph, files, build_time: started.elapsed() })
+}
+
+/// Hyperparameters of a full Seldon run; defaults follow the paper.
+#[derive(Debug, Clone, Default)]
+pub struct SeldonOptions {
+    /// Constraint-generation options (cutoff 5, C = 0.75).
+    pub gen: GenOptions,
+    /// Solver options (λ = 0.1, projected Adam).
+    pub solve: SolveOptions,
+    /// Extraction options (t = 0.1, decay 0.8).
+    pub extract: ExtractOptions,
+}
+
+/// The artifacts of a full Seldon run.
+#[derive(Debug)]
+pub struct SeldonRun {
+    /// The generated constraint system.
+    pub system: ConstraintSystem,
+    /// The solved scores.
+    pub solution: Solution,
+    /// The extracted specification and per-event roles.
+    pub extraction: Extraction,
+    /// Time spent generating constraints.
+    pub gen_time: Duration,
+    /// Time spent solving.
+    pub solve_time: Duration,
+}
+
+impl SeldonRun {
+    /// Number of candidate events that entered the constraint system.
+    pub fn candidate_count(&self) -> usize {
+        self.system.event_reps.len()
+    }
+}
+
+/// Runs constraint generation, solving, and extraction over a graph.
+pub fn run_seldon(graph: &PropagationGraph, seed: &TaintSpec, opts: &SeldonOptions) -> SeldonRun {
+    let t0 = Instant::now();
+    let system = generate(graph, seed, &opts.gen);
+    let gen_time = t0.elapsed();
+    let t1 = Instant::now();
+    let solution = solve(&system, &opts.solve);
+    let solve_time = t1.elapsed();
+    let extraction = extract(&system, &solution, &opts.extract);
+    SeldonRun { system, solution, extraction, gen_time, solve_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+
+    fn corpus() -> Corpus {
+        generate_corpus(
+            &Universe::new(),
+            &CorpusOptions { projects: 8, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let c = corpus();
+        let a = analyze_corpus(&c, 1).unwrap();
+        let b = analyze_corpus(&c, 4).unwrap();
+        assert_eq!(a.graph.event_count(), b.graph.event_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.files.len(), b.files.len());
+        // Event identity must match exactly (deterministic union order).
+        for (id, ev) in a.graph.events() {
+            assert_eq!(ev.reps, b.graph.event(id).reps);
+        }
+    }
+
+    #[test]
+    fn file_metadata_attributes_projects() {
+        let c = corpus();
+        let a = analyze_corpus(&c, 2).unwrap();
+        assert_eq!(a.files.len(), c.file_count());
+        let projects: std::collections::HashSet<usize> =
+            a.files.iter().map(|f| f.project).collect();
+        assert_eq!(projects.len(), c.projects.len());
+    }
+
+    #[test]
+    fn single_project_analysis() {
+        let c = corpus();
+        let a = analyze_project(&c, 0).unwrap();
+        assert_eq!(a.files.len(), c.projects[0].files.len());
+        assert!(a.graph.event_count() > 0);
+        assert!(matches!(
+            analyze_project(&c, 999),
+            Err(PipelineError::NoSuchProject(999))
+        ));
+    }
+
+    #[test]
+    fn full_run_learns_something() {
+        let c = corpus();
+        let analyzed = analyze_corpus(&c, 2).unwrap();
+        let universe = Universe::new();
+        let seed = universe.seed_spec();
+        let run = run_seldon(&analyzed.graph, &seed, &SeldonOptions::default());
+        assert!(run.system.constraint_count() > 0, "no constraints generated");
+        assert!(run.candidate_count() > 0);
+        assert!(
+            run.extraction.spec.role_count() > 0,
+            "nothing learned from {} constraints over {} vars",
+            run.system.constraint_count(),
+            run.system.var_count()
+        );
+    }
+
+    #[test]
+    fn empty_seed_learns_nothing() {
+        let c = corpus();
+        let analyzed = analyze_corpus(&c, 2).unwrap();
+        let run = run_seldon(&analyzed.graph, &TaintSpec::new(), &SeldonOptions::default());
+        assert_eq!(
+            run.extraction.spec.role_count(),
+            0,
+            "empty seed must yield the all-zeros solution (paper Q6)"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Writes a synthetic corpus to disk as real `.py` trees, so the `seldon`
+//! CLI (and anything else) can run against it like any checkout.
+//!
+//! ```text
+//! gen-corpus <out_dir> [--projects N] [--seed S]
+//! ```
+//!
+//! Alongside the project directories it writes `seed_spec.txt` (the corpus
+//! seed in App. B format) and `ground_truth.txt` (one line per known flow)
+//! so downstream evaluation does not need this crate.
+
+use seldon_corpus::{generate_corpus, CorpusOptions, FlowKind, Universe};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut opts = CorpusOptions { projects: 50, ..Default::default() };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--projects" => {
+                opts.projects = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--projects needs a number")?;
+            }
+            "--seed" => {
+                opts.rng_seed =
+                    it.next().and_then(|v| v.parse().ok()).ok_or("--seed needs a number")?;
+            }
+            other if !other.starts_with('-') => out_dir = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let out_dir = out_dir.ok_or("usage: gen-corpus <out_dir> [--projects N] [--seed S]")?;
+
+    let universe = Universe::new();
+    let corpus = generate_corpus(&universe, &opts);
+    let mut files_written = 0usize;
+    for project in &corpus.projects {
+        for file in &project.files {
+            let path = out_dir.join(&project.name).join(&file.path);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+            }
+            std::fs::write(&path, &file.content)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            files_written += 1;
+        }
+    }
+    std::fs::write(out_dir.join("seed_spec.txt"), universe.seed_spec().to_text())
+        .map_err(|e| e.to_string())?;
+
+    let mut truth = String::new();
+    for f in &corpus.flows {
+        let kind = match f.kind {
+            FlowKind::Sanitized => "sanitized",
+            FlowKind::Vulnerable { exploitable: true } => "vulnerable",
+            FlowKind::Vulnerable { exploitable: false } => "vulnerable-unexploitable",
+            FlowKind::WrongParam => "wrong-param",
+            FlowKind::SafeLiteral => "safe-literal",
+            FlowKind::Noise => "noise",
+        };
+        truth.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            corpus.projects[f.project].name,
+            f.file,
+            f.handler,
+            kind,
+            f.source.unwrap_or("-"),
+            f.sink.unwrap_or("-"),
+        ));
+    }
+    std::fs::write(out_dir.join("ground_truth.txt"), truth).map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "wrote {} projects / {files_written} files to {} ({} known flows)",
+        corpus.projects.len(),
+        out_dir.display(),
+        corpus.flows.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,700 @@
+//! Deterministic generator of realistic synthetic web applications.
+//!
+//! Each project is a handful of Python files containing Flask/Django-style
+//! route handlers. Every handler implements one *flow pattern* (sanitized
+//! chain, unsanitized vulnerability, wrong-parameter flow, noise, ...);
+//! the generator records the ground truth of every flow so experiments can
+//! measure precision exactly instead of estimating it by manual
+//! inspection.
+
+use crate::universe::{ApiShape, ApiSpec, Category, Universe};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use seldon_specs::Role;
+use std::collections::BTreeSet;
+
+/// What a generated handler's data flow truly is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Source → sanitizer → sink: correctly protected, not a bug.
+    Sanitized,
+    /// Source → sink with no sanitizer: a genuine vulnerability.
+    Vulnerable {
+        /// Whether the flow is exploitable in context (the paper's
+        /// "vulnerable flow, but no bug" distinction, e.g. a text/plain
+        /// content type defusing an XSS).
+        exploitable: bool,
+    },
+    /// Source flows into a harmless parameter of an API.
+    WrongParam,
+    /// Sink called with a constant; source unused elsewhere. Safe.
+    SafeLiteral,
+    /// Utility-only handler; no security-relevant flow.
+    Noise,
+}
+
+/// Ground truth for one generated flow.
+#[derive(Debug, Clone)]
+pub struct FlowTruth {
+    /// Project index within the corpus.
+    pub project: usize,
+    /// File path within the project.
+    pub file: String,
+    /// Handler function name.
+    pub handler: String,
+    /// The flow kind.
+    pub kind: FlowKind,
+    /// Canonical source representation (if the flow has a source).
+    pub source: Option<&'static str>,
+    /// Canonical sanitizer representation (if sanitized).
+    pub sanitizer: Option<&'static str>,
+    /// Canonical sink representation (if the flow reaches a call).
+    pub sink: Option<&'static str>,
+}
+
+/// One generated source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the project root, e.g. `app/views_2.py`.
+    pub path: String,
+    /// Python source text.
+    pub content: String,
+}
+
+/// One generated project (repository).
+#[derive(Debug, Clone)]
+pub struct Project {
+    /// Project name, e.g. `project_017`.
+    pub name: String,
+    /// Project files.
+    pub files: Vec<SourceFile>,
+}
+
+/// A generated corpus with its ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// The projects.
+    pub projects: Vec<Project>,
+    /// Ground truth for every generated flow.
+    pub flows: Vec<FlowTruth>,
+    /// Representations of generated app-level wrappers that truly carry a
+    /// role (e.g. a helper returning a source value is itself a source).
+    pub derived_roles: Vec<(String, Role)>,
+}
+
+impl Corpus {
+    /// Total number of files.
+    pub fn file_count(&self) -> usize {
+        self.projects.iter().map(|p| p.files.len()).sum()
+    }
+
+    /// Iterates `(project index, file)` pairs.
+    pub fn files(&self) -> impl Iterator<Item = (usize, &SourceFile)> {
+        self.projects
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| p.files.iter().map(move |f| (i, f)))
+    }
+}
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusOptions {
+    /// Number of projects.
+    pub projects: usize,
+    /// Files per project (inclusive range).
+    pub files_per_project: (usize, usize),
+    /// Handlers per file (inclusive range).
+    pub handlers_per_file: (usize, usize),
+    /// RNG seed; the same options always generate the same corpus.
+    pub rng_seed: u64,
+    /// Probability a role slot picks a seed API instead of a learnable one.
+    pub seed_api_bias: f64,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> Self {
+        CorpusOptions {
+            projects: 40,
+            files_per_project: (2, 5),
+            handlers_per_file: (2, 5),
+            rng_seed: 0xC0FFEE,
+            seed_api_bias: 0.5,
+        }
+    }
+}
+
+/// Generates a corpus.
+pub fn generate_corpus(universe: &Universe, opts: &CorpusOptions) -> Corpus {
+    let mut rng = SmallRng::seed_from_u64(opts.rng_seed);
+    let mut corpus = Corpus::default();
+    for pi in 0..opts.projects {
+        let nfiles = rng.gen_range(opts.files_per_project.0..=opts.files_per_project.1);
+        let mut files = Vec::new();
+        for fi in 0..nfiles {
+            let path = format!("app/views_{fi}.py");
+            let nhandlers =
+                rng.gen_range(opts.handlers_per_file.0..=opts.handlers_per_file.1);
+            let mut gen = FileGen::new(universe, &mut rng, pi, &path);
+            for hi in 0..nhandlers {
+                gen.emit_handler(hi);
+            }
+            let (content, flows, derived) = gen.finish();
+            corpus.flows.extend(flows);
+            corpus.derived_roles.extend(derived);
+            files.push(SourceFile { path, content });
+        }
+        corpus.projects.push(Project { name: format!("project_{pi:03}"), files });
+    }
+    corpus
+}
+
+/// Builds one file's text and ground truth.
+struct FileGen<'u, 'r> {
+    universe: &'u Universe,
+    rng: &'r mut SmallRng,
+    project: usize,
+    path: String,
+    imports: BTreeSet<String>,
+    body: String,
+    flows: Vec<FlowTruth>,
+    derived: Vec<(String, Role)>,
+    used_helpers: std::collections::HashSet<&'static str>,
+    var_counter: usize,
+}
+
+impl<'u, 'r> FileGen<'u, 'r> {
+    fn new(universe: &'u Universe, rng: &'r mut SmallRng, project: usize, path: &str) -> Self {
+        FileGen {
+            universe,
+            rng,
+            project,
+            path: path.to_string(),
+            imports: BTreeSet::new(),
+            body: String::new(),
+            flows: Vec::new(),
+            derived: Vec::new(),
+            used_helpers: std::collections::HashSet::new(),
+            var_counter: 0,
+        }
+    }
+
+    fn fresh_var(&mut self) -> String {
+        let v = format!("v{}", self.var_counter);
+        self.var_counter += 1;
+        v
+    }
+
+    fn use_api(&mut self, api: &ApiSpec) {
+        if !api.import_line.is_empty() {
+            self.imports.insert(api.import_line.to_string());
+        }
+    }
+
+    fn pick<'a>(&mut self, options: &[&'a ApiSpec]) -> &'a ApiSpec {
+        options.choose(self.rng).expect("non-empty api list")
+    }
+
+    /// Picks an API of `role` in `category`, seed-vs-learnable weighted.
+    fn pick_role(&mut self, role: Role, category: Category, bias: f64) -> &'u ApiSpec {
+        let want_seed = self.rng.gen_bool(bias);
+        let pool = self.universe.by_role(role, category, want_seed);
+        let pool = if pool.is_empty() {
+            self.universe.by_role(role, category, !want_seed)
+        } else {
+            pool
+        };
+        // Fall back to any category if this one lacks the role entirely.
+        if pool.is_empty() {
+            let any: Vec<&ApiSpec> = self
+                .universe
+                .apis()
+                .iter()
+                .filter(|a| a.role == Some(role) && a.shape != ApiShape::WrongParamCall)
+                .collect();
+            return self.pick(&any);
+        }
+        self.pick(&pool)
+    }
+
+    fn emit_handler(&mut self, index: usize) {
+        let category = *Category::ALL.choose(self.rng).expect("categories");
+        let roll: f64 = self.rng.gen();
+        let kind = if roll < 0.46 {
+            FlowKind::Sanitized
+        } else if roll < 0.62 {
+            FlowKind::Vulnerable { exploitable: self.rng.gen_bool(0.6) }
+        } else if roll < 0.70 {
+            FlowKind::WrongParam
+        } else if roll < 0.80 {
+            FlowKind::SafeLiteral
+        } else {
+            FlowKind::Noise
+        };
+        self.emit_flow(index, category, kind);
+    }
+
+    /// Emits one handler implementing `kind` for `category`.
+    fn emit_flow(&mut self, index: usize, category: Category, kind: FlowKind) {
+        // Handler names are unique per project (as in real code), so the
+        // most specific parameter-anchored representations are corpus-rare
+        // and only their suffix backoffs are shared.
+        let handler = format!("handler_p{}_{}_{}", self.project, self.path_stub(), index);
+        match kind {
+            FlowKind::Noise => self.emit_noise_handler(&handler),
+            FlowKind::SafeLiteral => self.emit_safe_literal(&handler, category),
+            FlowKind::WrongParam => self.emit_wrong_param(&handler, category),
+            FlowKind::Sanitized => self.emit_chain(&handler, category, true, true),
+            FlowKind::Vulnerable { exploitable } => {
+                self.emit_chain(&handler, category, false, exploitable)
+            }
+        }
+    }
+
+    fn path_stub(&self) -> String {
+        self.path
+            .trim_start_matches("app/views_")
+            .trim_end_matches(".py")
+            .to_string()
+    }
+
+    /// The main pattern: source → [noise] → (sanitizer?) → [noise] → sink.
+    fn emit_chain(&mut self, handler: &str, category: Category, sanitized: bool, exploitable: bool) {
+        let source = self.pick_role(Role::Source, category, 0.5);
+        let sink = self.pick_role(Role::Sink, category, 0.5);
+        let sanitizer = if sanitized {
+            Some(self.pick_role(Role::Sanitizer, category, 0.5))
+        } else {
+            None
+        };
+        self.use_api(source);
+        self.use_api(sink);
+        if let Some(s) = sanitizer {
+            self.use_api(s);
+        }
+
+        let param_style = source.shape == ApiShape::SourceParamRead;
+        // Django-style class-based views exercise the Class::method(param
+        // request) representation levels of §3.2.
+        let class_style = param_style && self.rng.gen_bool(0.35);
+        // Vulnerable code tends to be short and direct (the classic
+        // copy-paste bug); carefully engineered code wraps inputs in
+        // helpers and sanitizes them.
+        let helper_p = if sanitized { 0.30 } else { 0.08 };
+        let via_helper = self.rng.gen_bool(helper_p) && !param_style;
+        let with_branch = sanitized && self.rng.gen_bool(0.2);
+
+        let mut lines: Vec<String> = Vec::new();
+        let sig_param = if param_style { "request" } else { "" };
+
+        // Source line.
+        let v_src = self.fresh_var();
+        let lit = format!("'{}'", pick_literal(self.rng));
+        let src_expr = source.template.replace("{L}", &lit);
+        if via_helper {
+            // Helper names come from a small realistic pool, so the same
+            // wrapper name recurs across projects — exactly the cross-
+            // project conflation big-code learning exploits.
+            const HELPER_POOL: [&str; 8] = [
+                "fetch_input", "read_param", "load_value", "get_payload",
+                "read_field", "fetch_request_data", "load_user_input", "get_form_value",
+            ];
+            let helper = HELPER_POOL[self.rng.gen_range(0..HELPER_POOL.len())];
+            if self.used_helpers.insert(helper) {
+                self.body.push_str(&format!("def {helper}():\n    return {src_expr}\n\n"));
+                lines.push(format!("{v_src} = {helper}()"));
+                // The wrapper itself is a true source at app level.
+                self.derived.push((format!("{helper}()"), Role::Source));
+            } else {
+                // Name already taken in this file: inline instead.
+                lines.push(format!("{v_src} = {src_expr}"));
+            }
+        } else {
+            lines.push(format!("{v_src} = {src_expr}"));
+        }
+
+        // Optional noise hop (more common in longer, sanitized code).
+        let noise_p = if sanitized { 0.40 } else { 0.15 };
+        let mut cur = v_src.clone();
+        if self.rng.gen_bool(noise_p) {
+            cur = self.emit_noise_hop(&mut lines, &cur);
+        }
+
+        // Sanitizer (directly, or on one branch only — still safe overall
+        // when the unsanitized branch does not reach the sink).
+        if let Some(san) = sanitizer {
+            let v = self.fresh_var();
+            let san_expr = san.template.replace("{V}", &cur);
+            if with_branch {
+                lines.push(format!("if {cur}:"));
+                lines.push(format!("    {v} = {san_expr}"));
+                lines.push("else:".to_string());
+                lines.push(format!("    {v} = {}", san.template.replace("{V}", "''")));
+            } else {
+                lines.push(format!("{v} = {san_expr}"));
+            }
+            cur = v;
+        }
+
+        // Optional second noise hop.
+        if self.rng.gen_bool(noise_p * 0.6) {
+            cur = self.emit_noise_hop(&mut lines, &cur);
+        }
+
+        // Sink line.
+        let sink_expr = match sink.shape {
+            ApiShape::SecondArgCall => sink
+                .template
+                .replace("{L}", &format!("'{}'", pick_literal(self.rng)))
+                .replace("{V}", &cur),
+            _ => sink.template.replace("{V}", &cur),
+        };
+        lines.push(format!("return {sink_expr}"));
+
+        if class_style {
+            self.write_class_handler(handler, &lines);
+        } else {
+            self.write_handler(handler, sig_param, &lines, !param_style);
+        }
+
+        self.flows.push(FlowTruth {
+            project: self.project,
+            file: self.path.clone(),
+            handler: handler.to_string(),
+            kind: if sanitized {
+                FlowKind::Sanitized
+            } else {
+                FlowKind::Vulnerable { exploitable }
+            },
+            source: Some(source.rep),
+            sanitizer: sanitizer.map(|s| s.rep),
+            sink: Some(sink.rep),
+        });
+    }
+
+    /// Tainted data into a harmless parameter.
+    fn emit_wrong_param(&mut self, handler: &str, category: Category) {
+        let source = self.pick_role(Role::Source, category, 0.5);
+        let wp_pool = self.universe.wrong_param();
+        let wp = *wp_pool.choose(self.rng).expect("wrong-param apis");
+        self.use_api(source);
+        self.use_api(wp);
+        let param_style = source.shape == ApiShape::SourceParamRead;
+        let v = self.fresh_var();
+        let lit = format!("'{}'", pick_literal(self.rng));
+        let lines = vec![
+            format!("{v} = {}", source.template.replace("{L}", &lit)),
+            format!("return {}", wp.template.replace("{V}", &v)),
+        ];
+        let sig_param = if param_style { "request" } else { "" };
+        self.write_handler(handler, sig_param, &lines, !param_style);
+        self.flows.push(FlowTruth {
+            project: self.project,
+            file: self.path.clone(),
+            handler: handler.to_string(),
+            kind: FlowKind::WrongParam,
+            source: Some(source.rep),
+            sanitizer: None,
+            sink: Some(wp.rep),
+        });
+    }
+
+    /// Sink fed by a constant; a source read whose value goes nowhere.
+    fn emit_safe_literal(&mut self, handler: &str, category: Category) {
+        let source = self.pick_role(Role::Source, category, 0.5);
+        let sink = self.pick_role(Role::Sink, category, 0.5);
+        self.use_api(source);
+        self.use_api(sink);
+        let param_style = source.shape == ApiShape::SourceParamRead;
+        let v = self.fresh_var();
+        let lit = format!("'{}'", pick_literal(self.rng));
+        let lines = vec![
+            format!("{v} = {}", source.template.replace("{L}", &lit)),
+            format!("status = len({v}) if {v} else 0"),
+            format!(
+                "return {}",
+                sink.template.replace("{V}", &format!("'{}'", pick_literal(self.rng)))
+            ),
+        ];
+        let sig_param = if param_style { "request" } else { "" };
+        self.write_handler(handler, sig_param, &lines, !param_style);
+        self.flows.push(FlowTruth {
+            project: self.project,
+            file: self.path.clone(),
+            handler: handler.to_string(),
+            kind: FlowKind::SafeLiteral,
+            source: Some(source.rep),
+            sanitizer: None,
+            sink: Some(sink.rep),
+        });
+    }
+
+    /// Pure utility handler (no roles involved).
+    fn emit_noise_handler(&mut self, handler: &str) {
+        let noise_pool = self.universe.noise();
+        let n1 = *noise_pool.choose(self.rng).expect("noise");
+        let n2 = *noise_pool.choose(self.rng).expect("noise");
+        self.use_api(n1);
+        self.use_api(n2);
+        let v0 = self.fresh_var();
+        let v1 = self.fresh_var();
+        let lines = vec![
+            format!("{v0} = {}", n1.template.replace("{V}", &format!("'{}'", pick_literal(self.rng)))),
+            format!("{v1} = {}", n2.template.replace("{V}", &v0)),
+            format!("return {v1}"),
+        ];
+        self.write_handler(handler, "", &lines, true);
+        self.flows.push(FlowTruth {
+            project: self.project,
+            file: self.path.clone(),
+            handler: handler.to_string(),
+            kind: FlowKind::Noise,
+            source: None,
+            sanitizer: None,
+            sink: None,
+        });
+    }
+
+    /// A taint-preserving hop with no true role: either a no-role API call,
+    /// a blacklisted string method, or an f-string.
+    fn emit_noise_hop(&mut self, lines: &mut Vec<String>, cur: &str) -> String {
+        let v = self.fresh_var();
+        match self.rng.gen_range(0..3u8) {
+            0 => {
+                let pool = self.universe.noise();
+                let api = *pool.choose(self.rng).expect("noise");
+                self.use_api(api);
+                lines.push(format!("{v} = {}", api.template.replace("{V}", cur)));
+            }
+            1 => lines.push(format!("{v} = {cur}.strip()")),
+            _ => lines.push(format!("{v} = f\"item: {{{cur}}}\"")),
+        }
+        v
+    }
+
+    /// A Django-style class-based view: the handler becomes a `get`/`post`
+    /// method of a view class deriving from `viewlib.BaseView`.
+    fn write_class_handler(&mut self, name: &str, lines: &[String]) {
+        self.imports.insert("from viewlib import BaseView".to_string());
+        let class_name = format!(
+            "View{}",
+            name.strip_prefix("handler_").unwrap_or(name).replace('_', "X")
+        );
+        let method = if self.rng.gen_bool(0.5) { "get" } else { "post" };
+        self.body.push_str(&format!("class {class_name}(BaseView):\n"));
+        self.body.push_str(&format!("    def {method}(self, request):\n"));
+        for line in lines {
+            self.body.push_str("        ");
+            self.body.push_str(line);
+            self.body.push('\n');
+        }
+        self.body.push('\n');
+    }
+
+    fn write_handler(&mut self, name: &str, param: &str, lines: &[String], with_route: bool) {
+        if with_route {
+            self.imports.insert("from flask import app".to_string());
+            self.body
+                .push_str(&format!("@app.route('/{name}', methods=['GET', 'POST'])\n"));
+        }
+        self.body.push_str(&format!("def {name}({param}):\n"));
+        for line in lines {
+            self.body.push_str("    ");
+            self.body.push_str(line);
+            self.body.push('\n');
+        }
+        self.body.push('\n');
+    }
+
+    fn finish(self) -> (String, Vec<FlowTruth>, Vec<(String, Role)>) {
+        let mut content = String::new();
+        for imp in &self.imports {
+            content.push_str(imp);
+            content.push('\n');
+        }
+        content.push('\n');
+        content.push_str(&self.body);
+        (content, self.flows, self.derived)
+    }
+}
+
+fn pick_literal(rng: &mut SmallRng) -> &'static str {
+    const LITERALS: [&str; 10] =
+        ["q", "name", "id", "path", "file", "next", "cmd", "title", "page", "user"];
+    LITERALS[rng.gen_range(0..LITERALS.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldon_propgraph::{build_source, FileId};
+
+    fn small() -> Corpus {
+        generate_corpus(
+            &Universe::new(),
+            &CorpusOptions { projects: 5, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.file_count(), b.file_count());
+        let fa: Vec<&str> = a.files().map(|(_, f)| f.content.as_str()).collect();
+        let fb: Vec<&str> = b.files().map(|(_, f)| f.content.as_str()).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small();
+        let b = generate_corpus(
+            &Universe::new(),
+            &CorpusOptions { projects: 5, rng_seed: 99, ..Default::default() },
+        );
+        let fa: String = a.files().map(|(_, f)| f.content.clone()).collect();
+        let fb: String = b.files().map(|(_, f)| f.content.clone()).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn every_file_parses_and_builds() {
+        let c = small();
+        assert!(c.file_count() >= 10);
+        for (i, (_, f)) in c.files().enumerate() {
+            let g = build_source(&f.content, FileId(i as u32))
+                .unwrap_or_else(|e| panic!("file {} failed: {e}\n{}", f.path, f.content));
+            assert!(g.event_count() > 0, "no events in {}", f.path);
+        }
+    }
+
+    #[test]
+    fn ground_truth_covers_handlers() {
+        let c = small();
+        assert!(!c.flows.is_empty());
+        let sanitized = c.flows.iter().filter(|f| f.kind == FlowKind::Sanitized).count();
+        let vulnerable = c
+            .flows
+            .iter()
+            .filter(|f| matches!(f.kind, FlowKind::Vulnerable { .. }))
+            .count();
+        assert!(sanitized > 0, "need sanitized flows");
+        assert!(vulnerable > 0, "need vulnerable flows");
+        for f in &c.flows {
+            if f.kind == FlowKind::Sanitized {
+                assert!(f.sanitizer.is_some());
+                assert!(f.source.is_some());
+                assert!(f.sink.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn flows_reference_existing_files() {
+        let c = small();
+        for f in &c.flows {
+            let proj = &c.projects[f.project];
+            assert!(
+                proj.files.iter().any(|sf| sf.path == f.file),
+                "flow references missing file {}",
+                f.file
+            );
+        }
+    }
+
+    #[test]
+    fn vulnerable_flows_detected_by_oracle_spec() {
+        // Sanity: analyze one generated vulnerable file with a full oracle
+        // spec (all true roles) and check the violation appears.
+        use seldon_taint::TaintAnalyzer;
+        let u = Universe::new();
+        let mut oracle = seldon_specs::TaintSpec::new();
+        for a in u.apis() {
+            if let Some(role) = a.role {
+                oracle.add(a.rep, role);
+            }
+        }
+        let c = small();
+        let vuln = c
+            .flows
+            .iter()
+            .find(|f| matches!(f.kind, FlowKind::Vulnerable { .. }))
+            .expect("some vulnerable flow");
+        let file = c.projects[vuln.project]
+            .files
+            .iter()
+            .find(|sf| sf.path == vuln.file)
+            .unwrap();
+        let g = build_source(&file.content, FileId(0)).unwrap();
+        let analyzer = TaintAnalyzer::new(&g, &oracle);
+        let violations = analyzer.find_violations();
+        assert!(
+            violations.iter().any(|v| {
+                u.apis()
+                    .iter()
+                    .any(|a| a.rep == vuln.sink.unwrap() && a.matches_rep(&v.sink_rep))
+            }),
+            "expected a violation for {} -> {:?} in:\n{}\ngot {violations:?}",
+            vuln.handler,
+            vuln.sink,
+            file.content
+        );
+    }
+
+    #[test]
+    fn sanitized_flows_not_flagged_by_oracle() {
+        use seldon_taint::TaintAnalyzer;
+        let u = Universe::new();
+        let mut oracle = seldon_specs::TaintSpec::new();
+        for a in u.apis() {
+            if let Some(role) = a.role {
+                oracle.add(a.rep, role);
+            }
+        }
+        let c = small();
+        // Pick a sanitized flow in a file with no other vulnerable flows to
+        // avoid cross-handler contamination of the check.
+        for truth in c.flows.iter().filter(|f| f.kind == FlowKind::Sanitized) {
+            let others_vulnerable = c.flows.iter().any(|f| {
+                f.file == truth.file
+                    && f.project == truth.project
+                    && matches!(
+                        f.kind,
+                        FlowKind::Vulnerable { .. } | FlowKind::WrongParam
+                    )
+            });
+            if others_vulnerable {
+                continue;
+            }
+            let file = c.projects[truth.project]
+                .files
+                .iter()
+                .find(|sf| sf.path == truth.file)
+                .unwrap();
+            let g = build_source(&file.content, FileId(0)).unwrap();
+            let analyzer = TaintAnalyzer::new(&g, &oracle);
+            let violations = analyzer.find_violations();
+            assert!(
+                violations.is_empty(),
+                "sanitized file flagged: {violations:?}\n{}",
+                file.content
+            );
+            return;
+        }
+    }
+
+    #[test]
+    fn imports_come_before_code() {
+        let c = small();
+        let (_, f) = c.files().next().unwrap();
+        let first_def = f.content.find("def ").unwrap_or(usize::MAX);
+        for line in f.content.lines() {
+            if line.starts_with("import ") || line.starts_with("from ") {
+                let pos = f.content.find(line).unwrap();
+                assert!(pos < first_def);
+            }
+        }
+    }
+}

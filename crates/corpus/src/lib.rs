@@ -1,0 +1,33 @@
+//! # seldon-corpus
+//!
+//! The synthetic "big code" substrate of the Seldon reproduction: a
+//! deterministic generator of Flask/Django-style Python web applications
+//! with exact per-flow ground truth, plus the API universe mapping every
+//! generated library call to its true taint role.
+//!
+//! This replaces the paper's GitHub corpus (see DESIGN.md §2): the
+//! pipeline still lexes, parses, and analyzes real Python text — only the
+//! authorship of that text is synthetic, which is what makes precision
+//! measurable instead of hand-estimated.
+//!
+//! ## Example
+//!
+//! ```
+//! use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+//!
+//! let corpus = generate_corpus(
+//!     &Universe::new(),
+//!     &CorpusOptions { projects: 2, ..Default::default() },
+//! );
+//! assert!(corpus.file_count() >= 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod universe;
+
+pub use generator::{
+    generate_corpus, Corpus, CorpusOptions, FlowKind, FlowTruth, Project, SourceFile,
+};
+pub use universe::{ApiShape, ApiSpec, Category, Universe};

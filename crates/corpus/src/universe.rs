@@ -1,0 +1,528 @@
+//! The API universe of the synthetic corpus: every library API the
+//! generated web applications may call, with its ground-truth taint role.
+//!
+//! The universe substitutes for the paper's GitHub corpus libraries. It
+//! mixes three populations, mirroring what Seldon faces in the wild:
+//!
+//! * **seed APIs** — well-known Flask/Django/werkzeug endpoints that go
+//!   into the hand-labelled seed specification;
+//! * **learnable APIs** — wrapper/third-party libraries with real roles
+//!   that are *not* in the seed and must be inferred from co-occurrence;
+//! * **no-role APIs** — utility noise (formatting, logging, caching).
+
+use seldon_specs::{Role, SinkSignature, TaintSpec};
+
+/// Vulnerability category, used to keep generated flows semantically
+/// coherent (an XSS sanitizer protects an XSS sink, not a SQL one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Cross-site scripting.
+    Xss,
+    /// SQL injection.
+    Sqli,
+    /// Path traversal.
+    PathTraversal,
+    /// OS command injection.
+    CommandInjection,
+    /// Open redirect.
+    OpenRedirect,
+}
+
+impl Category {
+    /// All categories.
+    pub const ALL: [Category; 5] = [
+        Category::Xss,
+        Category::Sqli,
+        Category::PathTraversal,
+        Category::CommandInjection,
+        Category::OpenRedirect,
+    ];
+}
+
+/// How an API is invoked in generated code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiShape {
+    /// `expr('lit')` — a source taking a literal key.
+    SourceCall,
+    /// An attribute/subscript read, e.g. `request.files['f'].filename`.
+    SourceRead,
+    /// A source read off a handler parameter (Django style):
+    /// `request.GET.get('q')` where `request` is the view's parameter.
+    SourceParamRead,
+    /// `expr(V)` — sanitizer or sink taking the tainted variable.
+    UnaryCall,
+    /// `expr('lit', V)` — sink whose *second* argument is tainted.
+    SecondArgCall,
+    /// `expr('lit', meta=V)` — tainted data flows into a harmless keyword
+    /// parameter (the paper's "flows into wrong parameter" category).
+    WrongParamCall,
+    /// `expr(V)` — utility call with no role (noise pass-through).
+    NoiseCall,
+}
+
+/// One API of the universe.
+#[derive(Debug, Clone)]
+pub struct ApiSpec {
+    /// Canonical (fully resolved) representation, e.g.
+    /// `flask.request.args.get()`.
+    pub rep: &'static str,
+    /// Ground-truth role; `None` for no-role utilities.
+    pub role: Option<Role>,
+    /// Whether this API goes into the seed specification.
+    pub seed: bool,
+    /// Import line required by the call template.
+    pub import_line: &'static str,
+    /// Python expression template; `{V}` is replaced by the tainted
+    /// variable, `{L}` by a literal.
+    pub template: &'static str,
+    /// Invocation shape.
+    pub shape: ApiShape,
+    /// Vulnerability category.
+    pub category: Category,
+}
+
+impl ApiSpec {
+    /// Whether `rep` (a learned spec entry) refers to this API: exact match
+    /// or a dot-suffix relationship in either direction.
+    pub fn matches_rep(&self, rep: &str) -> bool {
+        if self.rep == rep {
+            return true;
+        }
+        let a = self.rep;
+        let b = rep;
+        (a.len() > b.len() && a.ends_with(b) && a.as_bytes()[a.len() - b.len() - 1] == b'.')
+            || (b.len() > a.len()
+                && b.ends_with(a)
+                && b.as_bytes()[b.len() - a.len() - 1] == b'.')
+    }
+}
+
+macro_rules! api {
+    ($rep:expr, $role:expr, $seed:expr, $import:expr, $tmpl:expr, $shape:expr, $cat:expr) => {
+        ApiSpec {
+            rep: $rep,
+            role: $role,
+            seed: $seed,
+            import_line: $import,
+            template: $tmpl,
+            shape: $shape,
+            category: $cat,
+        }
+    };
+}
+
+/// The full API universe.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    apis: Vec<ApiSpec>,
+}
+
+impl Default for Universe {
+    fn default() -> Self {
+        Universe::new()
+    }
+}
+
+impl Universe {
+    /// Builds the standard universe.
+    pub fn new() -> Self {
+        use ApiShape::*;
+        use Category::*;
+        use Role::*;
+        let apis = vec![
+            // ----------------- sources: seed --------------------------------
+            api!("flask.request.args.get()", Some(Source), true,
+                 "from flask import request", "request.args.get({L})", SourceCall, Xss),
+            api!("flask.request.form.get()", Some(Source), true,
+                 "from flask import request", "request.form.get({L})", SourceCall, Sqli),
+            api!("flask.request.files['f'].filename", Some(Source), true,
+                 "from flask import request", "request.files['f'].filename", SourceRead, PathTraversal),
+            api!("flask.request.cookies.get()", Some(Source), true,
+                 "from flask import request", "request.cookies.get({L})", SourceCall, Xss),
+            api!("request.GET.get()", Some(Source), true,
+                 "", "request.GET.get({L})", SourceParamRead, Sqli),
+            api!("request.POST.get()", Some(Source), true,
+                 "", "request.POST.get({L})", SourceParamRead, Xss),
+            // ----------------- sources: learnable ---------------------------
+            api!("bottle.request.query.get()", Some(Source), false,
+                 "from bottle import request as bottle_request", "bottle_request.query.get({L})", SourceCall, Xss),
+            api!("webapi.params.fetch()", Some(Source), false,
+                 "from webapi import params", "params.fetch({L})", SourceCall, Sqli),
+            api!("reqlib.get_field()", Some(Source), false,
+                 "import reqlib", "reqlib.get_field({L})", SourceCall, Xss),
+            api!("restkit.payload.parse()", Some(Source), false,
+                 "from restkit import payload", "payload.parse({L})", SourceCall, CommandInjection),
+            api!("flask.request.headers.get()", Some(Source), false,
+                 "from flask import request", "request.headers.get({L})", SourceCall, OpenRedirect),
+            api!("formlib.InputForm().data", Some(Source), false,
+                 "from formlib import InputForm", "InputForm().data", SourceRead, Xss),
+            api!("flask.request.stream.read()", Some(Source), false,
+                 "from flask import request", "request.stream.read()", SourceCall, CommandInjection),
+            api!("cgilib.field_storage.getvalue()", Some(Source), false,
+                 "from cgilib import field_storage", "field_storage.getvalue({L})", SourceCall, PathTraversal),
+            api!("wsutils.socket_recv()", Some(Source), false,
+                 "import wsutils", "wsutils.socket_recv()", SourceCall, Sqli),
+            api!("request.match_info.get()", Some(Source), false,
+                 "", "request.match_info.get({L})", SourceParamRead, PathTraversal),
+            // ----------------- sanitizers: seed -----------------------------
+            api!("flask.escape()", Some(Sanitizer), true,
+                 "import flask", "flask.escape({V})", UnaryCall, Xss),
+            api!("bleach.clean()", Some(Sanitizer), true,
+                 "import bleach", "bleach.clean({V})", UnaryCall, Xss),
+            api!("werkzeug.utils.secure_filename()", Some(Sanitizer), true,
+                 "from werkzeug import utils", "utils.secure_filename({V})", UnaryCall, PathTraversal),
+            api!("psycopg2.escape_string()", Some(Sanitizer), true,
+                 "import psycopg2", "psycopg2.escape_string({V})", UnaryCall, Sqli),
+            api!("shlex.quote()", Some(Sanitizer), true,
+                 "import shlex", "shlex.quote({V})", UnaryCall, CommandInjection),
+            // ----------------- sanitizers: learnable ------------------------
+            api!("htmlutils.sanitize()", Some(Sanitizer), false,
+                 "import htmlutils", "htmlutils.sanitize({V})", UnaryCall, Xss),
+            api!("purify.purify_html()", Some(Sanitizer), false,
+                 "import purify", "purify.purify_html({V})", UnaryCall, Xss),
+            api!("dbsafe.quote_sql()", Some(Sanitizer), false,
+                 "import dbsafe", "dbsafe.quote_sql({V})", UnaryCall, Sqli),
+            api!("secutils.clean_path()", Some(Sanitizer), false,
+                 "import secutils", "secutils.clean_path({V})", UnaryCall, PathTraversal),
+            api!("shellguard.quote_arg()", Some(Sanitizer), false,
+                 "import shellguard", "shellguard.quote_arg({V})", UnaryCall, CommandInjection),
+            api!("urlcheck.validate_local()", Some(Sanitizer), false,
+                 "import urlcheck", "urlcheck.validate_local({V})", UnaryCall, OpenRedirect),
+            api!("markupsafe.escape_silent()", Some(Sanitizer), false,
+                 "import markupsafe", "markupsafe.escape_silent({V})", UnaryCall, Xss),
+            api!("sqlfilter.scrub()", Some(Sanitizer), false,
+                 "import sqlfilter", "sqlfilter.scrub({V})", UnaryCall, Sqli),
+            // ----------------- sinks: seed ----------------------------------
+            api!("flask.make_response()", Some(Sink), true,
+                 "import flask", "flask.make_response({V})", UnaryCall, Xss),
+            api!("flask.render_template_string()", Some(Sink), true,
+                 "import flask", "flask.render_template_string({V})", UnaryCall, Xss),
+            api!("os.system()", Some(Sink), true,
+                 "import os", "os.system({V})", UnaryCall, CommandInjection),
+            api!("subprocess.call()", Some(Sink), true,
+                 "import subprocess", "subprocess.call({V})", UnaryCall, CommandInjection),
+            api!("flask.redirect()", Some(Sink), true,
+                 "import flask", "flask.redirect({V})", UnaryCall, OpenRedirect),
+            api!("flask.send_file()", Some(Sink), true,
+                 "import flask", "flask.send_file({V})", UnaryCall, PathTraversal),
+            api!("dbapi.connect().cursor().execute()", Some(Sink), true,
+                 "import dbapi", "dbapi.connect().cursor().execute({V})", UnaryCall, Sqli),
+            // ----------------- sinks: learnable ------------------------------
+            api!("webresp.render_page()", Some(Sink), false,
+                 "import webresp", "webresp.render_page({V})", UnaryCall, Xss),
+            api!("httpkit.redirect_to()", Some(Sink), false,
+                 "import httpkit", "httpkit.redirect_to({V})", UnaryCall, OpenRedirect),
+            api!("dblib.query.run()", Some(Sink), false,
+                 "from dblib import query", "query.run({V})", UnaryCall, Sqli),
+            api!("shellexec.run_command()", Some(Sink), false,
+                 "import shellexec", "shellexec.run_command({V})", UnaryCall, CommandInjection),
+            api!("filestore.save_to()", Some(Sink), false,
+                 "import filestore", "filestore.save_to({V})", UnaryCall, PathTraversal),
+            api!("mailkit.send_html_mail()", Some(Sink), false,
+                 "import mailkit", "mailkit.send_html_mail({L}, {V})", SecondArgCall, Xss),
+            api!("tmplforge.expand()", Some(Sink), false,
+                 "import tmplforge", "tmplforge.expand({V})", UnaryCall, Xss),
+            api!("ormkit.raw_select()", Some(Sink), false,
+                 "import ormkit", "ormkit.raw_select({V})", UnaryCall, Sqli),
+            api!("archiver.extract_to()", Some(Sink), false,
+                 "import archiver", "archiver.extract_to({V})", UnaryCall, PathTraversal),
+            // ----------------- additional learnable APIs ---------------------
+            api!("pyramid.request.params.getone()", Some(Source), false,
+                 "from pyramid import request as pyr_request", "pyr_request.params.getone({L})", SourceCall, Sqli),
+            api!("tornlib.arguments.fetch_arg()", Some(Source), false,
+                 "from tornlib import arguments", "arguments.fetch_arg({L})", SourceCall, Xss),
+            api!("grpckit.metadata.read_value()", Some(Source), false,
+                 "from grpckit import metadata", "metadata.read_value({L})", SourceCall, CommandInjection),
+            api!("xmlguard.strip_tags()", Some(Sanitizer), false,
+                 "import xmlguard", "xmlguard.strip_tags({V})", UnaryCall, Xss),
+            api!("pathsafe.jail_to_root()", Some(Sanitizer), false,
+                 "import pathsafe", "pathsafe.jail_to_root({V})", UnaryCall, PathTraversal),
+            api!("redirguard.same_origin()", Some(Sanitizer), false,
+                 "import redirguard", "redirguard.same_origin({V})", UnaryCall, OpenRedirect),
+            api!("nosqlkit.raw_find()", Some(Sink), false,
+                 "import nosqlkit", "nosqlkit.raw_find({V})", UnaryCall, Sqli),
+            api!("procman.spawn_worker()", Some(Sink), false,
+                 "import procman", "procman.spawn_worker({V})", UnaryCall, CommandInjection),
+            api!("webgo.forward_to()", Some(Sink), false,
+                 "import webgo", "webgo.forward_to({V})", UnaryCall, OpenRedirect),
+            api!("blobstore.put_object()", Some(Sink), false,
+                 "import blobstore", "blobstore.put_object({V})", UnaryCall, PathTraversal),
+            api!("jsonfmt.pretty()", None, false,
+                 "import jsonfmt", "jsonfmt.pretty({V})", NoiseCall, Xss),
+            api!("seqtools.chunk()", None, false,
+                 "import seqtools", "seqtools.chunk({V})", NoiseCall, Sqli),
+            api!("fmtkit.indent_block()", None, false,
+                 "import fmtkit", "fmtkit.indent_block({V})", NoiseCall, OpenRedirect),
+            // ----------------- wrong-parameter sinks -------------------------
+            // No-role APIs whose harmless parameter receives taint; if the
+            // learner marks them as sinks, reports against them fall into
+            // the paper's "incorrect sink" bucket.
+            api!("auditlog.record_event()", None, false,
+                 "import auditlog", "auditlog.record_event('handled', meta={V})", WrongParamCall, Xss),
+            api!("metricskit.tag_request()", None, false,
+                 "import metricskit", "metricskit.tag_request('route', label={V})", WrongParamCall, Sqli),
+            // Real sinks invoked with the taint in a *harmless* parameter
+            // (the paper's "flows into wrong parameter" report category).
+            api!("subprocess.call()", Some(Sink), true,
+                 "import subprocess", "subprocess.call(['ls'], env={V})", WrongParamCall, CommandInjection),
+            api!("flask.send_file()", Some(Sink), true,
+                 "import flask", "flask.send_file('static/report.pdf', download_name={V})", WrongParamCall, PathTraversal),
+            api!("webresp.render_page()", Some(Sink), false,
+                 "import webresp", "webresp.render_page('home.html', cache_key={V})", WrongParamCall, Xss),
+            // ----------------- no-role utilities ----------------------------
+            api!("textutils.wrap()", None, false,
+                 "import textutils", "textutils.wrap({V})", NoiseCall, Xss),
+            api!("strfmt.titlecase()", None, false,
+                 "import strfmt", "strfmt.titlecase({V})", NoiseCall, Xss),
+            api!("cachekit.store()", None, false,
+                 "import cachekit", "cachekit.store({V})", NoiseCall, Sqli),
+            api!("tokenlib.shorten()", None, false,
+                 "import tokenlib", "tokenlib.shorten({V})", NoiseCall, OpenRedirect),
+            api!("pathetc.norm_slashes()", None, false,
+                 "import pathetc", "pathetc.norm_slashes({V})", NoiseCall, PathTraversal),
+            api!("timefmt.stamp()", None, false,
+                 "import timefmt", "timefmt.stamp({V})", NoiseCall, CommandInjection),
+        ];
+        Universe { apis }
+    }
+
+    /// All APIs.
+    pub fn apis(&self) -> &[ApiSpec] {
+        &self.apis
+    }
+
+    /// APIs of a given role within a category, split by seed membership.
+    /// Wrong-parameter call variants are excluded — they are only reached
+    /// through [`Universe::wrong_param`].
+    pub fn by_role(&self, role: Role, category: Category, seed: bool) -> Vec<&ApiSpec> {
+        self.apis
+            .iter()
+            .filter(|a| {
+                a.role == Some(role)
+                    && a.category == category
+                    && a.seed == seed
+                    && a.shape != ApiShape::WrongParamCall
+            })
+            .collect()
+    }
+
+    /// No-role utility APIs (any category).
+    pub fn noise(&self) -> Vec<&ApiSpec> {
+        self.apis
+            .iter()
+            .filter(|a| a.role.is_none() && a.shape == ApiShape::NoiseCall)
+            .collect()
+    }
+
+    /// Wrong-parameter sink-lookalikes.
+    pub fn wrong_param(&self) -> Vec<&ApiSpec> {
+        self.apis
+            .iter()
+            .filter(|a| a.shape == ApiShape::WrongParamCall)
+            .collect()
+    }
+
+    /// Ground-truth role of a learned representation, if it refers to any
+    /// universe API (with suffix tolerance).
+    ///
+    /// Chain *prefixes* of source APIs also count as sources: the object
+    /// returned by `flask.request.args` is exactly as attacker-controlled
+    /// as `flask.request.args.get()` — the paper's manually evaluated
+    /// samples (App. A) mark such reads correct (`self.request`,
+    /// `u.username`, ...).
+    pub fn role_of_rep(&self, rep: &str) -> Option<Role> {
+        // Exact matches take precedence over suffix matches.
+        if let Some(a) = self.apis.iter().find(|a| a.rep == rep) {
+            return a.role;
+        }
+        if let Some(a) = self.apis.iter().find(|a| a.matches_rep(rep)) {
+            return a.role;
+        }
+        if self.is_source_chain_prefix(rep) {
+            return Some(Role::Source);
+        }
+        None
+    }
+
+    /// Whether `rep` is a chain prefix of some source API (at a `.`/`[`
+    /// boundary), with module-qualification tolerance. Requires at least
+    /// two components (or the bare `request` object) to avoid counting
+    /// top-level module names as sources.
+    pub fn is_source_chain_prefix(&self, rep: &str) -> bool {
+        if rep != "request" && !rep.contains('.') {
+            return false;
+        }
+        self.apis
+            .iter()
+            .filter(|a| a.role == Some(Role::Source))
+            .any(|a| {
+                // Try the full API rep and each of its dot suffixes.
+                let mut candidates = vec![a.rep.to_string()];
+                let mut remaining = a.rep;
+                while let Some(pos) = remaining.find('.') {
+                    remaining = &remaining[pos + 1..];
+                    candidates.push(remaining.to_string());
+                }
+                candidates.iter().any(|full| {
+                    full.len() > rep.len()
+                        && full.starts_with(rep)
+                        && matches!(full.as_bytes()[rep.len()], b'.' | b'[')
+                })
+            })
+    }
+
+    /// Whether a representation refers to a seed API.
+    pub fn is_seed_rep(&self, rep: &str) -> bool {
+        self.apis.iter().any(|a| a.seed && a.matches_rep(rep))
+    }
+
+    /// Builds the seed specification (the corpus analogue of App. B).
+    pub fn seed_spec(&self) -> TaintSpec {
+        let mut spec = TaintSpec::new();
+        for a in &self.apis {
+            if a.seed {
+                if let Some(role) = a.role {
+                    spec.add(a.rep, role);
+                }
+            }
+        }
+        for pattern in [
+            "*.strip()", "*.split()*", "*.format()", "*.lower()", "*.upper()",
+            "*.append()", "*.encode()", "*.decode()", "*len()", "str()",
+            "*logging*", "*.items()", "*.keys()", "*.values()", "print()",
+            "range()", "*.join()",
+        ] {
+            spec.blacklist(pattern);
+        }
+        spec
+    }
+
+    /// Sink signatures for the APIs whose harmless parameters the corpus
+    /// exercises (the §3.3 parameter-sensitivity extension).
+    pub fn sink_signatures(&self) -> Vec<(&'static str, SinkSignature)> {
+        vec![
+            ("subprocess.call()", SinkSignature::positional([0])),
+            ("flask.send_file()", SinkSignature::positional([0])),
+            ("webresp.render_page()", SinkSignature::positional([0])),
+        ]
+    }
+
+    /// The seed spec extended with parameter-sensitive sink signatures.
+    pub fn seed_spec_with_signatures(&self) -> TaintSpec {
+        let mut spec = self.seed_spec();
+        for (api, sig) in self.sink_signatures() {
+            spec.set_signature(api, sig);
+        }
+        spec
+    }
+
+    /// A seed spec with only every other entry kept (the paper's Q6
+    /// half-seed ablation).
+    pub fn half_seed_spec(&self) -> TaintSpec {
+        let full = self.seed_spec();
+        let mut spec = TaintSpec::new();
+        for (i, (api, roles)) in full.iter().enumerate() {
+            if i % 2 == 0 {
+                spec.add_set(api, roles);
+            }
+        }
+        for pattern in [
+            "*.strip()", "*.split()*", "*.format()", "*.lower()", "*.upper()",
+            "*.append()", "*.encode()", "*.decode()", "*len()", "str()",
+            "*logging*", "*.items()", "*.keys()", "*.values()", "print()",
+            "range()", "*.join()",
+        ] {
+            spec.blacklist(pattern);
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_is_populated() {
+        let u = Universe::new();
+        assert!(u.apis().len() >= 45);
+        // At least one learnable API of each role per main category.
+        for cat in [Category::Xss, Category::Sqli] {
+            for role in Role::ALL {
+                assert!(
+                    !u.by_role(role, cat, false).is_empty(),
+                    "no learnable {role} for {cat:?}"
+                );
+            }
+        }
+        assert!(!u.noise().is_empty());
+        assert!(!u.wrong_param().is_empty());
+    }
+
+    #[test]
+    fn seed_spec_contains_only_seed_apis() {
+        let u = Universe::new();
+        let spec = u.seed_spec();
+        assert!(spec.has_role("flask.request.args.get()", Role::Source));
+        assert!(spec.has_role("os.system()", Role::Sink));
+        assert!(!spec.has_role("htmlutils.sanitize()", Role::Sanitizer));
+        assert!(spec.blacklist_len() > 10);
+    }
+
+    #[test]
+    fn half_seed_is_smaller() {
+        let u = Universe::new();
+        let full = u.seed_spec();
+        let half = u.half_seed_spec();
+        assert!(half.role_count() < full.role_count());
+        assert!(half.role_count() >= full.role_count() / 2 - 1);
+    }
+
+    #[test]
+    fn role_of_rep_with_suffix_tolerance() {
+        let u = Universe::new();
+        assert_eq!(u.role_of_rep("flask.request.args.get()"), Some(Role::Source));
+        assert_eq!(u.role_of_rep("request.args.get()"), Some(Role::Source));
+        assert_eq!(u.role_of_rep("htmlutils.sanitize()"), Some(Role::Sanitizer));
+        assert_eq!(u.role_of_rep("textutils.wrap()"), None);
+        assert_eq!(u.role_of_rep("totally.unknown()"), None);
+    }
+
+    #[test]
+    fn matches_rep_requires_dot_boundary() {
+        let u = Universe::new();
+        let a = &u.apis()[0]; // flask.request.args.get()
+        assert!(a.matches_rep("request.args.get()"));
+        assert!(!a.matches_rep("s.get()"));
+        assert!(!a.matches_rep("args.get"));
+    }
+
+    #[test]
+    fn is_seed_rep() {
+        let u = Universe::new();
+        assert!(u.is_seed_rep("flask.request.args.get()"));
+        assert!(!u.is_seed_rep("webapi.params.fetch()"));
+    }
+
+    #[test]
+    fn templates_reference_expected_placeholders() {
+        let u = Universe::new();
+        for a in u.apis() {
+            match a.shape {
+                ApiShape::SourceCall | ApiShape::SourceParamRead => {
+                    // Sources never consume a tainted variable.
+                    assert!(!a.template.contains("{V}"), "{}", a.rep)
+                }
+                ApiShape::SourceRead => {
+                    assert!(!a.template.contains("{V}"), "{}", a.rep)
+                }
+                ApiShape::UnaryCall | ApiShape::NoiseCall => {
+                    assert!(a.template.contains("{V}"), "{} missing {{V}}", a.rep)
+                }
+                ApiShape::SecondArgCall | ApiShape::WrongParamCall => {
+                    assert!(a.template.contains("{V}"), "{} missing {{V}}", a.rep)
+                }
+            }
+        }
+    }
+}

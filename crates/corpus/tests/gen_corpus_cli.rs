@@ -1,0 +1,70 @@
+//! Integration test for the `gen_corpus` binary: the written tree must be
+//! a valid on-disk corpus (parseable Python, seed spec, ground truth).
+
+use std::process::Command;
+
+#[test]
+fn writes_parseable_corpus_tree() {
+    let dir = std::env::temp_dir().join(format!("gen-corpus-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_gen_corpus"))
+        .arg(&dir)
+        .arg("--projects")
+        .arg("3")
+        .arg("--seed")
+        .arg("42")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Seed spec parses in the App. B format.
+    let seed_text =
+        std::fs::read_to_string(dir.join("seed_spec.txt")).expect("seed spec written");
+    let seed = seldon_specs::TaintSpec::parse(&seed_text).expect("seed parses");
+    assert!(seed.role_count() > 0);
+
+    // Ground truth has one line per flow with six tab-separated fields.
+    let truth = std::fs::read_to_string(dir.join("ground_truth.txt")).expect("truth written");
+    assert!(!truth.is_empty());
+    for line in truth.lines() {
+        assert_eq!(line.split('\t').count(), 6, "malformed truth line: {line}");
+    }
+
+    // Every written .py file parses.
+    let mut py_files = 0usize;
+    let mut stack = vec![dir.clone()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).expect("readable") {
+            let path = entry.expect("entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "py") {
+                let src = std::fs::read_to_string(&path).unwrap();
+                seldon_pyast::parse(&src)
+                    .unwrap_or_else(|e| panic!("{} fails to parse: {e}", path.display()));
+                py_files += 1;
+            }
+        }
+    }
+    assert!(py_files >= 3, "expected several files, found {py_files}");
+
+    // Determinism: same seed produces the same tree.
+    let dir2 = std::env::temp_dir().join(format!("gen-corpus-test2-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir2);
+    let out = Command::new(env!("CARGO_BIN_EXE_gen_corpus"))
+        .arg(&dir2)
+        .arg("--projects")
+        .arg("3")
+        .arg("--seed")
+        .arg("42")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let t1 = std::fs::read_to_string(dir.join("ground_truth.txt")).unwrap();
+    let t2 = std::fs::read_to_string(dir2.join("ground_truth.txt")).unwrap();
+    assert_eq!(t1, t2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}

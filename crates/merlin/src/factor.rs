@@ -1,0 +1,495 @@
+//! A factor graph over binary variables with sum-product belief propagation
+//! and Gibbs sampling (§6.3 of the paper).
+//!
+//! Merlin expresses its information-flow constraints as factors scoring
+//! joint assignments (eq. 12) and computes per-variable marginals
+//! (eq. 13). The paper's authors used Infer.NET; this is a from-scratch
+//! implementation of the two standard inference algorithms the paper names:
+//! loopy belief propagation (the sum-product algorithm) and Gibbs sampling.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Index of a variable in a [`FactorGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarIdx(pub u32);
+
+impl VarIdx {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A factor: a scoring table over the joint assignment of its variables.
+///
+/// `table[bits]` is the score for the assignment whose `i`-th variable value
+/// is bit `i` of `bits` (variable order as in `vars`).
+#[derive(Debug, Clone)]
+pub struct Factor {
+    /// The variables this factor touches (arity ≤ 16).
+    pub vars: Vec<VarIdx>,
+    /// Score per joint assignment; length `2^arity`.
+    pub table: Vec<f64>,
+}
+
+impl Factor {
+    /// Creates a factor, validating the table size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table.len() != 2^vars.len()` or arity exceeds 16.
+    pub fn new(vars: Vec<VarIdx>, table: Vec<f64>) -> Self {
+        assert!(vars.len() <= 16, "factor arity too large");
+        assert_eq!(table.len(), 1 << vars.len(), "table size mismatch");
+        Factor { vars, table }
+    }
+
+    /// A soft-implication factor: score `theta` when `predicate` holds for
+    /// the assignment, `1 − theta` otherwise.
+    pub fn soft<P: Fn(&[bool]) -> bool>(vars: Vec<VarIdx>, theta: f64, predicate: P) -> Self {
+        let n = vars.len();
+        let mut table = Vec::with_capacity(1 << n);
+        let mut assignment = vec![false; n];
+        for bits in 0..(1usize << n) {
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = bits & (1 << i) != 0;
+            }
+            table.push(if predicate(&assignment) { theta } else { 1.0 - theta });
+        }
+        Factor::new(vars, table)
+    }
+
+    fn score(&self, bits: usize) -> f64 {
+        self.table[bits]
+    }
+}
+
+/// A factor graph over binary variables.
+#[derive(Debug, Clone, Default)]
+pub struct FactorGraph {
+    /// Prior probability of each variable being 1; `None` means pinned.
+    priors: Vec<f64>,
+    /// Pinned values (hard evidence).
+    pinned: Vec<Option<bool>>,
+    factors: Vec<Factor>,
+    /// Factor indices per variable.
+    var_factors: Vec<Vec<u32>>,
+}
+
+impl FactorGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        FactorGraph::default()
+    }
+
+    /// Adds a variable with prior `p(x = 1) = prior`, returning its index.
+    pub fn add_var(&mut self, prior: f64) -> VarIdx {
+        let v = VarIdx(self.priors.len() as u32);
+        self.priors.push(prior.clamp(1e-6, 1.0 - 1e-6));
+        self.pinned.push(None);
+        self.var_factors.push(Vec::new());
+        v
+    }
+
+    /// Pins a variable to a known value (hard evidence from the seed spec).
+    pub fn pin(&mut self, v: VarIdx, value: bool) {
+        self.pinned[v.index()] = Some(value);
+    }
+
+    /// Adds a factor.
+    pub fn add_factor(&mut self, f: Factor) {
+        let idx = self.factors.len() as u32;
+        for v in &f.vars {
+            self.var_factors[v.index()].push(idx);
+        }
+        self.factors.push(f);
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.priors.len()
+    }
+
+    /// Number of factors.
+    pub fn factor_count(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Runs loopy belief propagation and returns `p(x = 1)` per variable.
+    ///
+    /// Messages are damped by `damping` and iteration stops after
+    /// `max_iters` sweeps or when the largest message change drops below
+    /// `tol`.
+    pub fn belief_propagation(&self, max_iters: usize, damping: f64, tol: f64) -> Vec<f64> {
+        let nf = self.factors.len();
+        // Messages as p(x=1) parameterization, factor→var and var→factor.
+        let mut msg_fv: Vec<Vec<f64>> = self.factors.iter().map(|f| vec![0.5; f.vars.len()]).collect();
+        let mut msg_vf: Vec<Vec<f64>> = self.factors.iter().map(|f| vec![0.5; f.vars.len()]).collect();
+
+        for _ in 0..max_iters {
+            let mut max_delta: f64 = 0.0;
+            // var → factor messages.
+            for (fi, f) in self.factors.iter().enumerate() {
+                for (slot, v) in f.vars.iter().enumerate() {
+                    let new = self.var_to_factor(*v, fi as u32, &msg_fv);
+                    let old = msg_vf[fi][slot];
+                    let damped = damping * old + (1.0 - damping) * new;
+                    max_delta = max_delta.max((damped - old).abs());
+                    msg_vf[fi][slot] = damped;
+                }
+            }
+            // factor → var messages.
+            for fi in 0..nf {
+                let f = &self.factors[fi];
+                for slot in 0..f.vars.len() {
+                    let new = self.factor_to_var(f, slot, &msg_vf[fi]);
+                    let old = msg_fv[fi][slot];
+                    let damped = damping * old + (1.0 - damping) * new;
+                    max_delta = max_delta.max((damped - old).abs());
+                    msg_fv[fi][slot] = damped;
+                }
+            }
+            if max_delta < tol {
+                break;
+            }
+        }
+
+        // Beliefs.
+        (0..self.var_count())
+            .map(|vi| {
+                let v = VarIdx(vi as u32);
+                if let Some(val) = self.pinned[vi] {
+                    return if val { 1.0 } else { 0.0 };
+                }
+                let mut p1 = self.priors[vi];
+                let mut p0 = 1.0 - self.priors[vi];
+                for &fi in &self.var_factors[vi] {
+                    let f = &self.factors[fi as usize];
+                    let slot = f.vars.iter().position(|x| *x == v).expect("slot");
+                    let m = msg_fv[fi as usize][slot];
+                    p1 *= m;
+                    p0 *= 1.0 - m;
+                    let z = p0 + p1;
+                    if z > 0.0 {
+                        p0 /= z;
+                        p1 /= z;
+                    }
+                }
+                p1
+            })
+            .collect()
+    }
+
+    /// Message from variable `v` to factor `fi`: product of priors and all
+    /// other incoming factor messages.
+    fn var_to_factor(&self, v: VarIdx, fi: u32, msg_fv: &[Vec<f64>]) -> f64 {
+        if let Some(val) = self.pinned[v.index()] {
+            return if val { 1.0 - 1e-9 } else { 1e-9 };
+        }
+        let mut p1 = self.priors[v.index()];
+        let mut p0 = 1.0 - p1;
+        for &other in &self.var_factors[v.index()] {
+            if other == fi {
+                continue;
+            }
+            let f = &self.factors[other as usize];
+            let slot = f.vars.iter().position(|x| *x == v).expect("slot");
+            let m = msg_fv[other as usize][slot];
+            p1 *= m;
+            p0 *= 1.0 - m;
+            let z = p0 + p1;
+            if z > 1e-300 {
+                p0 /= z;
+                p1 /= z;
+            } else {
+                p0 = 0.5;
+                p1 = 0.5;
+            }
+        }
+        p1 / (p0 + p1)
+    }
+
+    /// Message from a factor to its `slot`-th variable: marginalize the
+    /// factor table against the other variables' messages.
+    fn factor_to_var(&self, f: &Factor, slot: usize, msgs: &[f64]) -> f64 {
+        let n = f.vars.len();
+        let mut p = [0.0f64; 2];
+        for bits in 0..(1usize << n) {
+            let mut w = f.score(bits);
+            for (i, _) in f.vars.iter().enumerate() {
+                if i == slot {
+                    continue;
+                }
+                let m = msgs[i];
+                w *= if bits & (1 << i) != 0 { m } else { 1.0 - m };
+            }
+            let val = (bits >> slot) & 1;
+            p[val] += w;
+        }
+        let z = p[0] + p[1];
+        if z > 1e-300 {
+            p[1] / z
+        } else {
+            0.5
+        }
+    }
+
+    /// Max-product (MAP-oriented) belief propagation: like
+    /// [`FactorGraph::belief_propagation`] but factors *maximize* over the
+    /// hidden assignments instead of summing, approximating the most
+    /// probable joint assignment's per-variable max-marginals.
+    pub fn max_product(&self, max_iters: usize, damping: f64, tol: f64) -> Vec<f64> {
+        // Reuse the sum-product message plumbing with max-marginalization.
+        let nf = self.factors.len();
+        let mut msg_fv: Vec<Vec<f64>> =
+            self.factors.iter().map(|f| vec![0.5; f.vars.len()]).collect();
+        let mut msg_vf: Vec<Vec<f64>> =
+            self.factors.iter().map(|f| vec![0.5; f.vars.len()]).collect();
+        for _ in 0..max_iters {
+            let mut max_delta: f64 = 0.0;
+            for (fi, f) in self.factors.iter().enumerate() {
+                for (slot, v) in f.vars.iter().enumerate() {
+                    let new = self.var_to_factor(*v, fi as u32, &msg_fv);
+                    let old = msg_vf[fi][slot];
+                    let damped = damping * old + (1.0 - damping) * new;
+                    max_delta = max_delta.max((damped - old).abs());
+                    msg_vf[fi][slot] = damped;
+                }
+            }
+            for fi in 0..nf {
+                let f = &self.factors[fi];
+                for slot in 0..f.vars.len() {
+                    let new = self.factor_to_var_max(f, slot, &msg_vf[fi]);
+                    let old = msg_fv[fi][slot];
+                    let damped = damping * old + (1.0 - damping) * new;
+                    max_delta = max_delta.max((damped - old).abs());
+                    msg_fv[fi][slot] = damped;
+                }
+            }
+            if max_delta < tol {
+                break;
+            }
+        }
+        (0..self.var_count())
+            .map(|vi| {
+                let v = VarIdx(vi as u32);
+                if let Some(val) = self.pinned[vi] {
+                    return if val { 1.0 } else { 0.0 };
+                }
+                let mut p1 = self.priors[vi];
+                let mut p0 = 1.0 - self.priors[vi];
+                for &fi in &self.var_factors[vi] {
+                    let f = &self.factors[fi as usize];
+                    let slot = f.vars.iter().position(|x| *x == v).expect("slot");
+                    let m = msg_fv[fi as usize][slot];
+                    p1 *= m;
+                    p0 *= 1.0 - m;
+                    let z = p0 + p1;
+                    if z > 0.0 {
+                        p0 /= z;
+                        p1 /= z;
+                    }
+                }
+                p1
+            })
+            .collect()
+    }
+
+    /// Max-marginalization of a factor against the other variables'
+    /// messages: take the best assignment instead of summing.
+    fn factor_to_var_max(&self, f: &Factor, slot: usize, msgs: &[f64]) -> f64 {
+        let n = f.vars.len();
+        let mut p = [0.0f64; 2];
+        for bits in 0..(1usize << n) {
+            let mut w = f.score(bits);
+            for (i, _) in f.vars.iter().enumerate() {
+                if i == slot {
+                    continue;
+                }
+                let m = msgs[i];
+                w *= if bits & (1 << i) != 0 { m } else { 1.0 - m };
+            }
+            let val = (bits >> slot) & 1;
+            p[val] = p[val].max(w);
+        }
+        let z = p[0] + p[1];
+        if z > 1e-300 {
+            p[1] / z
+        } else {
+            0.5
+        }
+    }
+
+    /// Gibbs sampling: returns the empirical `p(x = 1)` per variable after
+    /// `burn_in + samples` full sweeps.
+    pub fn gibbs(&self, burn_in: usize, samples: usize, rng_seed: u64) -> Vec<f64> {
+        let n = self.var_count();
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let mut state: Vec<bool> = (0..n)
+            .map(|i| match self.pinned[i] {
+                Some(v) => v,
+                None => rng.gen_bool(self.priors[i]),
+            })
+            .collect();
+        let mut counts = vec![0usize; n];
+        for sweep in 0..(burn_in + samples) {
+            for vi in 0..n {
+                if self.pinned[vi].is_some() {
+                    continue;
+                }
+                let mut w1 = self.priors[vi];
+                let mut w0 = 1.0 - self.priors[vi];
+                for &fi in &self.var_factors[vi] {
+                    let f = &self.factors[fi as usize];
+                    let mut bits = 0usize;
+                    let mut slot = 0usize;
+                    for (i, v) in f.vars.iter().enumerate() {
+                        if v.index() == vi {
+                            slot = i;
+                        } else if state[v.index()] {
+                            bits |= 1 << i;
+                        }
+                    }
+                    w0 *= f.score(bits);
+                    w1 *= f.score(bits | (1 << slot));
+                }
+                let p1 = if w0 + w1 > 0.0 { w1 / (w0 + w1) } else { 0.5 };
+                state[vi] = rng.gen_bool(p1.clamp(0.0, 1.0));
+            }
+            if sweep >= burn_in {
+                for (vi, &s) in state.iter().enumerate() {
+                    if s {
+                        counts[vi] += 1;
+                    }
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .map(|(vi, &c)| match self.pinned[vi] {
+                Some(true) => 1.0,
+                Some(false) => 0.0,
+                None => c as f64 / samples.max(1) as f64,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_factor_table() {
+        let f = Factor::soft(vec![VarIdx(0), VarIdx(1)], 0.9, |a| !(a[0] && a[1]));
+        // Assignment (1,1) violates the predicate → score 0.1.
+        assert!((f.table[0b11] - 0.1).abs() < 1e-12);
+        assert!((f.table[0b00] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_variable_prior_passthrough() {
+        let mut g = FactorGraph::new();
+        let v = g.add_var(0.8);
+        let beliefs = g.belief_propagation(50, 0.0, 1e-9);
+        assert!((beliefs[v.index()] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pinned_variables_are_hard() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(0.5);
+        let b = g.add_var(0.5);
+        g.pin(a, true);
+        // Factor: prefer a == b.
+        g.add_factor(Factor::soft(vec![a, b], 0.9, |x| x[0] == x[1]));
+        let beliefs = g.belief_propagation(100, 0.0, 1e-9);
+        assert_eq!(beliefs[a.index()], 1.0);
+        assert!(beliefs[b.index()] > 0.8, "b = {}", beliefs[b.index()]);
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        // a=1 pinned; factors: a → b, b → c (soft implications).
+        let mut g = FactorGraph::new();
+        let a = g.add_var(0.5);
+        let b = g.add_var(0.5);
+        let c = g.add_var(0.5);
+        g.pin(a, true);
+        g.add_factor(Factor::soft(vec![a, b], 0.95, |x| !x[0] || x[1]));
+        g.add_factor(Factor::soft(vec![b, c], 0.95, |x| !x[0] || x[1]));
+        let beliefs = g.belief_propagation(200, 0.1, 1e-9);
+        assert!(beliefs[b.index()] > 0.7);
+        assert!(beliefs[c.index()] > 0.6);
+        assert!(beliefs[b.index()] >= beliefs[c.index()] - 1e-6);
+    }
+
+    #[test]
+    fn negative_constraint_pushes_down() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(0.5);
+        let b = g.add_var(0.5);
+        g.pin(a, true);
+        // not both.
+        g.add_factor(Factor::soft(vec![a, b], 0.9, |x| !(x[0] && x[1])));
+        let beliefs = g.belief_propagation(100, 0.0, 1e-9);
+        assert!(beliefs[b.index()] < 0.2, "b = {}", beliefs[b.index()]);
+    }
+
+    #[test]
+    fn gibbs_agrees_with_bp_on_tree() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(0.5);
+        let b = g.add_var(0.5);
+        g.pin(a, true);
+        g.add_factor(Factor::soft(vec![a, b], 0.9, |x| x[0] == x[1]));
+        let bp = g.belief_propagation(100, 0.0, 1e-9);
+        let gibbs = g.gibbs(200, 4000, 42);
+        assert!((bp[b.index()] - gibbs[b.index()]).abs() < 0.05);
+    }
+
+    #[test]
+    fn max_product_agrees_on_tree() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(0.5);
+        let b = g.add_var(0.5);
+        g.pin(a, true);
+        g.add_factor(Factor::soft(vec![a, b], 0.9, |x| x[0] == x[1]));
+        let sum = g.belief_propagation(100, 0.0, 1e-9);
+        let max = g.max_product(100, 0.0, 1e-9);
+        // On a tree with a single pairwise factor both push b up.
+        assert!(max[b.index()] > 0.7, "max-product b = {}", max[b.index()]);
+        assert!((sum[b.index()] - max[b.index()]).abs() < 0.2);
+    }
+
+    #[test]
+    fn triple_factor_marginalization() {
+        // Merlin 6a-style: if a and c then b.
+        let mut g = FactorGraph::new();
+        let a = g.add_var(0.5);
+        let b = g.add_var(0.3);
+        let c = g.add_var(0.5);
+        g.pin(a, true);
+        g.pin(c, true);
+        g.add_factor(Factor::soft(vec![a, b, c], 0.95, |x| !(x[0] && x[2]) || x[1]));
+        let beliefs = g.belief_propagation(100, 0.0, 1e-9);
+        assert!(beliefs[b.index()] > 0.8, "b = {}", beliefs[b.index()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "table size mismatch")]
+    fn bad_table_panics() {
+        let _ = Factor::new(vec![VarIdx(0)], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn counts() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(0.5);
+        let b = g.add_var(0.5);
+        g.add_factor(Factor::soft(vec![a, b], 0.9, |_| true));
+        assert_eq!(g.var_count(), 2);
+        assert_eq!(g.factor_count(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Events of the propagation graph (§3.1, §5.1 of the paper).
+//!
+//! An event is a program action that propagates information: a function
+//! call, an object read (attribute load, subscript, parameter read), or a
+//! formal argument of a function definition. Each event carries a chain of
+//! *representations* ordered from most to least specific (§3.2).
+
+use seldon_pyast::Span;
+use seldon_specs::{Role, RoleSet};
+use std::fmt;
+
+/// Identifier of an event within a [`crate::graph::PropagationGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// The index form of the id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a source file within a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FileId(pub u32);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// What kind of action an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A function or method call.
+    Call,
+    /// An object read: attribute load or subscript.
+    ObjectRead,
+    /// A read of a formal parameter.
+    ParamRead,
+}
+
+impl EventKind {
+    /// Candidate roles for this kind of event (§5.1): calls may be any role,
+    /// reads and parameters may only be sources.
+    pub fn candidate_roles(self) -> RoleSet {
+        match self {
+            EventKind::Call => RoleSet::ALL,
+            EventKind::ObjectRead | EventKind::ParamRead => RoleSet::only(Role::Source),
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Call => write!(f, "call"),
+            EventKind::ObjectRead => write!(f, "object-read"),
+            EventKind::ParamRead => write!(f, "param-read"),
+        }
+    }
+}
+
+/// One event of the propagation graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// What kind of action this is.
+    pub kind: EventKind,
+    /// Representations ordered most → least specific (§3.2). Never empty.
+    /// Distinct *alternatives* (from ambiguous targets) are interleaved in
+    /// specificity order and deduplicated.
+    pub reps: Vec<String>,
+    /// The source file the event came from.
+    pub file: FileId,
+    /// The source span of the underlying expression.
+    pub span: Span,
+    /// Which roles this event may assume.
+    pub candidates: RoleSet,
+}
+
+impl Event {
+    /// Creates an event; `reps` must be non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps` is empty.
+    pub fn new(kind: EventKind, reps: Vec<String>, file: FileId, span: Span) -> Self {
+        assert!(!reps.is_empty(), "event must have at least one representation");
+        let candidates = kind.candidate_roles();
+        Event { kind, reps, file, span, candidates }
+    }
+
+    /// The most specific representation.
+    pub fn rep(&self) -> &str {
+        &self.reps[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_roles_by_kind() {
+        assert_eq!(EventKind::Call.candidate_roles(), RoleSet::ALL);
+        assert_eq!(
+            EventKind::ObjectRead.candidate_roles(),
+            RoleSet::only(Role::Source)
+        );
+        assert_eq!(EventKind::ParamRead.candidate_roles(), RoleSet::only(Role::Source));
+    }
+
+    #[test]
+    fn event_rep_is_most_specific() {
+        let e = Event::new(
+            EventKind::Call,
+            vec!["a.b.c()".into(), "b.c()".into()],
+            FileId(0),
+            Span::dummy(),
+        );
+        assert_eq!(e.rep(), "a.b.c()");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one representation")]
+    fn empty_reps_panics() {
+        let _ = Event::new(EventKind::Call, vec![], FileId(0), Span::dummy());
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(EventId(4).to_string(), "e4");
+        assert_eq!(FileId(2).to_string(), "f2");
+        assert_eq!(EventKind::Call.to_string(), "call");
+    }
+}

@@ -1,0 +1,349 @@
+//! Event representations `Rep(v)` and backoff chains (§3.2, §4.3).
+//!
+//! In Python the target of an event cannot be resolved statically, so each
+//! event carries a list of representations ordered from most to least
+//! specific. Two mechanisms generate the list:
+//!
+//! * **semantic levels** — e.g. for a call on a method parameter inside
+//!   `class ESCPOSDriver(ThreadDriver): def status(self, ...)`:
+//!   `ESCPOSDriver::status(param self).receipt()`, then the base-class
+//!   fallback `base_driver.ThreadDriver::status(param self).receipt()`, then
+//!   `status(param self).receipt()`, then `self.receipt()`;
+//! * **dot-suffix backoff** — for resolved dotted chains,
+//!   `flask.request.args.get()` also yields `request.args.get()` and
+//!   `args.get()` (suffixes keep at least two components so that maximally
+//!   generic names like `get()` do not conflate unrelated events).
+
+use seldon_pyast::ast::{Expr, ExprKind};
+use std::collections::HashMap;
+
+/// Maximum number of representations kept per event.
+pub const MAX_REPS: usize = 6;
+
+/// Lexical context needed to compute representations.
+#[derive(Debug, Clone, Default)]
+pub struct ReprCtx {
+    /// Names bound by imports, mapped to their dotted paths. A plain
+    /// `import os.path` binds `os → ["os"]`; `from flask import request`
+    /// binds `request → ["flask", "request"]`;
+    /// `import numpy as np` binds `np → ["numpy"]`.
+    pub imports: HashMap<String, Vec<String>>,
+    /// Enclosing class name, if inside a method.
+    pub class_name: Option<String>,
+    /// Resolved dotted path of the enclosing class's first base, if any.
+    pub base_class: Option<String>,
+    /// Enclosing function name, if inside a function.
+    pub func_name: Option<String>,
+    /// Parameter names of the enclosing function.
+    pub params: Vec<String>,
+    /// Representations of local variables assigned from describable
+    /// expressions (the paper's `LoginForm().username.data` chains).
+    pub locals: HashMap<String, Vec<String>>,
+}
+
+impl ReprCtx {
+    /// Creates an empty context (module top level, no imports).
+    pub fn new() -> Self {
+        ReprCtx::default()
+    }
+
+    fn is_param(&self, name: &str) -> bool {
+        self.params.iter().any(|p| p == name)
+    }
+
+    /// Variants for a bare name, most → least specific.
+    fn name_variants(&self, name: &str) -> Vec<String> {
+        // A parameter shadows any same-named module import inside its
+        // function (Python scoping), so check params first.
+        if self.is_param(name) {
+            let mut out = Vec::new();
+            if let Some(func) = &self.func_name {
+                if let Some(class) = &self.class_name {
+                    out.push(format!("{class}::{func}(param {name})"));
+                    if let Some(base) = &self.base_class {
+                        out.push(format!("{base}::{func}(param {name})"));
+                    }
+                }
+                out.push(format!("{func}(param {name})"));
+            }
+            out.push(name.to_string());
+            return out;
+        }
+        if let Some(path) = self.imports.get(name) {
+            let full = path.join(".");
+            // `from a.b import c` also admits the bare `c` form, because the
+            // same API is referenced both ways across a corpus.
+            if path.len() >= 2 && path.last().is_some_and(|l| l == name) {
+                return vec![full, name.to_string()];
+            }
+            return vec![full];
+        }
+        if let Some(variants) = self.locals.get(name) {
+            return variants.clone();
+        }
+        vec![name.to_string()]
+    }
+}
+
+/// Computes the representation variants of an expression, most → least
+/// specific. Returns an empty vector when the expression has no stable
+/// description (e.g. arithmetic on strings).
+pub fn describe_expr(expr: &Expr, ctx: &ReprCtx) -> Vec<String> {
+    let variants = describe_inner(expr, ctx, 0);
+    finish(variants)
+}
+
+fn finish(variants: Vec<String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for v in &variants {
+        if !out.contains(v) {
+            out.push(v.clone());
+        }
+    }
+    // Dot-suffix backoff on the most specific plain dotted variant.
+    if let Some(first) = variants.first() {
+        if !first.contains("(param ") && !first.contains("::") {
+            for s in dot_suffixes(first) {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+    }
+    out.truncate(MAX_REPS);
+    out
+}
+
+fn describe_inner(expr: &Expr, ctx: &ReprCtx, depth: usize) -> Vec<String> {
+    if depth > 12 {
+        return Vec::new();
+    }
+    match &expr.kind {
+        ExprKind::Name(n) => ctx.name_variants(n),
+        ExprKind::Attribute { value, attr } => describe_inner(value, ctx, depth + 1)
+            .into_iter()
+            .map(|v| format!("{v}.{attr}"))
+            .collect(),
+        ExprKind::Call { func, .. } => describe_inner(func, ctx, depth + 1)
+            .into_iter()
+            .map(|v| format!("{v}()"))
+            .collect(),
+        ExprKind::Subscript { value, index } => {
+            let idx = render_index(index);
+            describe_inner(value, ctx, depth + 1)
+                .into_iter()
+                .map(|v| format!("{v}[{idx}]"))
+                .collect()
+        }
+        ExprKind::Await(inner) | ExprKind::Starred(inner) => {
+            describe_inner(inner, ctx, depth + 1)
+        }
+        ExprKind::NamedExpr { value, .. } => describe_inner(value, ctx, depth + 1),
+        _ => Vec::new(),
+    }
+}
+
+fn render_index(index: &Expr) -> String {
+    match &index.kind {
+        ExprKind::Str(s) => format!("'{s}'"),
+        ExprKind::Number(n) => n.clone(),
+        _ => String::new(),
+    }
+}
+
+/// Splits a representation on top-level dots (ignoring dots inside brackets
+/// or quotes) and returns the suffixes with at least two components.
+pub fn dot_suffixes(rep: &str) -> Vec<String> {
+    let comps = top_level_components(rep);
+    let mut out = Vec::new();
+    if comps.len() < 3 {
+        return out;
+    }
+    for start in 1..=comps.len().saturating_sub(2) {
+        out.push(comps[start..].join("."));
+    }
+    out
+}
+
+/// Splits on `.` at bracket/quote depth zero.
+pub fn top_level_components(rep: &str) -> Vec<&str> {
+    let bytes = rep.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0u32;
+    let mut quote: Option<u8> = None;
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match quote {
+            Some(q) => {
+                if b == q {
+                    quote = None;
+                }
+            }
+            None => match b {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth = depth.saturating_sub(1),
+                b'\'' | b'"' => quote = Some(b),
+                b'.' if depth == 0 => {
+                    parts.push(&rep[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            },
+        }
+    }
+    parts.push(&rep[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldon_pyast::parse_expr;
+
+    fn ctx_with_imports(pairs: &[(&str, &[&str])]) -> ReprCtx {
+        let mut ctx = ReprCtx::new();
+        for (name, path) in pairs {
+            ctx.imports
+                .insert(name.to_string(), path.iter().map(|s| s.to_string()).collect());
+        }
+        ctx
+    }
+
+    fn describe(src: &str, ctx: &ReprCtx) -> Vec<String> {
+        describe_expr(&parse_expr(src).unwrap(), ctx)
+    }
+
+    #[test]
+    fn import_resolution() {
+        let ctx = ctx_with_imports(&[("request", &["flask", "request"])]);
+        let reps = describe("request.args.get('n')", &ctx);
+        assert_eq!(reps[0], "flask.request.args.get()");
+        assert!(reps.contains(&"request.args.get()".to_string()));
+        assert!(reps.contains(&"args.get()".to_string()));
+        assert!(!reps.contains(&"get()".to_string()));
+    }
+
+    #[test]
+    fn plain_import_binds_top_name() {
+        let ctx = ctx_with_imports(&[("os", &["os"])]);
+        let reps = describe("os.path.join(a, b)", &ctx);
+        assert_eq!(reps[0], "os.path.join()");
+        assert!(reps.contains(&"path.join()".to_string()));
+    }
+
+    #[test]
+    fn from_import_gives_bare_variant() {
+        let ctx = ctx_with_imports(&[("secure_filename", &["werkzeug", "secure_filename"])]);
+        let reps = describe("secure_filename(fn)", &ctx);
+        assert_eq!(reps, vec!["werkzeug.secure_filename()", "secure_filename()"]);
+    }
+
+    #[test]
+    fn aliased_import() {
+        let ctx = ctx_with_imports(&[("np", &["numpy"])]);
+        let reps = describe("np.zeros(3)", &ctx);
+        assert_eq!(reps[0], "numpy.zeros()");
+    }
+
+    #[test]
+    fn param_levels_with_class_and_base() {
+        let mut ctx = ReprCtx::new();
+        ctx.class_name = Some("ESCPOSDriver".into());
+        ctx.base_class = Some("base_driver.ThreadDriver".into());
+        ctx.func_name = Some("status".into());
+        ctx.params = vec!["self".into(), "eprint".into()];
+        let reps = describe("self.receipt(x)", &ctx);
+        assert_eq!(
+            reps,
+            vec![
+                "ESCPOSDriver::status(param self).receipt()",
+                "base_driver.ThreadDriver::status(param self).receipt()",
+                "status(param self).receipt()",
+                "self.receipt()",
+            ]
+        );
+    }
+
+    #[test]
+    fn param_levels_without_class() {
+        let mut ctx = ReprCtx::new();
+        ctx.func_name = Some("media".into());
+        ctx.params = vec!["f".into()];
+        let reps = describe("f.save(path)", &ctx);
+        assert_eq!(reps, vec!["media(param f).save()", "f.save()"]);
+    }
+
+    #[test]
+    fn subscript_rendering() {
+        let ctx = ctx_with_imports(&[("request", &["flask", "request"])]);
+        let reps = describe("request.files['f'].save(p)", &ctx);
+        assert_eq!(reps[0], "flask.request.files['f'].save()");
+        let reps = describe("xs[0].go()", &ReprCtx::new());
+        assert_eq!(reps[0], "xs[0].go()");
+        let reps = describe("xs[k].go()", &ReprCtx::new());
+        assert_eq!(reps[0], "xs[].go()");
+    }
+
+    #[test]
+    fn local_variable_chains() {
+        let mut ctx = ReprCtx::new();
+        ctx.locals.insert("form".into(), vec!["LoginForm()".into()]);
+        let reps = describe("form.username.data", &ctx);
+        assert_eq!(reps[0], "LoginForm().username.data");
+    }
+
+    #[test]
+    fn unresolvable_expressions_are_empty() {
+        assert!(describe("(a + b).foo()", &ReprCtx::new()).is_empty());
+        assert!(describe("[1, 2]", &ReprCtx::new()).is_empty());
+        assert!(describe("'literal'", &ReprCtx::new()).is_empty());
+    }
+
+    #[test]
+    fn unknown_local_is_bare_name() {
+        let reps = describe("u.username", &ReprCtx::new());
+        assert_eq!(reps, vec!["u.username"]);
+    }
+
+    #[test]
+    fn top_level_components_respects_brackets() {
+        assert_eq!(
+            top_level_components("a.b['x.y'].c()"),
+            vec!["a", "b['x.y']", "c()"]
+        );
+        assert_eq!(top_level_components("f(param x).g()"), vec!["f(param x)", "g()"]);
+        assert_eq!(top_level_components("solo"), vec!["solo"]);
+    }
+
+    #[test]
+    fn dot_suffixes_keep_two_components() {
+        assert_eq!(
+            dot_suffixes("a.b.c.d()"),
+            vec!["b.c.d()".to_string(), "c.d()".to_string()]
+        );
+        assert!(dot_suffixes("a.b()").is_empty());
+        assert!(dot_suffixes("solo()").is_empty());
+    }
+
+    #[test]
+    fn reps_are_deduped_and_capped() {
+        let mut ctx = ReprCtx::new();
+        ctx.imports.insert(
+            "deep".into(),
+            vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into(), "f".into(), "g".into()],
+        );
+        let reps = describe("deep.h.i.j()", &ctx);
+        assert!(reps.len() <= MAX_REPS);
+        let mut sorted = reps.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), reps.len());
+    }
+
+    #[test]
+    fn starred_and_walrus_unwrap() {
+        let mut ctx = ReprCtx::new();
+        ctx.imports.insert("request".into(), vec!["flask".into(), "request".into()]);
+        let reps = describe("(n := request.args)", &ctx);
+        assert_eq!(reps[0], "flask.request.args");
+    }
+}

@@ -1,0 +1,510 @@
+//! Abstract syntax tree for the Python subset.
+//!
+//! The tree is deliberately close to CPython's `ast` module naming so the
+//! analysis code reads like the paper's description. Every node carries a
+//! [`Span`].
+
+use crate::span::Span;
+
+/// A parsed module: the top-level statement list of one source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Statements in source order.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement payload.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Statement payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `import a.b as c, d`
+    Import(Vec<ImportAlias>),
+    /// `from a.b import c as d, e` (level counts leading dots).
+    ImportFrom {
+        /// Dotted module path (may be empty for `from . import x`).
+        module: Vec<String>,
+        /// Imported names.
+        names: Vec<ImportAlias>,
+        /// Number of leading dots (relative import level).
+        level: u32,
+    },
+    /// Function definition.
+    FunctionDef(FunctionDef),
+    /// Class definition.
+    ClassDef(ClassDef),
+    /// `return value?`
+    Return(Option<Expr>),
+    /// `del targets`
+    Delete(Vec<Expr>),
+    /// `targets = value` (chained assignment keeps all targets).
+    Assign {
+        /// Assignment targets, left to right.
+        targets: Vec<Expr>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `target op= value`
+    AugAssign {
+        /// The single target.
+        target: Expr,
+        /// Operator text, e.g. `+`.
+        op: String,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `target: annotation = value?`
+    AnnAssign {
+        /// The annotated target.
+        target: Expr,
+        /// The annotation expression.
+        annotation: Expr,
+        /// Optional initial value.
+        value: Option<Expr>,
+    },
+    /// `for target in iter: body else: orelse`
+    For {
+        /// Loop variable pattern.
+        target: Expr,
+        /// Iterated expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// `else` clause.
+        orelse: Vec<Stmt>,
+    },
+    /// `while test: body else: orelse`
+    While {
+        /// Loop condition.
+        test: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// `else` clause.
+        orelse: Vec<Stmt>,
+    },
+    /// `if test: body elif.../else: orelse`
+    If {
+        /// Condition.
+        test: Expr,
+        /// Then branch.
+        body: Vec<Stmt>,
+        /// Else branch (an `elif` parses as a nested `If` here).
+        orelse: Vec<Stmt>,
+    },
+    /// `with items: body`
+    With {
+        /// Context managers with optional `as` targets.
+        items: Vec<WithItem>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `raise exc from cause`
+    Raise {
+        /// Exception value.
+        exc: Option<Expr>,
+        /// `from` cause.
+        cause: Option<Expr>,
+    },
+    /// `try: body except...: handlers else: orelse finally: finalbody`
+    Try {
+        /// Protected body.
+        body: Vec<Stmt>,
+        /// Exception handlers.
+        handlers: Vec<ExceptHandler>,
+        /// `else` clause.
+        orelse: Vec<Stmt>,
+        /// `finally` clause.
+        finalbody: Vec<Stmt>,
+    },
+    /// `assert test, msg?`
+    Assert {
+        /// Asserted condition.
+        test: Expr,
+        /// Optional message.
+        msg: Option<Expr>,
+    },
+    /// `global names`
+    Global(Vec<String>),
+    /// `nonlocal names`
+    Nonlocal(Vec<String>),
+    /// A bare expression statement.
+    Expr(Expr),
+    /// `pass`
+    Pass,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+}
+
+/// One alias in an import list: `name as asname`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportAlias {
+    /// Dotted path being imported (single segment for `from x import seg`).
+    pub name: Vec<String>,
+    /// Optional binding name.
+    pub asname: Option<String>,
+    /// Location of the alias.
+    pub span: Span,
+}
+
+/// A function (or method) definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Function name.
+    pub name: String,
+    /// Positional/keyword parameters in order.
+    pub params: Vec<Param>,
+    /// Decorator expressions, outermost first.
+    pub decorators: Vec<Expr>,
+    /// Optional return annotation.
+    pub returns: Option<Expr>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// True for `async def`.
+    pub is_async: bool,
+}
+
+/// A single formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Optional annotation.
+    pub annotation: Option<Expr>,
+    /// Optional default value.
+    pub default: Option<Expr>,
+    /// Kind of parameter (positional, `*args`, `**kwargs`).
+    pub kind: ParamKind,
+    /// Location of the parameter name.
+    pub span: Span,
+}
+
+/// Parameter flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Ordinary positional-or-keyword parameter.
+    Plain,
+    /// `*args`
+    VarArgs,
+    /// `**kwargs`
+    KwArgs,
+    /// Bare `*` separator (keyword-only marker) — kept for fidelity.
+    KwOnlyMarker,
+}
+
+/// A class definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Base class expressions.
+    pub bases: Vec<Expr>,
+    /// Keyword arguments in the class header (e.g. `metaclass=`).
+    pub keywords: Vec<Keyword>,
+    /// Decorators, outermost first.
+    pub decorators: Vec<Expr>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// One `with` item: `context as target?`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithItem {
+    /// The context-manager expression.
+    pub context: Expr,
+    /// Optional `as` target.
+    pub target: Option<Expr>,
+}
+
+/// An `except` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceptHandler {
+    /// The matched exception type, if any.
+    pub typ: Option<Expr>,
+    /// The binding name after `as`, if any.
+    pub name: Option<String>,
+    /// Handler body.
+    pub body: Vec<Stmt>,
+    /// Location of the `except` keyword.
+    pub span: Span,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression payload.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expression payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// A name reference.
+    Name(String),
+    /// Integer/float literal (textual).
+    Number(String),
+    /// String literal (implicitly concatenated literals are merged).
+    Str(String),
+    /// F-string literal: literal text plus the raw interpolation sources.
+    FString {
+        /// The raw body text.
+        text: String,
+        /// Parsed interpolated expressions, in order of appearance.
+        parts: Vec<Expr>,
+    },
+    /// Bytes literal.
+    Bytes(String),
+    /// `True`/`False`.
+    Bool(bool),
+    /// `None`.
+    NoneLit,
+    /// `...`
+    EllipsisLit,
+    /// `obj.attr`
+    Attribute {
+        /// The object expression.
+        value: Box<Expr>,
+        /// The attribute name.
+        attr: String,
+    },
+    /// `obj[index]`
+    Subscript {
+        /// The container expression.
+        value: Box<Expr>,
+        /// The index expression (a `Slice` for slice syntax).
+        index: Box<Expr>,
+    },
+    /// `lo:hi:step` inside subscripts.
+    Slice {
+        /// Lower bound.
+        lower: Option<Box<Expr>>,
+        /// Upper bound.
+        upper: Option<Box<Expr>>,
+        /// Step.
+        step: Option<Box<Expr>>,
+    },
+    /// `f(args, kw=v, *rest, **kwargs)`
+    Call {
+        /// The callee expression.
+        func: Box<Expr>,
+        /// Positional arguments (including starred ones).
+        args: Vec<Expr>,
+        /// Keyword arguments.
+        keywords: Vec<Keyword>,
+    },
+    /// Binary arithmetic/bit operation; operator kept as text.
+    BinOp {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator text, e.g. `+`.
+        op: String,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation (`-x`, `+x`, `~x`, `not x`).
+    UnaryOp {
+        /// Operator text.
+        op: String,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// `and`/`or` chains, flattened.
+    BoolOp {
+        /// `and` or `or`.
+        op: String,
+        /// Operands, two or more.
+        values: Vec<Expr>,
+    },
+    /// Comparison chains `a < b <= c`.
+    Compare {
+        /// First operand.
+        left: Box<Expr>,
+        /// Operator texts (`<`, `in`, `is not`, ...), one per comparator.
+        ops: Vec<String>,
+        /// Remaining operands.
+        comparators: Vec<Expr>,
+    },
+    /// `body if test else orelse`
+    IfExp {
+        /// Condition.
+        test: Box<Expr>,
+        /// Value when true.
+        body: Box<Expr>,
+        /// Value when false.
+        orelse: Box<Expr>,
+    },
+    /// `lambda params: body`
+    Lambda {
+        /// Formal parameters.
+        params: Vec<Param>,
+        /// Body expression.
+        body: Box<Expr>,
+    },
+    /// Tuple display `(a, b)` or bare `a, b`.
+    Tuple(Vec<Expr>),
+    /// List display `[a, b]`.
+    List(Vec<Expr>),
+    /// Set display `{a, b}`.
+    Set(Vec<Expr>),
+    /// Dict display `{k: v, **m}` (a `None` key means `**m` expansion).
+    Dict {
+        /// Keys, parallel to `values`; `None` marks a `**` expansion.
+        keys: Vec<Option<Expr>>,
+        /// Values.
+        values: Vec<Expr>,
+    },
+    /// List/set/generator comprehension.
+    Comp {
+        /// Which display kind the comprehension builds.
+        kind: CompKind,
+        /// The element expression.
+        element: Box<Expr>,
+        /// For dict comprehensions, the value expression.
+        value: Option<Box<Expr>>,
+        /// Generator clauses.
+        generators: Vec<Comprehension>,
+    },
+    /// `yield value?` / `yield from value`
+    Yield {
+        /// Yielded expression.
+        value: Option<Box<Expr>>,
+        /// True for `yield from`.
+        is_from: bool,
+    },
+    /// `await value`
+    Await(Box<Expr>),
+    /// `*value` in calls/displays/assignment targets.
+    Starred(Box<Expr>),
+    /// `name := value`
+    NamedExpr {
+        /// Target name.
+        target: Box<Expr>,
+        /// Assigned value.
+        value: Box<Expr>,
+    },
+}
+
+/// Which collection a comprehension builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompKind {
+    /// `[x for ...]`
+    List,
+    /// `{x for ...}`
+    Set,
+    /// `{k: v for ...}`
+    Dict,
+    /// `(x for ...)`
+    Generator,
+}
+
+/// One `for ... in ... if ...` clause of a comprehension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comprehension {
+    /// The loop target.
+    pub target: Expr,
+    /// The iterated expression.
+    pub iter: Expr,
+    /// Zero or more `if` filters.
+    pub ifs: Vec<Expr>,
+}
+
+/// A keyword argument `name=value`; `name` is `None` for `**value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Keyword {
+    /// Argument name (`None` for `**expr`).
+    pub name: Option<String>,
+    /// Argument value.
+    pub value: Expr,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Returns the dotted-name path if this expression is a chain of
+    /// `Name`/`Attribute` accesses, e.g. `a.b.c` → `["a","b","c"]`.
+    pub fn dotted_path(&self) -> Option<Vec<&str>> {
+        match &self.kind {
+            ExprKind::Name(n) => Some(vec![n.as_str()]),
+            ExprKind::Attribute { value, attr } => {
+                let mut path = value.dotted_path()?;
+                path.push(attr.as_str());
+                Some(path)
+            }
+            _ => None,
+        }
+    }
+
+    /// True if the expression is a literal constant (string, number, bool,
+    /// `None`, bytes, ellipsis).
+    pub fn is_literal(&self) -> bool {
+        matches!(
+            self.kind,
+            ExprKind::Number(_)
+                | ExprKind::Str(_)
+                | ExprKind::Bytes(_)
+                | ExprKind::Bool(_)
+                | ExprKind::NoneLit
+                | ExprKind::EllipsisLit
+        )
+    }
+}
+
+impl Stmt {
+    /// Creates a statement node.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(n: &str) -> Expr {
+        Expr::new(ExprKind::Name(n.into()), Span::dummy())
+    }
+
+    #[test]
+    fn dotted_path_of_attribute_chain() {
+        let e = Expr::new(
+            ExprKind::Attribute {
+                value: Box::new(Expr::new(
+                    ExprKind::Attribute { value: Box::new(name("a")), attr: "b".into() },
+                    Span::dummy(),
+                )),
+                attr: "c".into(),
+            },
+            Span::dummy(),
+        );
+        assert_eq!(e.dotted_path(), Some(vec!["a", "b", "c"]));
+    }
+
+    #[test]
+    fn dotted_path_rejects_calls() {
+        let call = Expr::new(
+            ExprKind::Call { func: Box::new(name("f")), args: vec![], keywords: vec![] },
+            Span::dummy(),
+        );
+        assert_eq!(call.dotted_path(), None);
+    }
+
+    #[test]
+    fn literal_check() {
+        assert!(Expr::new(ExprKind::Str("x".into()), Span::dummy()).is_literal());
+        assert!(Expr::new(ExprKind::NoneLit, Span::dummy()).is_literal());
+        assert!(!name("x").is_literal());
+    }
+}

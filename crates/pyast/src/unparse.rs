@@ -1,0 +1,706 @@
+//! AST → Python source text (an "unparser").
+//!
+//! Produces canonical source for any AST this crate can represent. The
+//! round-trip property `parse(unparse(parse(src))) == parse(src)` (modulo
+//! spans) is enforced by property tests and makes the printer a strong
+//! cross-check of the parser.
+
+use crate::ast::*;
+
+/// Renders a module as Python source.
+pub fn unparse(module: &Module) -> String {
+    let mut p = Printer::new();
+    for stmt in &module.body {
+        p.stmt(stmt);
+    }
+    p.out
+}
+
+/// Renders a single expression.
+pub fn unparse_expr(expr: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(expr, 0);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+// Precedence levels, loosest to tightest (mirrors the parser).
+const P_TEST: u8 = 0; // lambda, ternary
+const P_OR: u8 = 1;
+const P_AND: u8 = 2;
+const P_NOT: u8 = 3;
+const P_CMP: u8 = 4;
+const P_BITOR: u8 = 5;
+const P_BITXOR: u8 = 6;
+const P_BITAND: u8 = 7;
+const P_SHIFT: u8 = 8;
+const P_ARITH: u8 = 9;
+const P_TERM: u8 = 10;
+const P_UNARY: u8 = 11;
+const P_POWER: u8 = 12;
+const P_POSTFIX: u8 = 13;
+
+fn binop_prec(op: &str) -> (u8, bool) {
+    // (precedence, right-associative)
+    match op {
+        "|" => (P_BITOR, false),
+        "^" => (P_BITXOR, false),
+        "&" => (P_BITAND, false),
+        "<<" | ">>" => (P_SHIFT, false),
+        "+" | "-" => (P_ARITH, false),
+        "*" | "/" | "//" | "%" | "@" => (P_TERM, false),
+        "**" => (P_POWER, true),
+        _ => (P_ARITH, false),
+    }
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer { out: String::new(), indent: 0 }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn suite(&mut self, body: &[Stmt]) {
+        self.indent += 1;
+        if body.is_empty() {
+            self.line("pass");
+        } else {
+            for s in body {
+                self.stmt(s);
+            }
+        }
+        self.indent -= 1;
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Import(aliases) => {
+                let list = aliases
+                    .iter()
+                    .map(|a| match &a.asname {
+                        Some(n) => format!("{} as {n}", a.name.join(".")),
+                        None => a.name.join("."),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                self.line(&format!("import {list}"));
+            }
+            StmtKind::ImportFrom { module, names, level } => {
+                let dots = ".".repeat(*level as usize);
+                let list = names
+                    .iter()
+                    .map(|a| match &a.asname {
+                        Some(n) => format!("{} as {n}", a.name.join(".")),
+                        None => a.name.join("."),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                self.line(&format!("from {dots}{} import {list}", module.join(".")));
+            }
+            StmtKind::FunctionDef(def) => self.function_def(def),
+            StmtKind::ClassDef(def) => self.class_def(def),
+            StmtKind::Return(value) => match value {
+                Some(e) => {
+                    let e = self.render(e, P_TEST);
+                    self.line(&format!("return {e}"));
+                }
+                None => self.line("return"),
+            },
+            StmtKind::Delete(targets) => {
+                let list = targets
+                    .iter()
+                    .map(|t| self.render(t, P_TEST))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                self.line(&format!("del {list}"));
+            }
+            StmtKind::Assign { targets, value } => {
+                let lhs = targets
+                    .iter()
+                    .map(|t| self.render(t, P_TEST))
+                    .collect::<Vec<_>>()
+                    .join(" = ");
+                let rhs = self.render(value, P_TEST);
+                self.line(&format!("{lhs} = {rhs}"));
+            }
+            StmtKind::AugAssign { target, op, value } => {
+                let t = self.render(target, P_POSTFIX);
+                let v = self.render(value, P_TEST);
+                self.line(&format!("{t} {op}= {v}"));
+            }
+            StmtKind::AnnAssign { target, annotation, value } => {
+                let t = self.render(target, P_POSTFIX);
+                let a = self.render(annotation, P_TEST);
+                match value {
+                    Some(v) => {
+                        let v = self.render(v, P_TEST);
+                        self.line(&format!("{t}: {a} = {v}"));
+                    }
+                    None => self.line(&format!("{t}: {a}")),
+                }
+            }
+            StmtKind::For { target, iter, body, orelse } => {
+                let t = self.render(target, P_TEST);
+                let i = self.render(iter, P_TEST);
+                self.line(&format!("for {t} in {i}:"));
+                self.suite(body);
+                if !orelse.is_empty() {
+                    self.line("else:");
+                    self.suite(orelse);
+                }
+            }
+            StmtKind::While { test, body, orelse } => {
+                let t = self.render(test, P_TEST);
+                self.line(&format!("while {t}:"));
+                self.suite(body);
+                if !orelse.is_empty() {
+                    self.line("else:");
+                    self.suite(orelse);
+                }
+            }
+            StmtKind::If { test, body, orelse } => {
+                let t = self.render(test, P_TEST);
+                self.line(&format!("if {t}:"));
+                self.suite(body);
+                if !orelse.is_empty() {
+                    self.line("else:");
+                    self.suite(orelse);
+                }
+            }
+            StmtKind::With { items, body } => {
+                let list = items
+                    .iter()
+                    .map(|i| {
+                        let c = self.render(&i.context, P_TEST);
+                        match &i.target {
+                            Some(t) => {
+                                let t = self.render(t, P_POSTFIX);
+                                format!("{c} as {t}")
+                            }
+                            None => c,
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                self.line(&format!("with {list}:"));
+                self.suite(body);
+            }
+            StmtKind::Raise { exc, cause } => match (exc, cause) {
+                (None, _) => self.line("raise"),
+                (Some(e), None) => {
+                    let e = self.render(e, P_TEST);
+                    self.line(&format!("raise {e}"));
+                }
+                (Some(e), Some(c)) => {
+                    let e = self.render(e, P_TEST);
+                    let c = self.render(c, P_TEST);
+                    self.line(&format!("raise {e} from {c}"));
+                }
+            },
+            StmtKind::Try { body, handlers, orelse, finalbody } => {
+                self.line("try:");
+                self.suite(body);
+                for h in handlers {
+                    match (&h.typ, &h.name) {
+                        (None, _) => self.line("except:"),
+                        (Some(t), None) => {
+                            let t = self.render(t, P_TEST);
+                            self.line(&format!("except {t}:"));
+                        }
+                        (Some(t), Some(n)) => {
+                            let t = self.render(t, P_TEST);
+                            self.line(&format!("except {t} as {n}:"));
+                        }
+                    }
+                    self.suite(&h.body);
+                }
+                if !orelse.is_empty() {
+                    self.line("else:");
+                    self.suite(orelse);
+                }
+                if !finalbody.is_empty() {
+                    self.line("finally:");
+                    self.suite(finalbody);
+                }
+            }
+            StmtKind::Assert { test, msg } => {
+                let t = self.render(test, P_TEST);
+                match msg {
+                    Some(m) => {
+                        let m = self.render(m, P_TEST);
+                        self.line(&format!("assert {t}, {m}"));
+                    }
+                    None => self.line(&format!("assert {t}")),
+                }
+            }
+            StmtKind::Global(names) => self.line(&format!("global {}", names.join(", "))),
+            StmtKind::Nonlocal(names) => self.line(&format!("nonlocal {}", names.join(", "))),
+            StmtKind::Expr(e) => {
+                let e = self.render(e, P_TEST);
+                self.line(&e);
+            }
+            StmtKind::Pass => self.line("pass"),
+            StmtKind::Break => self.line("break"),
+            StmtKind::Continue => self.line("continue"),
+        }
+    }
+
+    fn function_def(&mut self, def: &FunctionDef) {
+        for d in &def.decorators {
+            let d = self.render(d, P_TEST);
+            self.line(&format!("@{d}"));
+        }
+        let params = self.param_list(&def.params);
+        let arrow = match &def.returns {
+            Some(r) => format!(" -> {}", self.render(r, P_TEST)),
+            None => String::new(),
+        };
+        let prefix = if def.is_async { "async def" } else { "def" };
+        self.line(&format!("{prefix} {}({params}){arrow}:", def.name));
+        self.suite(&def.body);
+    }
+
+    fn class_def(&mut self, def: &ClassDef) {
+        for d in &def.decorators {
+            let d = self.render(d, P_TEST);
+            self.line(&format!("@{d}"));
+        }
+        let mut headers: Vec<String> =
+            def.bases.iter().map(|b| self.render(b, P_TEST)).collect();
+        for k in &def.keywords {
+            let v = self.render(&k.value, P_TEST);
+            match &k.name {
+                Some(n) => headers.push(format!("{n}={v}")),
+                None => headers.push(format!("**{v}")),
+            }
+        }
+        if headers.is_empty() {
+            self.line(&format!("class {}:", def.name));
+        } else {
+            self.line(&format!("class {}({}):", def.name, headers.join(", ")));
+        }
+        self.suite(&def.body);
+    }
+
+    fn param_list(&mut self, params: &[Param]) -> String {
+        params
+            .iter()
+            .map(|p| {
+                let mut s = match p.kind {
+                    ParamKind::VarArgs => format!("*{}", p.name),
+                    ParamKind::KwArgs => format!("**{}", p.name),
+                    ParamKind::KwOnlyMarker => return "*".to_string(),
+                    ParamKind::Plain => p.name.clone(),
+                };
+                if let Some(a) = &p.annotation {
+                    s.push_str(": ");
+                    s.push_str(&self.render(a, P_TEST));
+                }
+                if let Some(d) = &p.default {
+                    s.push('=');
+                    s.push_str(&self.render(d, P_TEST));
+                }
+                s
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn expr(&mut self, e: &Expr, min_prec: u8) {
+        let s = self.render(e, min_prec);
+        self.out.push_str(&s);
+    }
+
+    /// Renders `e`, parenthesizing when its precedence is below `min_prec`.
+    fn render(&mut self, e: &Expr, min_prec: u8) -> String {
+        let (text, prec) = self.render_raw(e);
+        if prec < min_prec {
+            format!("({text})")
+        } else {
+            text
+        }
+    }
+
+    fn render_raw(&mut self, e: &Expr) -> (String, u8) {
+        match &e.kind {
+            ExprKind::Name(n) => (n.clone(), P_POSTFIX),
+            ExprKind::Number(n) => (n.clone(), P_POSTFIX),
+            ExprKind::Str(s) => (format!("'{}'", escape_str(s)), P_POSTFIX),
+            ExprKind::FString { text, .. } => (format!("f'{}'", escape_fstr(text)), P_POSTFIX),
+            ExprKind::Bytes(s) => (format!("b'{}'", escape_str(s)), P_POSTFIX),
+            ExprKind::Bool(true) => ("True".into(), P_POSTFIX),
+            ExprKind::Bool(false) => ("False".into(), P_POSTFIX),
+            ExprKind::NoneLit => ("None".into(), P_POSTFIX),
+            ExprKind::EllipsisLit => ("...".into(), P_POSTFIX),
+            ExprKind::Attribute { value, attr } => {
+                let v = self.render(value, P_POSTFIX);
+                (format!("{v}.{attr}"), P_POSTFIX)
+            }
+            ExprKind::Subscript { value, index } => {
+                let v = self.render(value, P_POSTFIX);
+                let i = self.render(index, P_TEST);
+                (format!("{v}[{i}]"), P_POSTFIX)
+            }
+            ExprKind::Slice { lower, upper, step } => {
+                let part = |p: &Option<Box<Expr>>, this: &mut Self| match p {
+                    Some(e) => this.render(e, P_TEST),
+                    None => String::new(),
+                };
+                let lo = part(lower, self);
+                let hi = part(upper, self);
+                let text = match step {
+                    Some(s) => {
+                        let s = self.render(s, P_TEST);
+                        format!("{lo}:{hi}:{s}")
+                    }
+                    None => format!("{lo}:{hi}"),
+                };
+                (text, P_TEST)
+            }
+            ExprKind::Call { func, args, keywords } => {
+                let f = self.render(func, P_POSTFIX);
+                let mut parts: Vec<String> =
+                    args.iter().map(|a| self.render(a, P_TEST)).collect();
+                for k in keywords {
+                    let v = self.render(&k.value, P_TEST);
+                    match &k.name {
+                        Some(n) => parts.push(format!("{n}={v}")),
+                        None => parts.push(format!("**{v}")),
+                    }
+                }
+                (format!("{f}({})", parts.join(", ")), P_POSTFIX)
+            }
+            ExprKind::BinOp { left, op, right } => {
+                let (prec, right_assoc) = binop_prec(op);
+                let l = self.render(left, if right_assoc { prec + 1 } else { prec });
+                let r = self.render(right, if right_assoc { prec } else { prec + 1 });
+                (format!("{l} {op} {r}"), prec)
+            }
+            ExprKind::UnaryOp { op, operand } => {
+                if op == "not" {
+                    let v = self.render(operand, P_NOT);
+                    (format!("not {v}"), P_NOT)
+                } else {
+                    let v = self.render(operand, P_UNARY);
+                    (format!("{op}{v}"), P_UNARY)
+                }
+            }
+            ExprKind::BoolOp { op, values } => {
+                let prec = if op == "or" { P_OR } else { P_AND };
+                let parts: Vec<String> =
+                    values.iter().map(|v| self.render(v, prec + 1)).collect();
+                (parts.join(&format!(" {op} ")), prec)
+            }
+            ExprKind::Compare { left, ops, comparators } => {
+                let mut s = self.render(left, P_CMP + 1);
+                for (op, c) in ops.iter().zip(comparators) {
+                    let c = self.render(c, P_CMP + 1);
+                    s.push_str(&format!(" {op} {c}"));
+                }
+                (s, P_CMP)
+            }
+            ExprKind::IfExp { test, body, orelse } => {
+                let b = self.render(body, P_OR);
+                let t = self.render(test, P_OR);
+                let o = self.render(orelse, P_TEST);
+                (format!("{b} if {t} else {o}"), P_TEST)
+            }
+            ExprKind::Lambda { params, body } => {
+                let p = self.param_list(params);
+                let b = self.render(body, P_TEST);
+                let text = if p.is_empty() {
+                    format!("lambda: {b}")
+                } else {
+                    format!("lambda {p}: {b}")
+                };
+                (text, P_TEST)
+            }
+            ExprKind::Tuple(elems) => {
+                let parts: Vec<String> =
+                    elems.iter().map(|e| self.render(e, P_TEST)).collect();
+                let text = match parts.len() {
+                    0 => "()".to_string(),
+                    1 => format!("({},)", parts[0]),
+                    _ => format!("({})", parts.join(", ")),
+                };
+                (text, P_POSTFIX)
+            }
+            ExprKind::List(elems) => {
+                let parts: Vec<String> =
+                    elems.iter().map(|e| self.render(e, P_TEST)).collect();
+                (format!("[{}]", parts.join(", ")), P_POSTFIX)
+            }
+            ExprKind::Set(elems) => {
+                let parts: Vec<String> =
+                    elems.iter().map(|e| self.render(e, P_TEST)).collect();
+                (format!("{{{}}}", parts.join(", ")), P_POSTFIX)
+            }
+            ExprKind::Dict { keys, values } => {
+                let parts: Vec<String> = keys
+                    .iter()
+                    .zip(values)
+                    .map(|(k, v)| {
+                        let v = self.render(v, P_TEST);
+                        match k {
+                            Some(k) => {
+                                let k = self.render(k, P_TEST);
+                                format!("{k}: {v}")
+                            }
+                            None => format!("**{v}"),
+                        }
+                    })
+                    .collect();
+                (format!("{{{}}}", parts.join(", ")), P_POSTFIX)
+            }
+            ExprKind::Comp { kind, element, value, generators } => {
+                let elem = self.render(element, P_TEST);
+                let mut clauses = String::new();
+                for g in generators {
+                    let t = self.render(&g.target, P_TEST);
+                    let i = self.render(&g.iter, P_OR);
+                    clauses.push_str(&format!(" for {t} in {i}"));
+                    for cond in &g.ifs {
+                        let c = self.render(cond, P_OR);
+                        clauses.push_str(&format!(" if {c}"));
+                    }
+                }
+                let text = match kind {
+                    CompKind::List => format!("[{elem}{clauses}]"),
+                    CompKind::Set => format!("{{{elem}{clauses}}}"),
+                    CompKind::Dict => {
+                        let v = value
+                            .as_ref()
+                            .map(|v| self.render(v, P_TEST))
+                            .unwrap_or_default();
+                        format!("{{{elem}: {v}{clauses}}}")
+                    }
+                    CompKind::Generator => format!("({elem}{clauses})"),
+                };
+                (text, P_POSTFIX)
+            }
+            ExprKind::Yield { value, is_from } => {
+                let text = match (value, is_from) {
+                    (Some(v), true) => {
+                        let v = self.render(v, P_TEST);
+                        format!("yield from {v}")
+                    }
+                    (Some(v), false) => {
+                        let v = self.render(v, P_TEST);
+                        format!("yield {v}")
+                    }
+                    (None, _) => "yield".to_string(),
+                };
+                (format!("({text})"), P_POSTFIX)
+            }
+            ExprKind::Await(inner) => {
+                let v = self.render(inner, P_UNARY);
+                (format!("await {v}"), P_UNARY)
+            }
+            ExprKind::Starred(inner) => {
+                let v = self.render(inner, P_UNARY);
+                (format!("*{v}"), P_TEST)
+            }
+            ExprKind::NamedExpr { target, value } => {
+                let t = self.render(target, P_POSTFIX);
+                let v = self.render(value, P_TEST);
+                (format!("({t} := {v})"), P_POSTFIX)
+            }
+        }
+    }
+}
+
+/// Escapes a string body for single-quoted output. The lexer keeps escape
+/// sequences verbatim, so only bare single quotes and newlines need care.
+fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                out.push('\\');
+                if let Some(&n) = chars.peek() {
+                    out.push(n);
+                    chars.next();
+                }
+            }
+            '\'' => out.push_str("\\'"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// F-string bodies keep `{`/`}` meaningful; escape quotes/newlines only.
+fn escape_fstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                out.push('\\');
+                if let Some(&n) = chars.peek() {
+                    out.push(n);
+                    chars.next();
+                }
+            }
+            '\'' => out.push_str("\\'"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strips spans for comparison.
+    fn round_trip(src: &str) {
+        let m1 = parse(src).unwrap_or_else(|e| panic!("first parse of {src:?}: {e}"));
+        let printed = unparse(&m1);
+        let m2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        let p2 = unparse(&m2);
+        assert_eq!(printed, p2, "unparse not a fixpoint for {src:?}");
+    }
+
+    #[test]
+    fn round_trip_statements() {
+        for src in [
+            "x = 1\n",
+            "a = b = c\n",
+            "x += 2\n",
+            "x: int = 3\n",
+            "import os.path as p, sys\n",
+            "from flask import request, session as s\n",
+            "from ..pkg import thing\n",
+            "del xs[0], y\n",
+            "global a, b\n",
+            "assert x, 'msg'\n",
+            "raise ValueError('x') from err\n",
+            "pass\n",
+        ] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn round_trip_compound() {
+        round_trip("if a:\n    x = 1\nelif b:\n    y = 2\nelse:\n    z = 3\n");
+        round_trip("for i, v in enumerate(xs):\n    print(v)\nelse:\n    done()\n");
+        round_trip("while cond():\n    step()\n");
+        round_trip("with open(p) as f, lock:\n    f.read()\n");
+        round_trip(
+            "try:\n    go()\nexcept ValueError as e:\n    handle(e)\nexcept:\n    pass\nfinally:\n    cleanup()\n",
+        );
+    }
+
+    #[test]
+    fn round_trip_functions_and_classes() {
+        round_trip("def f(a, b=1, *args, **kwargs):\n    return a + b\n");
+        round_trip("def g(x: int, *, y=2) -> int:\n    return x\n");
+        round_trip("@app.route('/x', methods=['POST'])\ndef h():\n    pass\n");
+        round_trip("class C(Base, metaclass=M):\n    x = 1\n    def m(self):\n        return self.x\n");
+        round_trip("async def i():\n    await j()\n");
+    }
+
+    #[test]
+    fn round_trip_expressions() {
+        for src in [
+            "y = 1 + 2 * 3 - 4 / 5\n",
+            "y = 2 ** 3 ** 4\n",
+            "y = (1 + 2) * 3\n",
+            "y = a < b <= c != d\n",
+            "y = a and b or not c\n",
+            "y = x if c else z\n",
+            "y = lambda a, b=2: a + b\n",
+            "y = [1, 2, 3]\n",
+            "y = {1, 2}\n",
+            "y = {'a': 1, **rest}\n",
+            "y = (1,)\n",
+            "y = ()\n",
+            "y = xs[1:2]\n",
+            "y = xs[::2]\n",
+            "y = m[a, b]\n",
+            "y = f(a, b=1, *rest, **kw)\n",
+            "y = [x for x in xs if x]\n",
+            "y = {k: v for k, v in items}\n",
+            "y = (x * x for x in xs)\n",
+            "y = a.b.c().d['k']\n",
+            "y = -x + ~z\n",
+            "y = x is not None\n",
+            "y = x not in ys\n",
+            "y = *a, *b\n",
+        ] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn round_trip_strings() {
+        round_trip("s = 'hello'\n");
+        round_trip("s = 'it\\'s'\n");
+        round_trip("s = b'bytes'\n");
+        round_trip("s = f'<div>{msg}</div>'\n");
+        round_trip("s = 'line\\nbreak'\n");
+    }
+
+    #[test]
+    fn round_trip_paper_example() {
+        round_trip(
+            r#"
+from yak.web import app
+from flask import request
+from werkzeug import secure_filename
+import os
+
+blog_dir = app.config['PATH']
+
+@app.route('/media/', methods=['POST'])
+def media():
+    filename = request.files['f'].filename
+    filename = secure_filename(filename)
+    path = os.path.join(blog_dir, filename)
+    if not os.path.exists(path):
+        request.files['f'].save(path)
+"#,
+        );
+    }
+
+    #[test]
+    fn unparse_expr_precedence_parens() {
+        let e = crate::parser::parse_expr("(a + b) * c").unwrap();
+        assert_eq!(unparse_expr(&e), "(a + b) * c");
+        let e = crate::parser::parse_expr("a + b * c").unwrap();
+        assert_eq!(unparse_expr(&e), "a + b * c");
+        let e = crate::parser::parse_expr("-(a + b)").unwrap();
+        assert_eq!(unparse_expr(&e), "-(a + b)");
+    }
+
+    #[test]
+    fn empty_suites_get_pass() {
+        let m = parse("if x:\n    pass\n").unwrap();
+        let printed = unparse(&m);
+        assert!(printed.contains("pass"));
+    }
+
+    #[test]
+    fn walrus_and_yield() {
+        round_trip("if (n := f()) > 0:\n    pass\n");
+        round_trip("def g():\n    yield 1\n    yield from xs\n    x = (yield)\n");
+    }
+}

@@ -1,0 +1,335 @@
+//! A read-only AST visitor with default recursive traversal.
+//!
+//! Implementors override the `visit_*` hooks they care about and call the
+//! matching `walk_*` free function to continue into children.
+
+use crate::ast::*;
+
+/// Visitor over the AST. All methods default to full traversal.
+pub trait Visitor {
+    /// Called for every statement.
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        walk_stmt(self, stmt);
+    }
+
+    /// Called for every expression.
+    fn visit_expr(&mut self, expr: &Expr) {
+        walk_expr(self, expr);
+    }
+
+    /// Called for every function definition (before its body is walked).
+    fn visit_function_def(&mut self, def: &FunctionDef) {
+        walk_function_def(self, def);
+    }
+
+    /// Called for every class definition (before its body is walked).
+    fn visit_class_def(&mut self, def: &ClassDef) {
+        walk_class_def(self, def);
+    }
+}
+
+/// Walks every statement of a module.
+pub fn walk_module<V: Visitor + ?Sized>(v: &mut V, module: &Module) {
+    for stmt in &module.body {
+        v.visit_stmt(stmt);
+    }
+}
+
+/// Default traversal into a statement's children.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
+    match &stmt.kind {
+        StmtKind::Import(_) | StmtKind::ImportFrom { .. } => {}
+        StmtKind::FunctionDef(def) => v.visit_function_def(def),
+        StmtKind::ClassDef(def) => v.visit_class_def(def),
+        StmtKind::Return(value) => {
+            if let Some(e) = value {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Delete(targets) => {
+            for t in targets {
+                v.visit_expr(t);
+            }
+        }
+        StmtKind::Assign { targets, value } => {
+            for t in targets {
+                v.visit_expr(t);
+            }
+            v.visit_expr(value);
+        }
+        StmtKind::AugAssign { target, value, .. } => {
+            v.visit_expr(target);
+            v.visit_expr(value);
+        }
+        StmtKind::AnnAssign { target, annotation, value } => {
+            v.visit_expr(target);
+            v.visit_expr(annotation);
+            if let Some(e) = value {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::For { target, iter, body, orelse } => {
+            v.visit_expr(target);
+            v.visit_expr(iter);
+            for s in body.iter().chain(orelse) {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::While { test, body, orelse } => {
+            v.visit_expr(test);
+            for s in body.iter().chain(orelse) {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::If { test, body, orelse } => {
+            v.visit_expr(test);
+            for s in body.iter().chain(orelse) {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::With { items, body } => {
+            for item in items {
+                v.visit_expr(&item.context);
+                if let Some(t) = &item.target {
+                    v.visit_expr(t);
+                }
+            }
+            for s in body {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::Raise { exc, cause } => {
+            if let Some(e) = exc {
+                v.visit_expr(e);
+            }
+            if let Some(e) = cause {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Try { body, handlers, orelse, finalbody } => {
+            for s in body {
+                v.visit_stmt(s);
+            }
+            for h in handlers {
+                if let Some(t) = &h.typ {
+                    v.visit_expr(t);
+                }
+                for s in &h.body {
+                    v.visit_stmt(s);
+                }
+            }
+            for s in orelse.iter().chain(finalbody) {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::Assert { test, msg } => {
+            v.visit_expr(test);
+            if let Some(e) = msg {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Expr(e) => v.visit_expr(e),
+        StmtKind::Global(_)
+        | StmtKind::Nonlocal(_)
+        | StmtKind::Pass
+        | StmtKind::Break
+        | StmtKind::Continue => {}
+    }
+}
+
+/// Default traversal into a function definition.
+pub fn walk_function_def<V: Visitor + ?Sized>(v: &mut V, def: &FunctionDef) {
+    for d in &def.decorators {
+        v.visit_expr(d);
+    }
+    for p in &def.params {
+        if let Some(a) = &p.annotation {
+            v.visit_expr(a);
+        }
+        if let Some(d) = &p.default {
+            v.visit_expr(d);
+        }
+    }
+    if let Some(r) = &def.returns {
+        v.visit_expr(r);
+    }
+    for s in &def.body {
+        v.visit_stmt(s);
+    }
+}
+
+/// Default traversal into a class definition.
+pub fn walk_class_def<V: Visitor + ?Sized>(v: &mut V, def: &ClassDef) {
+    for d in &def.decorators {
+        v.visit_expr(d);
+    }
+    for b in &def.bases {
+        v.visit_expr(b);
+    }
+    for k in &def.keywords {
+        v.visit_expr(&k.value);
+    }
+    for s in &def.body {
+        v.visit_stmt(s);
+    }
+}
+
+/// Default traversal into an expression's children.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
+    match &expr.kind {
+        ExprKind::Name(_)
+        | ExprKind::Number(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bytes(_)
+        | ExprKind::Bool(_)
+        | ExprKind::NoneLit
+        | ExprKind::EllipsisLit => {}
+        ExprKind::FString { parts, .. } => {
+            for p in parts {
+                v.visit_expr(p);
+            }
+        }
+        ExprKind::Attribute { value, .. } => v.visit_expr(value),
+        ExprKind::Subscript { value, index } => {
+            v.visit_expr(value);
+            v.visit_expr(index);
+        }
+        ExprKind::Slice { lower, upper, step } => {
+            for part in [lower, upper, step].into_iter().flatten() {
+                v.visit_expr(part);
+            }
+        }
+        ExprKind::Call { func, args, keywords } => {
+            v.visit_expr(func);
+            for a in args {
+                v.visit_expr(a);
+            }
+            for k in keywords {
+                v.visit_expr(&k.value);
+            }
+        }
+        ExprKind::BinOp { left, right, .. } => {
+            v.visit_expr(left);
+            v.visit_expr(right);
+        }
+        ExprKind::UnaryOp { operand, .. } => v.visit_expr(operand),
+        ExprKind::BoolOp { values, .. } => {
+            for e in values {
+                v.visit_expr(e);
+            }
+        }
+        ExprKind::Compare { left, comparators, .. } => {
+            v.visit_expr(left);
+            for e in comparators {
+                v.visit_expr(e);
+            }
+        }
+        ExprKind::IfExp { test, body, orelse } => {
+            v.visit_expr(test);
+            v.visit_expr(body);
+            v.visit_expr(orelse);
+        }
+        ExprKind::Lambda { params, body } => {
+            for p in params {
+                if let Some(d) = &p.default {
+                    v.visit_expr(d);
+                }
+            }
+            v.visit_expr(body);
+        }
+        ExprKind::Tuple(elems) | ExprKind::List(elems) | ExprKind::Set(elems) => {
+            for e in elems {
+                v.visit_expr(e);
+            }
+        }
+        ExprKind::Dict { keys, values } => {
+            for k in keys.iter().flatten() {
+                v.visit_expr(k);
+            }
+            for e in values {
+                v.visit_expr(e);
+            }
+        }
+        ExprKind::Comp { element, value, generators, .. } => {
+            v.visit_expr(element);
+            if let Some(e) = value {
+                v.visit_expr(e);
+            }
+            for g in generators {
+                v.visit_expr(&g.target);
+                v.visit_expr(&g.iter);
+                for cond in &g.ifs {
+                    v.visit_expr(cond);
+                }
+            }
+        }
+        ExprKind::Yield { value, .. } => {
+            if let Some(e) = value {
+                v.visit_expr(e);
+            }
+        }
+        ExprKind::Await(inner) | ExprKind::Starred(inner) => v.visit_expr(inner),
+        ExprKind::NamedExpr { target, value } => {
+            v.visit_expr(target);
+            v.visit_expr(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    struct Counter {
+        calls: usize,
+        names: usize,
+    }
+
+    impl Visitor for Counter {
+        fn visit_expr(&mut self, expr: &Expr) {
+            match &expr.kind {
+                ExprKind::Call { .. } => self.calls += 1,
+                ExprKind::Name(_) => self.names += 1,
+                _ => {}
+            }
+            walk_expr(self, expr);
+        }
+    }
+
+    #[test]
+    fn counts_nested_calls() {
+        let m = parse("x = f(g(h(a)), b.m())\n").unwrap();
+        let mut c = Counter { calls: 0, names: 0 };
+        walk_module(&mut c, &m);
+        assert_eq!(c.calls, 4);
+        assert!(c.names >= 5); // f, g, h, a, b
+    }
+
+    #[test]
+    fn visits_into_all_statement_kinds() {
+        let src = r#"
+import os
+def f(a=g()):
+    with open(p) as fh:
+        try:
+            return h(a)
+        except E as e:
+            raise E2() from e
+        finally:
+            cleanup()
+class C(Base, metaclass=M):
+    x: int = init()
+for i in gen():
+    assert check(i), msg(i)
+while cond():
+    del cache[k]
+y = [go(e) for e in items if keep(e)]
+"#;
+        let m = parse(src).unwrap();
+        let mut c = Counter { calls: 0, names: 0 };
+        walk_module(&mut c, &m);
+        // open, g, h, E2, cleanup, M?, init, gen, check, msg, cond, go, keep
+        assert!(c.calls >= 12, "calls = {}", c.calls);
+    }
+}

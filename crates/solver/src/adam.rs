@@ -1,0 +1,119 @@
+//! The Adam optimizer (Kingma & Ba, 2014) with box projection.
+//!
+//! The paper optimizes its relaxed constraint system with TensorFlow's Adam
+//! and projects variables to `[0,1]` after every step (§4.4); this is a
+//! from-scratch implementation of the same update rule.
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone)]
+pub struct AdamConfig {
+    /// Step size α.
+    pub lr: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical-stability constant ε.
+    pub eps: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 0.05, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+/// Optimizer state for a fixed-size parameter vector.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    cfg: AdamConfig,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates state for `n` parameters.
+    pub fn new(n: usize, cfg: AdamConfig) -> Self {
+        Adam { cfg, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+
+    /// Applies one Adam step for gradient `grad`, updating `params` in
+    /// place, then projects every parameter to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grad` lengths differ from the state size.
+    pub fn step_projected(&mut self, params: &mut [f64], grad: &[f64], lo: f64, hi: f64) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grad.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.cfg.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.cfg.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.cfg.beta1 * self.m[i] + (1.0 - self.cfg.beta1) * grad[i];
+            self.v[i] = self.cfg.beta2 * self.v[i] + (1.0 - self.cfg.beta2) * grad[i] * grad[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.cfg.lr * m_hat / (v_hat.sqrt() + self.cfg.eps);
+            params[i] = params[i].clamp(lo, hi);
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize (x - 0.3)^2 with projection to [0, 1].
+    #[test]
+    fn converges_on_quadratic() {
+        let mut adam = Adam::new(1, AdamConfig::default());
+        let mut x = vec![1.0];
+        for _ in 0..2000 {
+            let g = vec![2.0 * (x[0] - 0.3)];
+            adam.step_projected(&mut x, &g, 0.0, 1.0);
+        }
+        assert!((x[0] - 0.3).abs() < 1e-3, "x = {}", x[0]);
+        assert_eq!(adam.steps(), 2000);
+    }
+
+    /// Projection keeps iterates inside the box even with a pull outside.
+    #[test]
+    fn projection_clamps() {
+        let mut adam = Adam::new(1, AdamConfig { lr: 0.5, ..Default::default() });
+        let mut x = vec![0.5];
+        for _ in 0..100 {
+            // Gradient always pushes upward past 1.
+            let g = vec![-10.0];
+            adam.step_projected(&mut x, &g, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x[0]));
+        }
+        assert!((x[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_dimensional_independent() {
+        let mut adam = Adam::new(2, AdamConfig::default());
+        let mut x = vec![0.0, 1.0];
+        for _ in 0..3000 {
+            let g = vec![2.0 * (x[0] - 0.8), 2.0 * (x[1] - 0.2)];
+            adam.step_projected(&mut x, &g, 0.0, 1.0);
+        }
+        assert!((x[0] - 0.8).abs() < 1e-3);
+        assert!((x[1] - 0.2).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_panics() {
+        let mut adam = Adam::new(2, AdamConfig::default());
+        let mut x = vec![0.0];
+        adam.step_projected(&mut x, &[0.0], 0.0, 1.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Solving the relaxed constraint system (§4.4, eq. 9–11).
+//!
+//! The objective is
+//!
+//! ```text
+//! min  Σᵢ max(Lᵢ − Rᵢ − C, 0)  +  λ · Σ x
+//! s.t. 0 ≤ x ≤ 1,  pinned variables fixed
+//! ```
+//!
+//! minimized with projected Adam. Pinned (seed) variables are restored to
+//! their values after every step, which is exactly projection onto the
+//! affine subspace of `C_known`.
+
+use crate::adam::{Adam, AdamConfig};
+use seldon_constraints::ConstraintSystem;
+
+/// Solver hyperparameters; defaults follow the paper (λ = 0.1).
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// L1 regularization strength λ.
+    pub lambda: f64,
+    /// Maximum Adam iterations.
+    pub max_iters: usize,
+    /// Stop when the objective improves less than this over a window.
+    pub tol: f64,
+    /// Adam configuration.
+    pub adam: AdamConfig,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { lambda: 0.1, max_iters: 800, tol: 1e-6, adam: AdamConfig::default() }
+    }
+}
+
+/// The result of solving a constraint system.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Score per variable, in `[0,1]`, indexed by `VarId`.
+    pub scores: Vec<f64>,
+    /// Final objective value.
+    pub objective: f64,
+    /// Final total constraint violation (the hinge part of the objective).
+    pub violation: f64,
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Objective value per iteration (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+impl Solution {
+    /// The score of variable `v`.
+    pub fn score(&self, v: seldon_constraints::VarId) -> f64 {
+        self.scores[v.index()]
+    }
+}
+
+/// Computes the hinge violation and objective of `scores` under `sys`.
+pub fn evaluate(sys: &ConstraintSystem, scores: &[f64], lambda: f64) -> (f64, f64) {
+    let mut violation = 0.0;
+    for c in &sys.constraints {
+        let lhs: f64 = c.lhs.iter().map(|t| t.coeff * scores[t.var.index()]).sum();
+        let rhs: f64 = c.rhs.iter().map(|t| t.coeff * scores[t.var.index()]).sum();
+        let gap = lhs - rhs - sys.c;
+        if gap > 0.0 {
+            violation += gap;
+        }
+    }
+    let l1: f64 = scores.iter().sum();
+    (violation, violation + lambda * l1)
+}
+
+/// Minimizes the relaxed objective with projected Adam.
+pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
+    let n = sys.var_count();
+    let mut x = vec![0.0f64; n];
+    let pinned: Vec<(usize, f64)> =
+        sys.pinned_vars().map(|(v, val)| (v.index(), val)).collect();
+    let apply_pins = |x: &mut [f64]| {
+        for &(i, val) in &pinned {
+            x[i] = val;
+        }
+    };
+    apply_pins(&mut x);
+
+    let mut adam = Adam::new(n, opts.adam.clone());
+    let mut grad = vec![0.0f64; n];
+    let mut history = Vec::with_capacity(opts.max_iters.min(4096));
+    let mut best = f64::INFINITY;
+    let mut stall = 0usize;
+    let mut iterations = 0usize;
+
+    for iter in 0..opts.max_iters {
+        iterations = iter + 1;
+        // Gradient of hinge + L1.
+        grad.iter_mut().for_each(|g| *g = opts.lambda);
+        let mut violation = 0.0;
+        for c in &sys.constraints {
+            let lhs: f64 = c.lhs.iter().map(|t| t.coeff * x[t.var.index()]).sum();
+            let rhs: f64 = c.rhs.iter().map(|t| t.coeff * x[t.var.index()]).sum();
+            let gap = lhs - rhs - sys.c;
+            if gap > 0.0 {
+                violation += gap;
+                for t in &c.lhs {
+                    grad[t.var.index()] += t.coeff;
+                }
+                for t in &c.rhs {
+                    grad[t.var.index()] -= t.coeff;
+                }
+            }
+        }
+        let objective = violation + opts.lambda * x.iter().sum::<f64>();
+        history.push(objective);
+
+        adam.step_projected(&mut x, &grad, 0.0, 1.0);
+        apply_pins(&mut x);
+
+        if objective + opts.tol < best {
+            best = objective;
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= 50 {
+                break;
+            }
+        }
+    }
+
+    let (violation, objective) = evaluate(sys, &x, opts.lambda);
+    Solution { scores: x, objective, violation, iterations, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldon_constraints::{ConstraintSystem, FlowConstraint, Term};
+    use seldon_specs::Role;
+
+    /// Pinned src=1, snk=1 with a constraint src+snk ≤ san + C pushes the
+    /// sanitizer score up to ≈ 2 − C.
+    #[test]
+    fn sanitizer_learned_from_pinned_endpoints() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let s = sys.rep("src()");
+        let m = sys.rep("san()");
+        let t = sys.rep("snk()");
+        let vsrc = sys.var(s, Role::Source);
+        let vsan = sys.var(m, Role::Sanitizer);
+        let vsnk = sys.var(t, Role::Sink);
+        sys.pin(vsrc, 1.0);
+        sys.pin(vsnk, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vsrc, coeff: 1.0 }, Term { var: vsnk, coeff: 1.0 }],
+            rhs: vec![Term { var: vsan, coeff: 1.0 }],
+            ..Default::default()
+        });
+        let sol = solve(&sys, &SolveOptions::default());
+        // src + snk = 2 ≤ san + 0.75 ⇒ san ≥ 1.25, clipped to 1... but λ
+        // pulls down; the hinge (slope 1) dominates λ = 0.1, so san → 1.
+        assert!(sol.score(vsan) > 0.9, "san = {}", sol.score(vsan));
+        assert_eq!(sol.score(vsrc), 1.0);
+        assert_eq!(sol.score(vsnk), 1.0);
+    }
+
+    /// Without any seed, all-zeros is optimal (the paper's Q6 extreme case).
+    #[test]
+    fn empty_seed_gives_zero_scores() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let b = sys.rep("b()");
+        let va = sys.var(a, Role::Source);
+        let vb = sys.var(b, Role::Sink);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: va, coeff: 1.0 }, Term { var: vb, coeff: 1.0 }],
+            rhs: vec![],
+            ..Default::default()
+        });
+        let sol = solve(&sys, &SolveOptions::default());
+        assert!(sol.scores.iter().all(|&s| s < 1e-6), "{:?}", sol.scores);
+        assert!(sol.violation < 1e-9);
+    }
+
+    /// Regularization suppresses variables not needed by any constraint.
+    #[test]
+    fn l1_pulls_free_variables_to_zero() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("unused()");
+        let v = sys.var(a, Role::Sanitizer);
+        let sol = solve(&sys, &SolveOptions::default());
+        assert!(sol.score(v) < 1e-6);
+    }
+
+    /// A chain src=1 with constraint src + snk ≤ C forces snk down (no
+    /// gradient pressure up) — scores stay 0 and violation only as forced.
+    #[test]
+    fn infeasible_pins_leave_residual_violation() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let b = sys.rep("b()");
+        let va = sys.var(a, Role::Source);
+        let vb = sys.var(b, Role::Sink);
+        sys.pin(va, 1.0);
+        sys.pin(vb, 1.0);
+        // lhs = 2, rhs = C = 0.75: irreducible violation of 1.25.
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: va, coeff: 1.0 }, Term { var: vb, coeff: 1.0 }],
+            rhs: vec![],
+            ..Default::default()
+        });
+        let sol = solve(&sys, &SolveOptions::default());
+        assert!((sol.violation - 1.25).abs() < 1e-9, "violation {}", sol.violation);
+    }
+
+    #[test]
+    fn objective_history_is_recorded() {
+        let sys = ConstraintSystem::new(0.75);
+        let sol = solve(&sys, &SolveOptions { max_iters: 10, ..Default::default() });
+        assert!(!sol.history.is_empty());
+        assert!(sol.iterations <= 10 + 50);
+    }
+
+    /// Backoff averages: pinning a shared backoff variable raises the score
+    /// of every event averaging over it.
+    #[test]
+    fn shared_backoff_correlation() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let shared = sys.rep("x.save()");
+        let spec1 = sys.rep("media(param f).save()");
+        let vsh = sys.var(shared, Role::Sink);
+        let vs1 = sys.var(spec1, Role::Sink);
+        let src = sys.rep("request.args.get()");
+        let vsrc = sys.var(src, Role::Source);
+        sys.pin(vsrc, 1.0);
+        // src + snk_avg ≤ C with snk averaged over {spec1, shared}:
+        // wait — constraint must push snk UP: use a 4c-style constraint
+        // src + snk ≤ san + C is not it; instead model 4b:
+        // src + san ≤ snk + C with a pinned sanitizer.
+        let san = sys.rep("clean()");
+        let vsan = sys.var(san, Role::Sanitizer);
+        sys.pin(vsan, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vsrc, coeff: 1.0 }, Term { var: vsan, coeff: 1.0 }],
+            rhs: vec![Term { var: vs1, coeff: 0.5 }, Term { var: vsh, coeff: 0.5 }],
+            ..Default::default()
+        });
+        let sol = solve(&sys, &SolveOptions::default());
+        // 2 ≤ 0.5(vs1 + vsh) + 0.75 ⇒ vs1 + vsh ≥ 2.5 ⇒ both ≈ 1.
+        assert!(sol.score(vs1) > 0.8, "vs1 = {}", sol.score(vs1));
+        assert!(sol.score(vsh) > 0.8, "vsh = {}", sol.score(vsh));
+    }
+
+    #[test]
+    fn evaluate_matches_solution_fields() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let v = sys.var(a, Role::Source);
+        sys.pin(v, 1.0);
+        let sol = solve(&sys, &SolveOptions::default());
+        let (viol, obj) = evaluate(&sys, &sol.scores, 0.1);
+        assert!((viol - sol.violation).abs() < 1e-12);
+        assert!((obj - sol.objective).abs() < 1e-12);
+    }
+}

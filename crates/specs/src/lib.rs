@@ -1,0 +1,32 @@
+//! # seldon-specs
+//!
+//! Taint-specification types for the Seldon reproduction: roles (source /
+//! sanitizer / sink), role sets, the App. B text format, glob blacklists,
+//! and the paper's embedded seed specification.
+//!
+//! ## Example
+//!
+//! ```
+//! use seldon_specs::{Role, TaintSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = TaintSpec::parse("o: request.args.get()\ni: os.system()\n")?;
+//! assert!(spec.has_role("request.args.get()", Role::Source));
+//! assert!(spec.has_role("os.system()", Role::Sink));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod pattern;
+pub mod role;
+pub mod seed;
+pub mod signature;
+pub mod spec;
+
+pub use pattern::{Pattern, PatternList};
+pub use role::{Role, RoleSet};
+pub use seed::{paper_seed, ReportedBug, PAPER_SEED_TEXT, REPORTED_BUGS};
+pub use signature::{ArgRef, SinkSignature};
+pub use spec::{SpecParseError, TaintSpec};

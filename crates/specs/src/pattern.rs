@@ -1,0 +1,211 @@
+//! Glob-style patterns used by the paper's blacklist (App. B).
+//!
+//! A pattern is a literal string where `*` matches any (possibly empty)
+//! substring — e.g. `*tensorflow*`, `*.all()`, `np.*`.
+
+use std::fmt;
+
+/// A compiled blacklist pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    raw: String,
+    /// Literal segments between `*` wildcards.
+    segments: Vec<String>,
+    /// Whether the pattern starts with `*`.
+    open_start: bool,
+    /// Whether the pattern ends with `*`.
+    open_end: bool,
+}
+
+impl Pattern {
+    /// Compiles a pattern.
+    pub fn new(raw: impl Into<String>) -> Pattern {
+        let raw = raw.into();
+        let open_start = raw.starts_with('*');
+        let open_end = raw.ends_with('*');
+        let segments: Vec<String> = raw
+            .split('*')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.to_string())
+            .collect();
+        Pattern { raw, segments, open_start, open_end }
+    }
+
+    /// The original pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Tests whether `text` matches this pattern.
+    pub fn matches(&self, text: &str) -> bool {
+        if self.segments.is_empty() {
+            // "", "*", "**", ...
+            return self.open_start || self.open_end || text.is_empty();
+        }
+        // Fully anchored, wildcard-free pattern: exact match only.
+        if !self.open_start && !self.open_end && self.segments.len() == 1 {
+            return text == self.segments[0];
+        }
+        let mut pos = 0usize;
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i == 0 && !self.open_start {
+                if !text.starts_with(seg.as_str()) {
+                    return false;
+                }
+                pos = seg.len();
+            } else {
+                match text[pos..].find(seg.as_str()) {
+                    Some(off) => pos = pos + off + seg.len(),
+                    None => return false,
+                }
+            }
+        }
+        if !self.open_end {
+            // Last segment must align with the end of text. If it matched
+            // earlier we need to retry matching it at the very end.
+            let last = self.segments.last().expect("segments nonempty");
+            if pos == text.len() && text.ends_with(last.as_str()) {
+                return true;
+            }
+            // Allow the final segment to slide to the end as long as the
+            // preceding match position permits it.
+            if text.len() >= last.len() && text.ends_with(last.as_str()) {
+                let tail_start = text.len() - last.len();
+                return tail_start + last.len() >= pos;
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+/// An ordered list of patterns; matching means *any* pattern matches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternList {
+    patterns: Vec<Pattern>,
+}
+
+impl PatternList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        PatternList::default()
+    }
+
+    /// Adds a pattern.
+    pub fn push(&mut self, pattern: Pattern) {
+        self.patterns.push(pattern);
+    }
+
+    /// Whether any pattern matches `text`.
+    pub fn matches(&self, text: &str) -> bool {
+        self.patterns.iter().any(|p| p.matches(text))
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Iterates over the patterns.
+    pub fn iter(&self) -> impl Iterator<Item = &Pattern> {
+        self.patterns.iter()
+    }
+}
+
+impl FromIterator<Pattern> for PatternList {
+    fn from_iter<I: IntoIterator<Item = Pattern>>(iter: I) -> Self {
+        PatternList { patterns: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Pattern::new(pat).matches(text)
+    }
+
+    #[test]
+    fn literal_patterns() {
+        assert!(m("flask.redirect()", "flask.redirect()"));
+        assert!(!m("flask.redirect()", "flask.redirect2()"));
+        assert!(!m("flask.redirect()", "x.flask.redirect()"));
+        // A wildcard-free pattern is an exact match (proptest-found bug:
+        // the slide-to-end logic must not apply without a `*`).
+        assert!(!m("x", "xx"));
+        assert!(!m("abc", "abcabc"));
+    }
+
+    #[test]
+    fn prefix_suffix_infix() {
+        assert!(m("*tensorflow*", "import tensorflow as tf"));
+        assert!(m("*tensorflow*", "tensorflow"));
+        assert!(!m("*tensorflow*", "torch"));
+        assert!(m("np.*", "np.zeros()"));
+        assert!(!m("np.*", "numpy.zeros()"));
+        assert!(m("*.all()", "queryset.all()"));
+        assert!(!m("*.all()", "queryset.all().filter()"));
+    }
+
+    #[test]
+    fn multiple_wildcards() {
+        assert!(m("*django*settings*", "from django.conf import settings"));
+        assert!(!m("*django*settings*", "django only"));
+        assert!(m("*_()*", "gettext_().render"));
+    }
+
+    #[test]
+    fn star_only() {
+        assert!(m("*", "anything"));
+        assert!(m("*", ""));
+    }
+
+    #[test]
+    fn end_anchored_with_internal_star() {
+        assert!(m("a*c", "abc"));
+        assert!(m("a*c", "ac"));
+        assert!(m("a*c", "abcc"));
+        assert!(!m("a*c", "ab"));
+        assert!(!m("a*c", "cab"));
+    }
+
+    #[test]
+    fn paper_blacklist_samples() {
+        assert!(m("*__name__*", "type().__name__"));
+        assert!(m("*.append()", "result.append()"));
+        assert!(m("*.split()*", "key.split()"));
+        assert!(m("*.split()*", "key.split()[0]"));
+        assert!(m("*test*", "unittest.TestCase"));
+        assert!(!m("*.append()", "appendix"));
+    }
+
+    #[test]
+    fn pattern_list_any_semantics() {
+        let list: PatternList =
+            ["np.*", "*.all()"].into_iter().map(Pattern::new).collect();
+        assert!(list.matches("np.sum()"));
+        assert!(list.matches("x.all()"));
+        assert!(!list.matches("pd.sum()"));
+        assert_eq!(list.len(), 2);
+        assert!(!list.is_empty());
+        assert!(PatternList::new().is_empty());
+        assert!(!PatternList::new().matches("anything"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        assert_eq!(Pattern::new("*.all()").to_string(), "*.all()");
+    }
+}

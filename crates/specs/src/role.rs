@@ -1,0 +1,188 @@
+//! Taint roles and role sets.
+
+use std::fmt;
+
+/// The role an API event can play in a taint specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// Introduces attacker-controlled data (e.g. `request.args.get()`).
+    Source,
+    /// Neutralizes attacker-controlled data (e.g. `escape()`).
+    Sanitizer,
+    /// Security-critical consumer that must not receive unsanitized data
+    /// (e.g. `cursor.execute()`).
+    Sink,
+}
+
+impl Role {
+    /// All three roles, in the paper's canonical order (src, san, snk).
+    pub const ALL: [Role; 3] = [Role::Source, Role::Sanitizer, Role::Sink];
+
+    /// Short name used in variable subscripts: `src`, `san`, `snk`.
+    pub fn short(self) -> &'static str {
+        match self {
+            Role::Source => "src",
+            Role::Sanitizer => "san",
+            Role::Sink => "snk",
+        }
+    }
+
+    /// Index 0/1/2 for array-backed per-role storage.
+    pub fn index(self) -> usize {
+        match self {
+            Role::Source => 0,
+            Role::Sanitizer => 1,
+            Role::Sink => 2,
+        }
+    }
+
+    /// Inverse of [`Role::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 2`.
+    pub fn from_index(i: usize) -> Role {
+        match i {
+            0 => Role::Source,
+            1 => Role::Sanitizer,
+            2 => Role::Sink,
+            _ => panic!("role index out of range: {i}"),
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Source => write!(f, "source"),
+            Role::Sanitizer => write!(f, "sanitizer"),
+            Role::Sink => write!(f, "sink"),
+        }
+    }
+}
+
+/// A set of roles, packed into one byte.
+///
+/// Events may hold multiple roles simultaneously (§4 of the paper explicitly
+/// allows e.g. source + sink) or none at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct RoleSet(u8);
+
+impl RoleSet {
+    /// The empty role set.
+    pub const EMPTY: RoleSet = RoleSet(0);
+    /// All three roles.
+    pub const ALL: RoleSet = RoleSet(0b111);
+
+    /// Creates a set containing exactly `role`.
+    pub fn only(role: Role) -> RoleSet {
+        RoleSet(1 << role.index())
+    }
+
+    /// Returns the set with `role` added.
+    pub fn with(self, role: Role) -> RoleSet {
+        RoleSet(self.0 | (1 << role.index()))
+    }
+
+    /// Returns the set with `role` removed.
+    pub fn without(self, role: Role) -> RoleSet {
+        RoleSet(self.0 & !(1 << role.index()))
+    }
+
+    /// Whether `role` is in the set.
+    pub fn contains(self, role: Role) -> bool {
+        self.0 & (1 << role.index()) != 0
+    }
+
+    /// Whether no role is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of roles present.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the contained roles in canonical order.
+    pub fn iter(self) -> impl Iterator<Item = Role> {
+        Role::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+
+    /// Union of two sets.
+    pub fn union(self, other: RoleSet) -> RoleSet {
+        RoleSet(self.0 | other.0)
+    }
+
+    /// Intersection of two sets.
+    pub fn intersection(self, other: RoleSet) -> RoleSet {
+        RoleSet(self.0 & other.0)
+    }
+}
+
+impl FromIterator<Role> for RoleSet {
+    fn from_iter<I: IntoIterator<Item = Role>>(iter: I) -> Self {
+        iter.into_iter().fold(RoleSet::EMPTY, RoleSet::with)
+    }
+}
+
+impl fmt::Display for RoleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "none");
+        }
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_round_trip() {
+        for r in Role::ALL {
+            assert_eq!(Role::from_index(r.index()), r);
+        }
+    }
+
+    #[test]
+    fn roleset_ops() {
+        let s = RoleSet::only(Role::Source).with(Role::Sink);
+        assert!(s.contains(Role::Source));
+        assert!(s.contains(Role::Sink));
+        assert!(!s.contains(Role::Sanitizer));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.without(Role::Sink), RoleSet::only(Role::Source));
+        assert_eq!(s.union(RoleSet::only(Role::Sanitizer)), RoleSet::ALL);
+        assert_eq!(s.intersection(RoleSet::only(Role::Sink)), RoleSet::only(Role::Sink));
+    }
+
+    #[test]
+    fn roleset_iter_order() {
+        let s: RoleSet = [Role::Sink, Role::Source].into_iter().collect();
+        let v: Vec<Role> = s.iter().collect();
+        assert_eq!(v, vec![Role::Source, Role::Sink]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RoleSet::EMPTY.to_string(), "none");
+        assert_eq!(RoleSet::ALL.to_string(), "source+sanitizer+sink");
+        assert_eq!(Role::Sanitizer.to_string(), "sanitizer");
+    }
+
+    #[test]
+    #[should_panic(expected = "role index out of range")]
+    fn from_index_panics() {
+        let _ = Role::from_index(3);
+    }
+}

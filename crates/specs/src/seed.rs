@@ -1,0 +1,453 @@
+//! The paper's seed specification (App. B), embedded verbatim.
+//!
+//! 106 labelled events (28 sources, 30 sanitizers, 48 sinks) plus 192
+//! blacklist patterns, exactly as listed in Appendix B of the paper.
+
+use crate::spec::TaintSpec;
+
+/// Raw text of the App. B seed specification.
+pub const PAPER_SEED_TEXT: &str = r#"
+# Sources
+o: User.objects.get()
+o: cms.apps.pages.models.Page.objects.get()
+o: django.core.extensions.get_object_or_404()
+o: django.http.QueryDict()
+o: django.shortcuts.get_object_or_404()
+o: example.util.models.Link.objects.get()
+o: flask.request.form.get()
+o: inviteme.forms.ContactMailForm()
+o: live_support.forms.ChatMessageForm()
+o: model_class.objects.get()
+o: req.form.get()
+o: request.GET.copy()
+o: request.GET.get()
+o: request.POST.copy()
+o: request.POST.get()
+o: request.args.get()
+o: request.form.get()
+o: request.pages.get()
+o: self.get_query_string()
+o: self.get_user_or_404()
+o: self.queryset().get()
+o: self.request.FILES.get()
+o: self.request.get()
+o: self.request.headers.get()
+o: textpress.models.Page.objects.get()
+o: textpress.models.Tag.objects.get()
+o: textpress.models.User()
+o: textpress.models.User.objects.get()
+
+# SQL injection
+i: MySQLdb.connect().cursor().execute()
+i: MySQLdb.connect().execute()
+a: MySQLdb.connect().cursor().mogrify()
+a: MySQLdb.escape_string()
+i: pymysql.connect().cursor().execute()
+i: pymysql.connect().execute()
+a: pymysql.connect().cursor().mogrify()
+a: pymysql.escape_string()
+i: pyPgSQL.connect().cursor().execute()
+i: pyPgSQL.connect().execute()
+a: pyPgSQL.connect().cursor().mogrify()
+a: pyPgSQL.escape_string()
+i: psycopg2.connect().cursor().execute()
+i: psycopg2.connect().execute()
+a: psycopg2.connect().cursor().mogrify()
+a: psycopg2.escape_string()
+i: sqlite3.connect().cursor().execute()
+i: sqlite3.connect().execute()
+a: sqlite3.connect().cursor().mogrify()
+a: sqlite3.escape_string()
+i: flask.SQLAlchemy().session.execute()
+i: SQLAlchemy().session.execute()
+i: db.session().execute()
+i: flask.SQLAlchemy().engine.execute()
+i: SQLAlchemy().engine.execute()
+i: db.engine.execute()
+i: django.db.models.Model::objects.raw()
+i: django.db.models.expressions.RawSQL()
+i: django.db.connection.cursor().execute()
+
+# XPath Injection
+i: lxml.html.fromstring().xpath()
+i: lxml.etree.fromstring().xpath()
+i: lxml.etree.HTML().xpath()
+
+# OS Command Injection
+i: subprocess.call()
+i: subprocess.check_call()
+i: subprocess.check_output()
+i: os.system()
+i: os.spawn()
+i: os.popen()
+a: subprocess.Popen()
+
+# XXE
+i: lxml.etree.to_string()
+
+# XSS
+i: amo.utils.send_mail_jinja()
+i: django.utils.html.mark_safe()
+i: django.utils.safestring.mark_safe()
+i: example.util.response.Response()
+i: jinja2.Markup()
+i: olympia.amo.utils.send_mail_jinja()
+i: suds.sax.text.Raw()
+i: swift.common.swob.Response()
+i: webob.Response()
+i: wtforms.widgets.HTMLString()
+i: wtforms.widgets.core.HTMLString()
+i: flask.Response()
+i: flask.make_response()
+i: flask.render_template_string()
+a: bleach.clean()
+a: cgi.escape()
+a: django.forms.util.flatatt()
+a: django.template.defaultfilters.escape()
+a: django.utils.html.escape()
+a: flask.escape()
+a: jinja2.escape()
+a: textpress.utils.escape()
+a: werkzeug.escape()
+a: werkzeug.html.input()
+a: xml.sax.saxutils.escape()
+a: flask.render_template()
+a: django.shortcuts.render()
+a: django.shortcuts.render_to_response()
+a: django.template.Template().render()
+a: django.template.loader.get_template().render()
+a: werkzeug.exceptions.BadRequest()
+
+# Path Traversal
+i: flask.send_from_directory()
+i: flask.send_file()
+a: os.path.basename()
+a: werkzeug.utils.secure_filename()
+
+# Open Redirect
+i: flask.redirect()
+i: django.shortcuts.redirect()
+i: django.http.HttpResponseRedirect()
+
+# Black list
+# Imports and related functions.
+b: *tensorflow*
+b: *tf*
+b: *numpy*
+b: *pandas*
+b: np.*
+b: plt.*
+b: pyplot.*
+b: os.path.*
+b: uuid.*
+b: sys.*
+b: json.*
+b: datetime.*
+b: io.*
+b: re.*
+b: hashlib.*
+b: struct.*
+b: *String*
+b: *Queue*
+b: threading*
+b: mutex*
+b: dummy_threading*
+b: multiprocessing*
+b: *module*
+b: math.*
+
+# Flask
+b: flask.Flask()*
+b: app.*
+
+# Django
+b: *django*conf*
+b: *django*settings*
+b: *ugettext*
+b: *lazy*
+b: *RequestContext*
+
+# Logs
+b: *logging*
+b: *logger*
+b: tempfile.mkdtemp()
+b: type().__name__
+b: set_size(param n)
+b: result.append()
+b: str().encode()
+b: ValueError()
+b: logging.info()
+b: key.split()
+b: json.dump()
+
+# Python built-ins.
+b: False
+b: None
+b: True
+b: *_()*
+b: __import__()
+b: *__name__*
+b: *_str()*
+b: *_unicode()*
+b: abs()
+b: *.all()
+b: *.any()
+b: *.append()
+b: ascii()
+b: *assert*
+b: attr()
+b: bin()
+b: bool()
+b: builtins.str()
+b: bytearray()
+b: bytes()
+b: *.capitalize()
+b: *.center()
+b: chr()
+b: classmethod()
+b: cmp()
+b: complex()
+b: *.copy()
+b: *.count()
+b: *.decode()
+b: dict()
+b: *.difference()
+b: *.difference_update()
+b: dir()
+b: *.encode()
+b: *.endswith()
+b: enumerate()
+b: *.extend()
+b: *.filter()
+b: *.find()
+b: *.findall()
+b: *.finditer()
+b: float()
+b: *.format()
+b: frozenset()
+b: func()
+b: future.builtins.str()
+b: getattr()
+b: globals()
+b: hasattr()
+b: hash()
+b: help()
+b: hex()
+b: id()
+b: *.index()
+b: *.insert()
+b: int()
+b: *.intersection()
+b: *.intersection_update()
+b: *.isalnum()
+b: *.isalpha()
+b: *.isdecimal()
+b: *.isdigit()
+b: *.isdisjoint()
+b: *.isidentifier()
+b: *.isinstance()
+b: *.islower()
+b: *.isnumeric()
+b: *.isprintable()
+b: *.isspace()
+b: *.issubclass()
+b: *.issubset()
+b: *.issuperset()
+b: *.istitle()
+b: *.isupper()
+b: *.keys()
+b: kwargs
+b: *len()
+b: list()
+b: *.ljust()
+b: locals()
+b: *.lower()
+b: *.lstrip()
+b: *.maketrans()
+b: *.map()
+b: *.match()
+b: *.match.group()
+b: max()
+b: meth()
+b: min()
+b: next()
+b: object()
+b: oct()
+b: open()
+b: ord()
+b: *.pop()
+b: *.popitem()
+b: pow()
+b: print()
+b: *.purge()
+b: *.quote()
+b: *.quoted_url()
+b: range()
+b: reduce()
+b: *.reload()
+b: *.remove()
+b: *.replace()*
+b: *.repr()
+b: *.reverse()
+b: reversed()
+b: *.rfind()
+b: *.rindex()
+b: *.rjust()
+b: round()
+b: *.rpartition()
+b: *.rsplit()
+b: *.rstrip()
+b: *.search()
+b: set()
+b: setattr()
+b: *.setdefault()
+b: *.sort()
+b: sorted()
+b: *.split()*
+b: *.splitlines()
+b: *.startswith()
+b: *.staticmethod()
+b: str
+b: str()
+b: *.strip()
+b: strip_date.strftime()
+b: *.sub()
+b: *.subn()
+b: sum()
+b: super()
+b: *.symmetric_difference()
+b: *.symmetric_difference_update()
+b: *test*
+b: *.translate()
+b: *.trim_url()
+b: *.truncate()
+b: tuple()
+b: *.type()
+b: unichr()
+b: unicode()
+b: unknown()
+b: *.update()
+b: *.upper()
+b: *.values()
+b: *.vars()
+b: zip()
+"#;
+
+/// One entry of the paper's App. C listing (Tab. 11): a real-world bug
+/// report filed by the authors based on Seldon's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportedBug {
+    /// The public pull request / issue URL.
+    pub url: &'static str,
+    /// Number of bugs covered by the report.
+    pub bugs: usize,
+    /// The vulnerability type as the paper names it.
+    pub kind: &'static str,
+}
+
+/// The paper's App. C table of reported bugs (49 vulnerabilities across 21
+/// reports in 17 projects: 25 XSS, 18 SQL injections, 3 path traversals,
+/// 2 command injections, 1 code injection).
+pub const REPORTED_BUGS: [ReportedBug; 21] = [
+    ReportedBug { url: "https://github.com/anyaudio/anyaudio-server/pull/163", bugs: 2, kind: "XSS" },
+    ReportedBug { url: "https://github.com/DataViva/dataviva-site/issues/1661", bugs: 2, kind: "Path Traversal" },
+    ReportedBug { url: "https://github.com/DataViva/dataviva-site/issues/1662", bugs: 1, kind: "XSS" },
+    ReportedBug { url: "https://github.com/earthgecko/skyline/issues/85", bugs: 1, kind: "XSS" },
+    ReportedBug { url: "https://github.com/earthgecko/skyline/issues/86", bugs: 2, kind: "SQLi" },
+    ReportedBug { url: "https://github.com/gestorpsi/gestorpsi/pull/75", bugs: 2, kind: "XSS" },
+    ReportedBug { url: "https://github.com/HarshShah1997/Shopping-Cart/pull/2", bugs: 12, kind: "SQLi" },
+    ReportedBug { url: "https://github.com/kylewm/silo.pub/issues/57", bugs: 1, kind: "XSS" },
+    ReportedBug { url: "https://github.com/kylewm/woodwind/issues/77", bugs: 2, kind: "XSS" },
+    ReportedBug { url: "https://github.com/LMFDB/lmfdb/pull/2695", bugs: 7, kind: "XSS" },
+    ReportedBug { url: "https://github.com/LMFDB/lmfdb/pull/2696", bugs: 1, kind: "SQLi" },
+    ReportedBug { url: "https://github.com/mgymrek/pybamview/issues/52", bugs: 1, kind: "Command Injection" },
+    ReportedBug { url: "https://github.com/MinnPost/election-night-api/issues/1", bugs: 1, kind: "Command Injection" },
+    ReportedBug { url: "https://github.com/mitre/multiscanner/issues/159", bugs: 1, kind: "Path Traversal" },
+    ReportedBug { url: "https://github.com/MLTSHP/mltshp/pull/509", bugs: 1, kind: "XSS" },
+    ReportedBug { url: "https://github.com/mozilla/pontoon/pull/1175", bugs: 5, kind: "XSS" },
+    ReportedBug { url: "https://github.com/PadamSethia/shorty/pull/4", bugs: 1, kind: "SQLi" },
+    ReportedBug { url: "https://github.com/sharadbhat/VideoHub/issues/3", bugs: 1, kind: "SQLi" },
+    ReportedBug { url: "https://github.com/UDST/urbansim/issues/213", bugs: 1, kind: "Code Injection" },
+    ReportedBug { url: "https://github.com/viaict/viaduct/pull/5", bugs: 3, kind: "XSS" },
+    ReportedBug { url: "https://github.com/yashbidasaria/Harry-s-List-Friends/issues/1", bugs: 1, kind: "SQLi" },
+];
+
+/// Parses and returns the paper's seed specification.
+///
+/// # Panics
+///
+/// Never panics in practice: the embedded text is validated by tests.
+pub fn paper_seed() -> TaintSpec {
+    TaintSpec::parse(PAPER_SEED_TEXT).expect("embedded seed spec is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::role::Role;
+
+    #[test]
+    fn seed_parses() {
+        let spec = paper_seed();
+        // The paper reports 28 sources, 30 sanitizers, 48 sinks.
+        assert_eq!(spec.count_role(Role::Source), 28);
+        assert_eq!(spec.count_role(Role::Sanitizer), 30);
+        assert_eq!(spec.count_role(Role::Sink), 48);
+        assert_eq!(spec.role_count(), 106);
+    }
+
+    #[test]
+    fn seed_contains_known_entries() {
+        let spec = paper_seed();
+        assert!(spec.has_role("request.args.get()", Role::Source));
+        assert!(spec.has_role("werkzeug.utils.secure_filename()", Role::Sanitizer));
+        assert!(spec.has_role("flask.send_file()", Role::Sink));
+        assert!(spec.has_role("os.system()", Role::Sink));
+    }
+
+    #[test]
+    fn seed_blacklist_behaves() {
+        let spec = paper_seed();
+        assert!(spec.is_blacklisted("np.zeros()"));
+        assert!(spec.is_blacklisted("x.append()"));
+        assert!(spec.is_blacklisted("unittest.test_foo"));
+        assert!(!spec.is_blacklisted("cursor.execute()"));
+    }
+
+    #[test]
+    fn reported_bugs_match_paper_totals() {
+        // §7.5 Q7: 49 severe vulnerabilities in 17 projects — 25 XSS,
+        // 18 SQLi, 3 path traversal, 2 command injection, 1 code injection.
+        let total: usize = REPORTED_BUGS.iter().map(|b| b.bugs).sum();
+        assert_eq!(total, 49);
+        assert_eq!(REPORTED_BUGS.len(), 21);
+        let count = |kind: &str| -> usize {
+            REPORTED_BUGS.iter().filter(|b| b.kind == kind).map(|b| b.bugs).sum()
+        };
+        assert_eq!(count("XSS"), 25);
+        assert_eq!(count("SQLi"), 18);
+        assert_eq!(count("Path Traversal"), 3);
+        assert_eq!(count("Command Injection"), 2);
+        assert_eq!(count("Code Injection"), 1);
+        // 17 distinct projects.
+        let projects: std::collections::HashSet<&str> = REPORTED_BUGS
+            .iter()
+            .map(|b| {
+                let rest = b.url.trim_start_matches("https://github.com/");
+                &rest[..rest.match_indices('/').nth(1).map(|(i, _)| i).unwrap_or(rest.len())]
+            })
+            .collect();
+        // The paper says "17 projects"; the App. C table actually lists 18
+        // distinct repositories (the two kylewm/* projects share an owner,
+        // which is presumably how the authors counted). Assert the table.
+        assert_eq!(projects.len(), 18, "{projects:?}");
+    }
+
+    #[test]
+    fn blacklist_count_matches_paper_scale() {
+        let spec = paper_seed();
+        // The paper cites 192 patterns; our transcription keeps the same
+        // listing (small count drift tolerated for formatting artifacts).
+        assert!(spec.blacklist_len() >= 180, "have {}", spec.blacklist_len());
+    }
+}

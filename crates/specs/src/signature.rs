@@ -1,0 +1,142 @@
+//! Parameter-sensitive sink signatures — the paper's §3.3 future work.
+//!
+//! The paper notes that "a function may act as a source or a sink depending
+//! on its arguments, however, we leave this differentiation for future
+//! work". This module implements that differentiation for sinks: a
+//! [`SinkSignature`] records which argument positions of an API are
+//! security-critical, so a taint analyzer can suppress reports where taint
+//! only reaches a harmless parameter (the Tab. 6 "flows into wrong
+//! parameter" false positives).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which parameters of a sink are dangerous.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SinkSignature {
+    /// Dangerous positional argument indices (0-based).
+    pub positions: BTreeSet<u8>,
+    /// Dangerous keyword argument names.
+    pub keywords: BTreeSet<String>,
+    /// Whether taint arriving through the receiver chain is dangerous
+    /// (e.g. `tainted_path.unlink()`); defaults to false.
+    pub receiver: bool,
+}
+
+impl SinkSignature {
+    /// A signature with the given dangerous positional indices.
+    pub fn positional(positions: impl IntoIterator<Item = u8>) -> Self {
+        SinkSignature { positions: positions.into_iter().collect(), ..Default::default() }
+    }
+
+    /// Adds a dangerous keyword name.
+    pub fn with_keyword(mut self, name: impl Into<String>) -> Self {
+        self.keywords.insert(name.into());
+        self
+    }
+
+    /// Marks the receiver chain as dangerous.
+    pub fn with_receiver(mut self) -> Self {
+        self.receiver = true;
+        self
+    }
+
+    /// Whether taint arriving at the given position triggers the sink.
+    pub fn is_dangerous(&self, pos: &crate::signature::ArgRef) -> bool {
+        match pos {
+            ArgRef::Positional(i) => self.positions.contains(i),
+            ArgRef::Keyword(k) => self.keywords.contains(k.as_str()),
+            ArgRef::Receiver => self.receiver,
+            // Flow whose entry position is unknown (assignments, aliasing
+            // steps) is conservatively dangerous.
+            ArgRef::Unknown => true,
+        }
+    }
+
+    /// Parses the text form: whitespace-separated tokens, each either a
+    /// positional index (`0`), a keyword name (`env`), or `self` for the
+    /// receiver.
+    ///
+    /// # Errors
+    ///
+    /// Never fails: unknown tokens are treated as keyword names.
+    pub fn parse(text: &str) -> SinkSignature {
+        let mut sig = SinkSignature::default();
+        for tok in text.split([' ', ',']).filter(|t| !t.is_empty()) {
+            if tok == "self" {
+                sig.receiver = true;
+            } else if let Ok(i) = tok.parse::<u8>() {
+                sig.positions.insert(i);
+            } else {
+                sig.keywords.insert(tok.to_string());
+            }
+        }
+        sig
+    }
+}
+
+impl fmt::Display for SinkSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = self.positions.iter().map(u8::to_string).collect();
+        parts.extend(self.keywords.iter().cloned());
+        if self.receiver {
+            parts.push("self".into());
+        }
+        f.write_str(&parts.join(","))
+    }
+}
+
+/// A position reference used when querying a signature (mirrors the
+/// propagation graph's `ArgPos` without depending on that crate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgRef {
+    /// The `i`-th positional argument.
+    Positional(u8),
+    /// A keyword argument.
+    Keyword(String),
+    /// The receiver/base chain.
+    Receiver,
+    /// Position unknown (non-call edges).
+    Unknown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_signature() {
+        let sig = SinkSignature::positional([0]);
+        assert!(sig.is_dangerous(&ArgRef::Positional(0)));
+        assert!(!sig.is_dangerous(&ArgRef::Positional(1)));
+        assert!(!sig.is_dangerous(&ArgRef::Keyword("env".into())));
+        assert!(!sig.is_dangerous(&ArgRef::Receiver));
+        assert!(sig.is_dangerous(&ArgRef::Unknown));
+    }
+
+    #[test]
+    fn keyword_and_receiver() {
+        let sig = SinkSignature::positional([0]).with_keyword("cmd").with_receiver();
+        assert!(sig.is_dangerous(&ArgRef::Keyword("cmd".into())));
+        assert!(!sig.is_dangerous(&ArgRef::Keyword("env".into())));
+        assert!(sig.is_dangerous(&ArgRef::Receiver));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let sig = SinkSignature::parse("0, 2 cmd self");
+        assert!(sig.positions.contains(&0));
+        assert!(sig.positions.contains(&2));
+        assert!(sig.keywords.contains("cmd"));
+        assert!(sig.receiver);
+        let round = SinkSignature::parse(&sig.to_string());
+        assert_eq!(sig, round);
+    }
+
+    #[test]
+    fn default_is_all_safe_except_unknown() {
+        let sig = SinkSignature::default();
+        assert!(!sig.is_dangerous(&ArgRef::Positional(0)));
+        assert!(sig.is_dangerous(&ArgRef::Unknown));
+    }
+}

@@ -1,0 +1,315 @@
+//! The taint specification container and its text format.
+//!
+//! The format mirrors the paper's App. B listing: one entry per line,
+//! prefixed `o:` (source), `a:` (sanitizer), `i:` (sink), or `b:`
+//! (blacklisted pattern). `#` starts a comment. As an extension, `p:`
+//! declares a parameter-sensitive sink signature
+//! (`p: subprocess.call() 0,cmd` — see [`crate::signature`]).
+
+use crate::pattern::{Pattern, PatternList};
+use crate::role::{Role, RoleSet};
+use crate::signature::SinkSignature;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A taint specification: representation strings mapped to role sets, plus a
+/// blacklist of patterns excluded from every role.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaintSpec {
+    entries: BTreeMap<String, RoleSet>,
+    blacklist: PatternList,
+    signatures: BTreeMap<String, SinkSignature>,
+}
+
+impl TaintSpec {
+    /// Creates an empty specification.
+    pub fn new() -> Self {
+        TaintSpec::default()
+    }
+
+    /// Assigns `role` to `api` (merging with any existing roles).
+    pub fn add(&mut self, api: impl Into<String>, role: Role) {
+        let e = self.entries.entry(api.into()).or_default();
+        *e = e.with(role);
+    }
+
+    /// Assigns a whole role set to `api` (merging).
+    pub fn add_set(&mut self, api: impl Into<String>, roles: RoleSet) {
+        let e = self.entries.entry(api.into()).or_default();
+        *e = e.union(roles);
+    }
+
+    /// Adds a blacklist pattern.
+    pub fn blacklist(&mut self, pattern: impl Into<String>) {
+        self.blacklist.push(Pattern::new(pattern.into()));
+    }
+
+    /// Records which parameters of a sink are dangerous (§3.3 extension).
+    pub fn set_signature(&mut self, api: impl Into<String>, sig: SinkSignature) {
+        self.signatures.insert(api.into(), sig);
+    }
+
+    /// The sink signature of `api`, if one was declared.
+    pub fn signature(&self, api: &str) -> Option<&SinkSignature> {
+        self.signatures.get(api)
+    }
+
+    /// Number of declared sink signatures.
+    pub fn signature_count(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Returns the roles recorded for `api` (empty if unknown).
+    pub fn roles(&self, api: &str) -> RoleSet {
+        if self.blacklist.matches(api) {
+            return RoleSet::EMPTY;
+        }
+        self.entries.get(api).copied().unwrap_or_default()
+    }
+
+    /// Whether `api` matches a blacklist pattern.
+    pub fn is_blacklisted(&self, api: &str) -> bool {
+        self.blacklist.matches(api)
+    }
+
+    /// Whether `api` has `role`.
+    pub fn has_role(&self, api: &str, role: Role) -> bool {
+        self.roles(api).contains(role)
+    }
+
+    /// Number of (api, role) pairs (an api with two roles counts twice).
+    pub fn role_count(&self) -> usize {
+        self.entries.values().map(|r| r.len()).sum()
+    }
+
+    /// Number of distinct APIs with at least one role.
+    pub fn api_count(&self) -> usize {
+        self.entries.values().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Number of APIs holding `role`.
+    pub fn count_role(&self, role: Role) -> usize {
+        self.entries.values().filter(|r| r.contains(role)).count()
+    }
+
+    /// Number of blacklist patterns.
+    pub fn blacklist_len(&self) -> usize {
+        self.blacklist.len()
+    }
+
+    /// Iterates `(api, roles)` pairs in lexicographic API order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, RoleSet)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates APIs holding `role`.
+    pub fn apis_with_role(&self, role: Role) -> impl Iterator<Item = &str> {
+        self.entries
+            .iter()
+            .filter(move |(_, r)| r.contains(role))
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// Merges another specification into this one (union of roles and
+    /// blacklists).
+    pub fn merge(&mut self, other: &TaintSpec) {
+        for (api, roles) in other.iter() {
+            self.add_set(api, roles);
+        }
+        for p in other.blacklist.iter() {
+            self.blacklist.push(p.clone());
+        }
+        for (api, sig) in &other.signatures {
+            self.signatures.insert(api.clone(), sig.clone());
+        }
+    }
+
+    /// Parses the App. B text format (plus the `p:` signature extension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecParseError`] on lines that are neither empty, comments,
+    /// nor `o:`/`a:`/`i:`/`b:`/`p:` entries.
+    pub fn parse(text: &str) -> Result<TaintSpec, SpecParseError> {
+        let mut spec = TaintSpec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (prefix, rest) = match line.split_once(':') {
+                Some(parts) => parts,
+                None => {
+                    return Err(SpecParseError { line: lineno + 1, text: line.to_string() })
+                }
+            };
+            let api = rest.trim().to_string();
+            if api.is_empty() {
+                return Err(SpecParseError { line: lineno + 1, text: line.to_string() });
+            }
+            match prefix.trim() {
+                "o" => spec.add(api, Role::Source),
+                "a" => spec.add(api, Role::Sanitizer),
+                "i" => spec.add(api, Role::Sink),
+                "b" => spec.blacklist(api),
+                // `p: api() 0,env` — parameter-sensitive sink signature.
+                "p" => match api.split_once(' ') {
+                    Some((name, args)) => {
+                        spec.set_signature(name.trim(), SinkSignature::parse(args))
+                    }
+                    None => {
+                        return Err(SpecParseError {
+                            line: lineno + 1,
+                            text: line.to_string(),
+                        })
+                    }
+                },
+                _ => {
+                    return Err(SpecParseError { line: lineno + 1, text: line.to_string() })
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Serializes to the App. B text format (stable order).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for role in Role::ALL {
+            let prefix = match role {
+                Role::Source => "o",
+                Role::Sanitizer => "a",
+                Role::Sink => "i",
+            };
+            for api in self.apis_with_role(role) {
+                out.push_str(prefix);
+                out.push_str(": ");
+                out.push_str(api);
+                out.push('\n');
+            }
+        }
+        for p in self.blacklist.iter() {
+            out.push_str("b: ");
+            out.push_str(p.as_str());
+            out.push('\n');
+        }
+        for (api, sig) in &self.signatures {
+            out.push_str(&format!("p: {api} {sig}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for TaintSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Error produced when parsing a malformed spec line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line text.
+    pub text: String,
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed spec entry on line {}: `{}`", self.line, self.text)
+    }
+}
+
+impl Error for SpecParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_query() {
+        let text = "\
+# Sources
+o: request.GET.get()
+o: request.POST.get()
+# Sinks
+i: cursor.execute()
+a: escape()
+b: *test*
+";
+        let spec = TaintSpec::parse(text).unwrap();
+        assert!(spec.has_role("request.GET.get()", Role::Source));
+        assert!(spec.has_role("cursor.execute()", Role::Sink));
+        assert!(spec.has_role("escape()", Role::Sanitizer));
+        assert!(!spec.has_role("escape()", Role::Sink));
+        assert_eq!(spec.count_role(Role::Source), 2);
+        assert_eq!(spec.blacklist_len(), 1);
+        assert!(spec.is_blacklisted("unittest.TestCase"));
+    }
+
+    #[test]
+    fn blacklist_overrides_roles() {
+        let mut spec = TaintSpec::new();
+        spec.add("np.loadtxt()", Role::Source);
+        spec.blacklist("np.*");
+        assert!(spec.roles("np.loadtxt()").is_empty());
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut spec = TaintSpec::new();
+        spec.add("a()", Role::Source);
+        spec.add("b()", Role::Sink);
+        spec.add("b()", Role::Source);
+        spec.add("c()", Role::Sanitizer);
+        spec.blacklist("*x*");
+        let text = spec.to_text();
+        let spec2 = TaintSpec::parse(&text).unwrap();
+        assert_eq!(spec, spec2);
+    }
+
+    #[test]
+    fn multi_role_entries() {
+        let mut spec = TaintSpec::new();
+        spec.add("x()", Role::Source);
+        spec.add("x()", Role::Sink);
+        assert_eq!(spec.roles("x()").len(), 2);
+        assert_eq!(spec.role_count(), 2);
+        assert_eq!(spec.api_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(TaintSpec::parse("nonsense line").is_err());
+        assert!(TaintSpec::parse("z: something()").is_err());
+        assert!(TaintSpec::parse("o:").is_err());
+        let err = TaintSpec::parse("x\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = TaintSpec::new();
+        a.add("f()", Role::Source);
+        let mut b = TaintSpec::new();
+        b.add("f()", Role::Sink);
+        b.add("g()", Role::Sanitizer);
+        b.blacklist("*bl*");
+        a.merge(&b);
+        assert_eq!(a.roles("f()").len(), 2);
+        assert!(a.has_role("g()", Role::Sanitizer));
+        assert!(a.is_blacklisted("xbly"));
+    }
+
+    #[test]
+    fn apis_with_role_sorted() {
+        let mut spec = TaintSpec::new();
+        spec.add("z()", Role::Source);
+        spec.add("a()", Role::Source);
+        let v: Vec<&str> = spec.apis_with_role(Role::Source).collect();
+        assert_eq!(v, vec!["a()", "z()"]);
+    }
+}

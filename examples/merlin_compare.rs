@@ -1,0 +1,85 @@
+//! Seldon vs the Merlin baseline on the same propagation graph (§6, §7.4).
+//!
+//! Runs both methods on one project with identical seed specifications and
+//! compares their predictions and running times, on both the collapsed and
+//! uncollapsed propagation graphs.
+//!
+//! Run with: `cargo run --release -p seldon-core --example merlin_compare`
+
+use seldon_core::{analyze_project, evaluate_spec, run_seldon, GroundTruth, SeldonOptions};
+use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+use seldon_merlin::{run_merlin, MerlinOptions};
+use seldon_specs::Role;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let universe = Universe::new();
+    let corpus = generate_corpus(
+        &universe,
+        &CorpusOptions { projects: 12, ..Default::default() },
+    );
+    let analyzed = analyze_project(&corpus, 0)?;
+    let seed = universe.seed_spec();
+    let truth = GroundTruth::new(&universe, &corpus);
+    println!(
+        "project 0: {} files, {} events, {} edges\n",
+        corpus.projects[0].files.len(),
+        analyzed.graph.event_count(),
+        analyzed.graph.edge_count()
+    );
+
+    // --- Merlin, collapsed and uncollapsed --------------------------------
+    for collapsed in [true, false] {
+        let opts = MerlinOptions { collapsed, ..Default::default() };
+        let res = run_merlin(&analyzed.graph, &seed, &opts);
+        let (s, a, k) = res.candidates;
+        println!(
+            "Merlin ({}): candidates {s}/{a}/{k}, {} factors, inference {:?}",
+            if collapsed { "collapsed" } else { "uncollapsed" },
+            res.factors,
+            res.inference_time
+        );
+        for role in Role::ALL {
+            let top = res.top_n(5, role, &seed);
+            let correct = top
+                .iter()
+                .filter(|(rep, _)| truth.role_of(rep) == Some(role))
+                .count();
+            println!("  top-5 {role}s ({correct}/{} correct):", top.len());
+            for (rep, p) in top {
+                let mark = if truth.role_of(&rep) == Some(role) { "✓" } else { "✗" };
+                println!("    {mark} {p:.2} {rep}");
+            }
+        }
+        println!();
+    }
+
+    // --- Seldon on the same project ----------------------------------------
+    let started = Instant::now();
+    let opts = SeldonOptions {
+        gen: seldon_constraints::GenOptions { rep_cutoff: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let run = run_seldon(&analyzed.graph, &seed, &opts);
+    let eval = evaluate_spec(&run.extraction.spec, &truth);
+    println!(
+        "Seldon: {} constraints solved in {:?} (total {:?})",
+        run.system.constraint_count(),
+        run.solve_time,
+        started.elapsed()
+    );
+    println!(
+        "  learned {} entries, precision {:.0}%:",
+        eval.predicted(),
+        eval.precision() * 100.0
+    );
+    for (rep, roles) in run.extraction.spec.iter() {
+        let verdict = roles
+            .iter()
+            .map(|r| if truth.is_correct(rep, r) { "✓" } else { "✗" })
+            .collect::<Vec<_>>()
+            .join("");
+        println!("    {verdict} {rep}: {roles}");
+    }
+    Ok(())
+}

@@ -1,0 +1,168 @@
+//! Integration tests for the `seldon` command-line tool, driving the real
+//! binary against Python files on disk.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn seldon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_seldon"))
+}
+
+fn write_app(dir: &std::path::Path) -> PathBuf {
+    let app = dir.join("app.py");
+    std::fs::write(
+        &app,
+        "from flask import request\nimport os\n\ndef run():\n    cmd = request.args.get('c')\n    os.system(cmd)\n",
+    )
+    .expect("write temp app");
+    app
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seldon-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn check_reports_command_injection() {
+    let dir = temp_dir("check");
+    write_app(&dir);
+    let out = seldon().arg("check").arg(&dir).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Command Injection"), "{stdout}");
+    assert!(stdout.contains("os.system()"), "{stdout}");
+    assert!(stdout.contains("violation(s) total"), "{stdout}");
+}
+
+#[test]
+fn check_clean_file_reports_nothing() {
+    let dir = temp_dir("clean");
+    std::fs::write(dir.join("ok.py"), "import os\nprint(os.getcwd())\n").unwrap();
+    let out = seldon().arg("check").arg(&dir).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no violations found"), "{stdout}");
+}
+
+#[test]
+fn graph_lists_events_and_dot() {
+    let dir = temp_dir("graph");
+    let app = write_app(&dir);
+    let out = seldon().arg("graph").arg(&app).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("events"), "{stdout}");
+    assert!(stdout.contains("os.system()"), "{stdout}");
+
+    let out = seldon().arg("graph").arg(&app).arg("--dot").output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph propagation"), "{stdout}");
+}
+
+#[test]
+fn learn_writes_spec_file() {
+    let dir = temp_dir("learn");
+    // Several files using the same unknown wrapper so the cutoff keeps it.
+    for i in 0..6 {
+        std::fs::write(
+            dir.join(format!("m{i}.py")),
+            "from flask import request\nimport webresp, htmlutils\n\ndef page():\n    q = request.args.get('x')\n    return webresp.render_page(htmlutils.sanitize(q))\n",
+        )
+        .unwrap();
+    }
+    let out_path = dir.join("learned.txt");
+    let out = seldon()
+        .arg("learn")
+        .arg(&dir)
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&out_path).expect("spec written");
+    // The learned spec parses in the App. B format.
+    let spec = seldon_specs::TaintSpec::parse(&text).expect("learned spec parses");
+    let _ = spec.role_count();
+}
+
+#[test]
+fn check_with_custom_spec_and_param_sensitivity() {
+    let dir = temp_dir("custom");
+    std::fs::write(
+        dir.join("app.py"),
+        "from flask import request\nimport subprocess\nx = request.args.get('p')\nsubprocess.call(['ls'], env=x)\n",
+    )
+    .unwrap();
+    let spec_path = dir.join("spec.txt");
+    std::fs::write(
+        &spec_path,
+        "o: flask.request.args.get()\ni: subprocess.call()\np: subprocess.call() 0\n",
+    )
+    .unwrap();
+    // Baseline: reported.
+    let out = seldon()
+        .arg("check")
+        .arg(&dir)
+        .arg("--spec")
+        .arg(&spec_path)
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 violation(s) total"), "{stdout}");
+    // Param-sensitive: env= is harmless.
+    let out = seldon()
+        .arg("check")
+        .arg(&dir)
+        .arg("--spec")
+        .arg(&spec_path)
+        .arg("--param-sensitive")
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no violations found"), "{stdout}");
+}
+
+#[test]
+fn malformed_file_degrades_gracefully() {
+    let dir = temp_dir("broken");
+    std::fs::write(
+        dir.join("broken.py"),
+        "from flask import request\nimport os\nx = = broken = =\nos.system(request.args.get('c'))\n",
+    )
+    .unwrap();
+    let out = seldon().arg("check").arg(&dir).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning"), "lenient parse warns: {stderr}");
+    assert!(stdout.contains("Command Injection"), "analysis continues: {stdout}");
+}
+
+#[test]
+fn check_json_format() {
+    let dir = temp_dir("json");
+    write_app(&dir);
+    let out = seldon()
+        .arg("check")
+        .arg(&dir)
+        .arg("--format")
+        .arg("json")
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let trimmed = stdout.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "{stdout}");
+    assert!(trimmed.contains("\"class\":\"Command Injection\""), "{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = seldon().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

@@ -1,0 +1,256 @@
+//! Fidelity tests: scenarios lifted directly from the paper's figures,
+//! examples, and appendix samples.
+
+use seldon_propgraph::{build_source, describe_expr, FileId, ReprCtx};
+use seldon_pyast::parse_expr;
+use seldon_specs::{paper_seed, Role};
+use seldon_taint::TaintAnalyzer;
+use std::collections::HashMap;
+
+/// §3.2 / Fig. 3: the ESCPOSDriver representation example, verbatim.
+#[test]
+fn fig3_representation_backoff_levels() {
+    let src = "
+from base_driver import ThreadDriver
+
+class ESCPOSDriver(ThreadDriver):
+    def status(self, eprint):
+        self.receipt('<div>' + msg + '</div>')
+";
+    let g = build_source(src, FileId(0)).unwrap();
+    let call = g
+        .events()
+        .find(|(_, e)| e.rep().contains("receipt"))
+        .map(|(_, e)| e.clone())
+        .expect("receipt call event");
+    // The paper's four granularity levels, §3.2.
+    assert_eq!(call.reps[0], "ESCPOSDriver::status(param self).receipt()");
+    assert!(call
+        .reps
+        .contains(&"base_driver.ThreadDriver::status(param self).receipt()".to_string()));
+    assert!(call.reps.contains(&"status(param self).receipt()".to_string()));
+    assert!(call.reps.contains(&"self.receipt()".to_string()));
+}
+
+/// Fig. 2: the complete propagation graph of the worked example, with the
+/// exact edges the paper draws.
+#[test]
+fn fig2_edges_exact() {
+    let src = r#"
+from yak.web import app
+from flask import request
+from werkzeug import secure_filename
+import os
+
+blog_dir = app.config['PATH']
+
+@app.route('/media/', methods=['POST'])
+def media():
+    filename = request.files['f'].filename
+    filename = secure_filename(filename)
+    path = os.path.join(blog_dir, filename)
+    if not os.path.exists(path):
+        request.files['f'].save(path)
+"#;
+    let g = build_source(src, FileId(0)).unwrap();
+    let find = |rep: &str| {
+        g.events()
+            .find(|(_, e)| e.reps.iter().any(|r| r == rep))
+            .map(|(id, _)| id)
+            .unwrap_or_else(|| panic!("missing event {rep}"))
+    };
+    let a = find("flask.request.files['f'].filename");
+    let b = find("werkzeug.secure_filename()");
+    let c = find("os.path.join()");
+    let d = find("flask.request.files['f'].save()");
+    let e = find("yak.web.app.config['PATH']");
+    let f = find("os.path.exists()");
+    // Direct edges of Fig. 2b.
+    assert!(g.edge_kind(a, b).is_some(), "a -> b");
+    assert!(g.edge_kind(b, c).is_some(), "b -> c");
+    assert!(g.edge_kind(e, c).is_some(), "e -> c");
+    assert!(g.edge_kind(c, d).is_some(), "c -> d");
+    assert!(g.edge_kind(c, f).is_some(), "c -> f");
+    // `request.files['f']` appears twice (lines 10 and 14); the second
+    // occurrence is the receiver of save() — Fig. 2b's event g.
+    let receiver_edge_exists = g
+        .events()
+        .filter(|(_, e)| e.rep() == "flask.request.files['f']")
+        .any(|(id, _)| g.edge_kind(id, d).is_some());
+    assert!(receiver_edge_exists, "g -> d");
+}
+
+/// App. A samples: representation strings Seldon's paper actually printed
+/// must be derivable by our representation machinery.
+#[test]
+fn appendix_a_style_representations() {
+    // `flask.request.form['srpValueM']`
+    let mut ctx = ReprCtx::new();
+    ctx.imports.insert("request".into(), vec!["flask".into(), "request".into()]);
+    let reps = describe_expr(&parse_expr("request.form['srpValueM']").unwrap(), &ctx);
+    assert_eq!(reps[0], "flask.request.form['srpValueM']");
+
+    // `urlparse.urlparse().port`
+    let mut ctx = ReprCtx::new();
+    ctx.imports.insert("urlparse".into(), vec!["urlparse".into()]);
+    let reps = describe_expr(&parse_expr("urlparse.urlparse(u).port").unwrap(), &ctx);
+    assert_eq!(reps[0], "urlparse.urlparse().port");
+
+    // `LoginForm().username.data`
+    let mut ctx = ReprCtx::new();
+    ctx.imports.insert("LoginForm".into(), vec!["forms".into(), "LoginForm".into()]);
+    let reps = describe_expr(&parse_expr("LoginForm().username.data").unwrap(), &ctx);
+    assert!(reps.contains(&"LoginForm().username.data".to_string()), "{reps:?}");
+
+    // `media(param f).save()` — the §2 ambiguity example.
+    let mut ctx = ReprCtx::new();
+    ctx.func_name = Some("media".into());
+    ctx.params = vec!["f".into()];
+    let reps = describe_expr(&parse_expr("f.save(path)").unwrap(), &ctx);
+    assert_eq!(reps, vec!["media(param f).save()", "f.save()"]);
+}
+
+/// The embedded App. B seed spec drives a real taint analysis end to end.
+#[test]
+fn paper_seed_spec_finds_owasp_vulnerabilities() {
+    let seed = paper_seed();
+    let src = r#"
+from flask import request
+import flask
+import os
+import subprocess
+
+def sqli(cursor):
+    q = request.args.get('id')
+    cursor.execute("SELECT * FROM t WHERE id = " + q)
+
+def xss():
+    name = request.args.get('name')
+    return flask.render_template_string('<h1>' + name + '</h1>')
+
+def cmdi():
+    os.system(request.form.get('cmd'))
+
+def redirect():
+    return flask.redirect(request.args.get('next'))
+
+def safe_path():
+    from werkzeug import utils
+    fn = utils.secure_filename(request.args.get('f'))
+    return flask.send_file(fn)
+"#;
+    let g = build_source(src, FileId(0)).unwrap();
+    let analyzer = TaintAnalyzer::new(&g, &seed);
+    let violations = analyzer.find_violations();
+    let sinks: Vec<&str> = violations.iter().map(|v| v.sink_rep.as_str()).collect();
+    assert!(sinks.iter().any(|s| s.contains("render_template_string")), "{sinks:?}");
+    assert!(sinks.iter().any(|s| s.contains("os.system")), "{sinks:?}");
+    assert!(sinks.iter().any(|s| s.contains("redirect")), "{sinks:?}");
+    // The sanitized path-traversal flow is not reported.
+    assert!(
+        !sinks.iter().any(|s| s.contains("send_file")),
+        "secure_filename must protect send_file: {sinks:?}"
+    );
+}
+
+/// Fig. 8: the collapsed graph creates spurious flow, making it unsuitable
+/// for taint analysis — while the uncollapsed graph stays precise.
+#[test]
+fn fig8_collapsed_graph_spurious_flow() {
+    let src = "
+from m import src, san, sink
+
+def f():
+    x = src()
+    y = san(x)
+
+def g():
+    x = 1
+    y = san(x)
+    sink(y)
+";
+    let g = build_source(src, FileId(0)).unwrap();
+    let find = |rep: &str| {
+        g.events()
+            .find(|(_, e)| e.rep() == rep)
+            .map(|(id, _)| id)
+            .unwrap()
+    };
+    let source = find("m.src()");
+    let sink = find("m.sink()");
+    assert!(!g.is_reachable(source, sink), "uncollapsed graph is precise");
+    let (collapsed, mapping) = g.contract();
+    assert!(
+        collapsed.is_reachable(mapping[source.index()], mapping[sink.index()]),
+        "collapsed graph conflates the two san() calls (Fig. 8)"
+    );
+}
+
+/// §5.2: the `locals()` special case.
+#[test]
+fn locals_symbol_table_flow() {
+    let seed = paper_seed();
+    let src = "
+from flask import request
+import flask
+def view():
+    name = request.args.get('n')
+    return flask.render_template_string('{x}'.join(locals()))
+";
+    let g = build_source(src, FileId(0)).unwrap();
+    let analyzer = TaintAnalyzer::new(&g, &seed);
+    // Flow: source -> name -> locals() -> join (blacklisted, pass-through
+    // event is still created but plays no role) -> sink.
+    let violations = analyzer.find_violations();
+    assert!(
+        violations.iter().any(|v| v.sink_rep.contains("render_template_string")),
+        "locals() must propagate local variables: {violations:?}"
+    );
+}
+
+/// The blacklist (App. B) keeps built-ins out of every role.
+#[test]
+fn blacklist_excludes_builtins_from_analysis() {
+    let seed = paper_seed();
+    let g = build_source(
+        "from flask import request\nx = request.args.get('q')\ny = x.strip()\nz = len(y)\n",
+        FileId(0),
+    )
+    .unwrap();
+    let analyzer = TaintAnalyzer::new(&g, &seed);
+    for (id, event) in g.events() {
+        if event.reps.iter().any(|r| r.ends_with(".strip()") || r == "len()") {
+            assert!(analyzer.roles(id).is_empty(), "{:?} got a role", event.rep());
+        }
+    }
+}
+
+/// DOT export renders the Fig. 2 graph with role colors.
+#[test]
+fn fig2_dot_rendering() {
+    let src = "from flask import request\nimport os\nos.system(request.args.get('c'))\n";
+    let g = build_source(src, FileId(0)).unwrap();
+    let seed = paper_seed();
+    let analyzer = TaintAnalyzer::new(&g, &seed);
+    let mut roles = HashMap::new();
+    for (id, _) in g.events() {
+        let r = analyzer.roles(id);
+        if !r.is_empty() {
+            roles.insert(id, r);
+        }
+    }
+    let dot = seldon_propgraph::to_dot(&g, &roles);
+    assert!(dot.contains("lightblue"), "source colored");
+    assert!(dot.contains("lightcoral"), "sink colored");
+}
+
+/// The paper's seed spec counts (§7.2): 28 sources, 30 sanitizers, 48
+/// sinks, 106 total.
+#[test]
+fn seed_spec_counts_match_paper() {
+    let seed = paper_seed();
+    assert_eq!(seed.count_role(Role::Source), 28);
+    assert_eq!(seed.count_role(Role::Sanitizer), 30);
+    assert_eq!(seed.count_role(Role::Sink), 48);
+    assert_eq!(seed.role_count(), 106);
+}

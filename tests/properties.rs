@@ -1,0 +1,284 @@
+//! Property-based integration tests: robustness of the front end on
+//! arbitrary input, invariants of the propagation graph, monotonicity of
+//! the constraint system, and determinism of corpus generation.
+
+use proptest::prelude::*;
+use seldon_constraints::{generate, GenOptions};
+use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+use seldon_propgraph::{build_source, FileId};
+use seldon_pyast::{lexer, parser};
+use seldon_solver::{solve, SolveOptions};
+use seldon_specs::{Pattern, Role, RoleSet, TaintSpec};
+
+proptest! {
+    /// The lexer never panics, whatever bytes it is fed.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in "\\PC{0,200}") {
+        let _ = lexer::lex(&src);
+    }
+
+    /// The parser never panics either (it may return an error).
+    #[test]
+    fn parser_total_on_arbitrary_input(src in "\\PC{0,200}") {
+        let _ = parser::parse(&src);
+    }
+
+    /// Lexing structurally valid assignments always succeeds and the
+    /// token stream is well-bracketed by Indent/Dedent.
+    #[test]
+    fn indent_dedent_balance(depth in 1usize..6) {
+        let mut src = String::new();
+        for d in 0..depth {
+            src.push_str(&"    ".repeat(d));
+            src.push_str(&format!("if x{d}:\n"));
+        }
+        src.push_str(&"    ".repeat(depth));
+        src.push_str("pass\n");
+        let toks = lexer::lex(&src).expect("valid nesting lexes");
+        let indents = toks.iter().filter(|t| t.kind == seldon_pyast::token::TokenKind::Indent).count();
+        let dedents = toks.iter().filter(|t| t.kind == seldon_pyast::token::TokenKind::Dedent).count();
+        prop_assert_eq!(indents, dedents);
+        prop_assert_eq!(indents, depth);
+    }
+
+    /// Graphs built from straight-line generated code are acyclic and all
+    /// edges reference valid events.
+    #[test]
+    fn graph_edges_are_valid(nvars in 1usize..8) {
+        let mut src = String::from("from m import f\nx0 = f()\n");
+        for i in 1..nvars {
+            src.push_str(&format!("x{i} = f(x{})\n", i - 1));
+        }
+        let g = build_source(&src, FileId(0)).expect("builds");
+        for (from, to) in g.edges() {
+            prop_assert!(from.index() < g.event_count());
+            prop_assert!(to.index() < g.event_count());
+            prop_assert_ne!(from, to);
+        }
+        // DAG check: no event reaches itself.
+        for (id, _) in g.events() {
+            prop_assert!(!g.reachable_from(id).contains(&id));
+        }
+    }
+
+    /// Role sets behave like sets.
+    #[test]
+    fn roleset_algebra(bits_a in 0u8..8, bits_b in 0u8..8) {
+        let from_bits = |bits: u8| -> RoleSet {
+            Role::ALL
+                .into_iter()
+                .filter(|r| bits & (1 << r.index()) != 0)
+                .collect()
+        };
+        let a = from_bits(bits_a);
+        let b = from_bits(bits_b);
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.intersection(b), b.intersection(a));
+        prop_assert_eq!(a.union(a), a);
+        prop_assert_eq!(a.intersection(a), a);
+        for r in a.iter() {
+            prop_assert!(a.union(b).contains(r));
+        }
+        prop_assert!(a.union(b).len() <= a.len() + b.len());
+    }
+
+    /// Glob patterns: a literal pattern matches exactly itself.
+    #[test]
+    fn literal_patterns_match_self(s in "[a-z_.()]{1,30}") {
+        prop_assume!(!s.contains('*'));
+        let p = Pattern::new(s.clone());
+        prop_assert!(p.matches(&s));
+        let extended = format!("{s}x");
+        prop_assert!(!p.matches(&extended));
+    }
+
+    /// Wildcard-wrapped patterns match any superstring.
+    #[test]
+    fn infix_patterns_match_superstrings(
+        core in "[a-z]{1,10}",
+        prefix in "[a-z]{0,5}",
+        suffix in "[a-z]{0,5}",
+    ) {
+        let p = Pattern::new(format!("*{core}*"));
+        let text = format!("{prefix}{core}{suffix}");
+        prop_assert!(p.matches(&text));
+    }
+
+    /// Corpus generation is a pure function of its options.
+    #[test]
+    fn corpus_generation_deterministic(seed in 0u64..1000, projects in 1usize..5) {
+        let u = Universe::new();
+        let opts = CorpusOptions { projects, rng_seed: seed, ..Default::default() };
+        let a = generate_corpus(&u, &opts);
+        let b = generate_corpus(&u, &opts);
+        prop_assert_eq!(a.file_count(), b.file_count());
+        let ta: Vec<String> = a.files().map(|(_, f)| f.content.clone()).collect();
+        let tb: Vec<String> = b.files().map(|(_, f)| f.content.clone()).collect();
+        prop_assert_eq!(ta, tb);
+    }
+
+    /// Every corpus file parses, whatever the generation seed.
+    #[test]
+    fn all_generated_files_parse(seed in 0u64..200) {
+        let u = Universe::new();
+        let corpus = generate_corpus(
+            &u,
+            &CorpusOptions { projects: 2, rng_seed: seed, ..Default::default() },
+        );
+        for (_, f) in corpus.files() {
+            let parsed = parser::parse(&f.content);
+            prop_assert!(parsed.is_ok(), "file {} fails: {:?}\n{}", f.path, parsed.err(), f.content);
+        }
+    }
+
+    /// Unparse round-trip: printing a parsed corpus file and reparsing it
+    /// reaches a fixpoint (the printer and parser agree on the language).
+    #[test]
+    fn unparse_round_trip_on_corpus(seed in 0u64..100) {
+        let u = Universe::new();
+        let corpus = generate_corpus(
+            &u,
+            &CorpusOptions { projects: 1, rng_seed: seed, ..Default::default() },
+        );
+        for (_, f) in corpus.files() {
+            let m1 = parser::parse(&f.content).expect("corpus parses");
+            let printed = seldon_pyast::unparse(&m1);
+            let m2 = parser::parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+            let printed2 = seldon_pyast::unparse(&m2);
+            prop_assert_eq!(&printed, &printed2, "printer not a fixpoint");
+        }
+    }
+
+    /// Lenient parsing never loses statements on well-formed input and
+    /// never reports errors for it.
+    #[test]
+    fn lenient_equals_strict_on_valid(seed in 0u64..100) {
+        let u = Universe::new();
+        let corpus = generate_corpus(
+            &u,
+            &CorpusOptions { projects: 1, rng_seed: seed, ..Default::default() },
+        );
+        for (_, f) in corpus.files() {
+            let strict = parser::parse(&f.content).expect("corpus parses");
+            let (lenient, errors) = parser::parse_lenient(&f.content);
+            prop_assert!(errors.is_empty());
+            prop_assert_eq!(&strict, &lenient);
+        }
+    }
+
+    /// Parameter-sensitive analysis only ever removes reports, never adds.
+    #[test]
+    fn param_sensitivity_is_monotone(seed in 0u64..30) {
+        use seldon_taint::{TaintAnalyzer, TaintOptions};
+        let u = Universe::new();
+        let corpus = generate_corpus(
+            &u,
+            &CorpusOptions { projects: 3, rng_seed: seed, ..Default::default() },
+        );
+        let mut graph = seldon_propgraph::PropagationGraph::new();
+        for (i, (_, f)) in corpus.files().enumerate() {
+            let g = build_source(&f.content, FileId(i as u32)).unwrap();
+            graph.union(&g);
+        }
+        let spec = u.seed_spec_with_signatures();
+        let base = TaintAnalyzer::new(&graph, &spec).find_violations();
+        let strict = TaintAnalyzer::with_options(
+            &graph,
+            &spec,
+            TaintOptions { param_sensitive: true },
+        )
+        .find_violations();
+        prop_assert!(strict.len() <= base.len());
+        for v in &strict {
+            prop_assert!(
+                base.iter().any(|b| b.source == v.source && b.sink == v.sink),
+                "param-sensitive invented a report"
+            );
+        }
+    }
+
+    /// Solver scores always stay inside the [0, 1] box and pinned values
+    /// are bit-exact in the solution.
+    #[test]
+    fn solver_respects_box_and_pins(seed in 0u64..50) {
+        let u = Universe::new();
+        let corpus = generate_corpus(
+            &u,
+            &CorpusOptions { projects: 3, rng_seed: seed, ..Default::default() },
+        );
+        let mut graph = seldon_propgraph::PropagationGraph::new();
+        for (i, (_, f)) in corpus.files().enumerate() {
+            let g = build_source(&f.content, FileId(i as u32)).unwrap();
+            graph.union(&g);
+        }
+        let sys = generate(
+            &graph,
+            &u.seed_spec(),
+            &GenOptions { rep_cutoff: 2, ..Default::default() },
+        );
+        let sol = solve(&sys, &SolveOptions { max_iters: 50, ..Default::default() });
+        for &s in &sol.scores {
+            prop_assert!((0.0..=1.0).contains(&s), "score out of box: {s}");
+        }
+        for (v, val) in sys.pinned_vars() {
+            prop_assert_eq!(sol.score(v), val);
+        }
+    }
+
+    /// More constraints never make the hinge violation of the all-zeros
+    /// assignment negative, and the objective is non-negative everywhere.
+    #[test]
+    fn objective_nonnegative(seed in 0u64..50) {
+        let u = Universe::new();
+        let corpus = generate_corpus(
+            &u,
+            &CorpusOptions { projects: 2, rng_seed: seed, ..Default::default() },
+        );
+        let mut graph = seldon_propgraph::PropagationGraph::new();
+        for (i, (_, f)) in corpus.files().enumerate() {
+            let g = build_source(&f.content, FileId(i as u32)).unwrap();
+            graph.union(&g);
+        }
+        let sys = generate(
+            &graph,
+            &u.seed_spec(),
+            &GenOptions { rep_cutoff: 2, ..Default::default() },
+        );
+        let sol = solve(&sys, &SolveOptions { max_iters: 30, ..Default::default() });
+        prop_assert!(sol.objective >= 0.0);
+        prop_assert!(sol.violation >= 0.0);
+        prop_assert!(sol.violation <= sol.objective + 1e-9);
+    }
+
+    /// Spec round-trip: any spec assembled from valid entries survives
+    /// serialize → parse.
+    #[test]
+    fn spec_text_round_trip(entries in prop::collection::vec(("[a-z][a-z.]{0,15}\\(\\)", 0usize..3), 0..10)) {
+        let mut spec = TaintSpec::new();
+        for (api, role_idx) in &entries {
+            spec.add(api.clone(), Role::from_index(*role_idx));
+        }
+        let text = spec.to_text();
+        let reparsed = TaintSpec::parse(&text).expect("round-trip parses");
+        prop_assert_eq!(spec, reparsed);
+    }
+}
+
+#[test]
+fn union_of_contracted_equals_contracted_union_size() {
+    // Contracting after union merges same representations across files;
+    // the collapsed node count equals the number of distinct reps.
+    let u = Universe::new();
+    let corpus = generate_corpus(&u, &CorpusOptions { projects: 3, ..Default::default() });
+    let mut graph = seldon_propgraph::PropagationGraph::new();
+    for (i, (_, f)) in corpus.files().enumerate() {
+        let g = build_source(&f.content, FileId(i as u32)).unwrap();
+        graph.union(&g);
+    }
+    let (collapsed, mapping) = graph.contract();
+    let distinct: std::collections::HashSet<&str> =
+        graph.events().map(|(_, e)| e.rep()).collect();
+    assert_eq!(collapsed.event_count(), distinct.len());
+    assert_eq!(mapping.len(), graph.event_count());
+}

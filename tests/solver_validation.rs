@@ -1,0 +1,148 @@
+//! Cross-validation of the two solvers: projected Adam (the paper's
+//! method) against the exact two-phase simplex, over randomly generated
+//! constraint systems.
+
+use proptest::prelude::*;
+use seldon_constraints::{ConstraintSystem, FlowConstraint, Term};
+use seldon_solver::{evaluate, solve, solve_exact, SolveOptions};
+use seldon_specs::Role;
+
+/// Builds a random constraint system from a compact description:
+/// `n_reps` representations, a list of constraints given as index pairs,
+/// and pins on the first few variables.
+fn build_system(
+    n_reps: usize,
+    constraints: &[(usize, usize, usize)],
+    pins: &[(usize, bool)],
+) -> ConstraintSystem {
+    let mut sys = ConstraintSystem::new(0.75);
+    let reps: Vec<_> = (0..n_reps).map(|i| sys.rep(&format!("api_{i}()"))).collect();
+    let vars: Vec<_> = reps
+        .iter()
+        .map(|&r| {
+            (
+                sys.var(r, Role::Source),
+                sys.var(r, Role::Sanitizer),
+                sys.var(r, Role::Sink),
+            )
+        })
+        .collect();
+    for &(a, b, c) in constraints {
+        let (src, _, _) = vars[a % n_reps];
+        let (_, san, _) = vars[b % n_reps];
+        let (_, _, snk) = vars[c % n_reps];
+        // A Fig. 4c-shaped constraint: src + snk ≤ san + C.
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: src, coeff: 1.0 }, Term { var: snk, coeff: 1.0 }],
+            rhs: vec![Term { var: san, coeff: 1.0 }],
+            ..Default::default()
+        });
+    }
+    for &(i, positive) in pins {
+        let (src, _, snk) = vars[i % n_reps];
+        sys.pin(src, if positive { 1.0 } else { 0.0 });
+        sys.pin(snk, if positive { 1.0 } else { 0.0 });
+    }
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adam's objective is never more than a small gap above the exact LP
+    /// optimum, and never (meaningfully) below it.
+    #[test]
+    fn adam_tracks_exact_optimum(
+        n_reps in 2usize..6,
+        constraints in prop::collection::vec((0usize..6, 0usize..6, 0usize..6), 1..8),
+        pins in prop::collection::vec((0usize..6, any::<bool>()), 0..3),
+    ) {
+        let sys = build_system(n_reps, &constraints, &pins);
+        let Some(exact) = solve_exact(&sys, 0.1, 5_000) else {
+            return Ok(()); // size guard — cannot happen at these sizes
+        };
+        let approx = solve(&sys, &SolveOptions { max_iters: 4000, ..Default::default() });
+        prop_assert!(
+            approx.objective >= exact.objective - 1e-6,
+            "approx {} below exact {} — exact solver is wrong",
+            approx.objective,
+            exact.objective
+        );
+        prop_assert!(
+            approx.objective <= exact.objective + 0.1,
+            "approx {} too far above exact {}",
+            approx.objective,
+            exact.objective
+        );
+    }
+
+    /// The exact solution is feasible: inside the box and honoring pins.
+    #[test]
+    fn exact_solution_is_feasible(
+        n_reps in 2usize..6,
+        constraints in prop::collection::vec((0usize..6, 0usize..6, 0usize..6), 1..8),
+        pins in prop::collection::vec((0usize..6, any::<bool>()), 0..3),
+    ) {
+        let sys = build_system(n_reps, &constraints, &pins);
+        let Some(exact) = solve_exact(&sys, 0.1, 5_000) else { return Ok(()) };
+        for &s in &exact.scores {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&s), "score {s} out of box");
+        }
+        for (v, val) in sys.pinned_vars() {
+            prop_assert!((exact.scores[v.index()] - val).abs() < 1e-9);
+        }
+        // Reported objective matches an independent evaluation.
+        let (_, obj) = evaluate(&sys, &exact.scores, 0.1);
+        prop_assert!((obj - exact.objective).abs() < 1e-9);
+    }
+
+    /// Scaling λ up never increases the L1 mass of the exact solution.
+    #[test]
+    fn lambda_monotone_in_exact_l1(
+        n_reps in 2usize..5,
+        constraints in prop::collection::vec((0usize..5, 0usize..5, 0usize..5), 1..6),
+    ) {
+        let sys = build_system(n_reps, &constraints, &[(0, true)]);
+        let lo = solve_exact(&sys, 0.05, 5_000);
+        let hi = solve_exact(&sys, 1.5, 5_000);
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            let mass = |s: &[f64]| -> f64 { s.iter().sum() };
+            prop_assert!(
+                mass(&hi.scores) <= mass(&lo.scores) + 1e-6,
+                "higher λ must not increase L1 mass: {} vs {}",
+                mass(&hi.scores),
+                mass(&lo.scores)
+            );
+        }
+    }
+}
+
+/// Deterministic regression: a chain of overlapping constraints where the
+/// optimal solution shares one sanitizer among several violated flows.
+#[test]
+fn shared_sanitizer_is_cheaper_than_two() {
+    let mut sys = ConstraintSystem::new(0.75);
+    let s1 = sys.rep("src1()");
+    let s2 = sys.rep("src2()");
+    let m = sys.rep("shared_san()");
+    let t = sys.rep("snk()");
+    let v_s1 = sys.var(s1, Role::Source);
+    let v_s2 = sys.var(s2, Role::Source);
+    let v_m = sys.var(m, Role::Sanitizer);
+    let v_t = sys.var(t, Role::Sink);
+    sys.pin(v_s1, 1.0);
+    sys.pin(v_s2, 1.0);
+    sys.pin(v_t, 1.0);
+    for src in [v_s1, v_s2] {
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: src, coeff: 1.0 }, Term { var: v_t, coeff: 1.0 }],
+            rhs: vec![Term { var: v_m, coeff: 1.0 }],
+            ..Default::default()
+        });
+    }
+    let exact = solve_exact(&sys, 0.1, 5_000).unwrap();
+    // Both constraints are satisfied by the single shared sanitizer at 1.0.
+    assert!((exact.scores[v_m.index()] - 1.0).abs() < 1e-6);
+    // objective = 2 × residual 0.25 + λ × (3 pins + 1 sanitizer).
+    assert!((exact.objective - (0.5 + 0.4)).abs() < 1e-6, "obj {}", exact.objective);
+}
