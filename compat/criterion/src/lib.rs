@@ -1,0 +1,171 @@
+//! Offline drop-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Provides the structural API the benches are written against —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with a simple wall-clock measurement loop instead of
+//! criterion's statistical machinery. Output is one `name ... time/iter`
+//! line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimizer barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the volume of work per iteration (reported as rate).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's iteration count is
+    /// time-boxed rather than sample-count driven.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, &mut f, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, &mut |b: &mut Bencher| f(b, input), self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterized benchmark instance.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter value.
+    pub fn from_parameter<D: Display>(param: D) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<D: Display>(name: &str, param: D) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Work volume per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f` over a time-boxed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup iteration, then measure until ~200ms or 30 iters.
+        black_box(f());
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        while self.iters < 30 && started.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F, throughput: Option<Throughput>) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {name:<50} (no iterations)");
+        return;
+    }
+    let per_iter = b.total / b.iters as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            format!(" ({:.1} MiB/s)", n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0))
+        }
+        Throughput::Elements(n) => {
+            format!(" ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+        }
+    });
+    println!(
+        "bench {name:<50} {:>12.3?}/iter over {} iters{}",
+        per_iter,
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,130 @@
+//! Offline drop-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a miniature property-testing harness with the same surface the tests
+//! are written against: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), `prop_assert*` / `prop_assume!`,
+//! string-pattern strategies for a regex subset, integer-range strategies,
+//! tuples, `prop::collection::vec`, and `any::<T>()`.
+//!
+//! Unlike real proptest there is no shrinking and no persisted regression
+//! corpus: failures report the failing case number, and runs are
+//! deterministic per test name, so a failure always reproduces.
+
+pub mod collection;
+pub mod string;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of the upstream `prop` re-export module.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body runs
+/// for `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    { ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident
+        ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* } => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let mut one_case = || -> $crate::test_runner::TestCaseResult {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                        )+
+                        $body
+                        Ok(())
+                    };
+                    if let Err(e) = one_case() {
+                        panic!("proptest {} failed at case {case}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: both sides equal {:?}", a);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}
+
+/// Silently discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}

@@ -1,0 +1,196 @@
+//! String generation from a regex subset.
+//!
+//! Supports exactly the pattern language this workspace's properties use:
+//! literal characters, `\`-escaped metacharacters, character classes
+//! (`[a-z_.()]`, ranges and literals, no negation), the `\PC` Unicode
+//! "printable" class, and `{m}` / `{m,n}` repetition suffixes. Anything
+//! else panics at generation time — patterns are test-authored constants,
+//! so an unsupported pattern is a bug in the test, not user input.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// One uniformly chosen character from the set.
+    Class(Vec<char>),
+    /// Any printable character (`\PC`): ASCII plus a few multibyte
+    /// code points to exercise UTF-8 handling.
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let n = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(sample_atom(&p.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+        Atom::Printable => {
+            // Mostly ASCII printable; occasionally multibyte.
+            const EXOTIC: [char; 6] = ['é', 'λ', '中', '🦀', 'ß', '→'];
+            if rng.below(16) == 0 {
+                EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32)
+                    .expect("printable ASCII range")
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        // \PC — complement of Unicode category C (control):
+                        // printable characters.
+                        i += 1;
+                        assert_eq!(
+                            chars.get(i),
+                            Some(&'C'),
+                            "unsupported Unicode class in pattern {pattern:?}"
+                        );
+                        i += 1;
+                        Atom::Printable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                    None => panic!("dangling backslash in pattern {pattern:?}"),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-')
+                        && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        assert!(lo <= hi, "descending class range in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(lo);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // closing ]
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(set)
+            }
+            c if !"{}*+?|".contains(c) => {
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => panic!("unsupported regex construct {c:?} in pattern {pattern:?}"),
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let m: usize = body.trim().parse().expect("quantifier count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string-tests")
+    }
+
+    #[test]
+    fn literal_and_class_patterns() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,10}", &mut r);
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        assert_eq!(generate("abc", &mut r), "abc");
+    }
+
+    #[test]
+    fn escapes_and_mixed_pattern() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z][a-z.]{0,15}\\(\\)", &mut r);
+            assert!(s.ends_with("()"), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn printable_class_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("\\PC{0,200}", &mut r);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn zero_width_possible() {
+        let mut r = rng();
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            if generate("[a-z]{0,5}", &mut r).is_empty() {
+                saw_empty = true;
+            }
+        }
+        assert!(saw_empty, "empty output must be reachable");
+    }
+}

@@ -1,0 +1,77 @@
+//! Run configuration, per-test RNG, and case-level error types.
+
+use std::fmt;
+
+/// Number of generated cases per property (and future knobs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps corpus-generating properties
+        // fast while still exploring a meaningful input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure of one generated case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed assertion with a message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result of one generated case; `Err` fails the whole property.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-test generator (xorshift64*), seeded from the test
+/// name so every run of a given property replays the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a hash).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xCBF29CE484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}

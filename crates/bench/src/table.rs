@@ -53,9 +53,9 @@ impl Table {
         out.push_str(&format!("## {}\n\n", self.title));
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::from("|");
-            for i in 0..ncols {
+            for (i, &width) in widths.iter().enumerate().take(ncols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!(" {cell:<width$} |", width = widths[i]));
+                line.push_str(&format!(" {cell:<width$} |"));
             }
             line.push('\n');
             line

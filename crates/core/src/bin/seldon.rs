@@ -10,15 +10,47 @@
 //! `--spec`/`--seed` files use the paper's App. B format (`o:`/`a:`/`i:`/
 //! `b:`/`p:` lines); without one, the paper's embedded seed specification
 //! is used.
+//!
+//! All commands accept `--lenient` (default: recover from per-statement
+//! parse errors) or `--strict` (abort on the first unparseable file).
+//! Exit codes: `0` — clean run, nothing found; `1` — violations found or
+//! the analysis degraded (recovered/quarantined files, runtime failures);
+//! `2` — usage errors (bad arguments, unreadable spec, no input files).
 
 use seldon_constraints::GenOptions;
-use seldon_core::{run_seldon, SeldonOptions};
-use seldon_propgraph::{build_source_lenient, to_dot, FileId, PropagationGraph};
+use seldon_core::{
+    analyze_corpus_with, run_seldon, AnalysisReport, AnalyzeOptions, AnalyzedCorpus,
+    FaultPolicy, FileOutcome, SeldonOptions,
+};
+use seldon_corpus::{Corpus, Project, SourceFile};
+use seldon_propgraph::{to_dot, Budget, FileId};
 use seldon_specs::{paper_seed, TaintSpec};
 use seldon_taint::{render_reports, reports_to_json, TaintAnalyzer, TaintOptions};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// How a successfully completed command ends.
+enum Outcome {
+    /// Nothing found, nothing degraded: exit 0.
+    Clean,
+    /// Violations reported or the analysis degraded: exit 1.
+    Findings,
+}
+
+/// How a failed command ends.
+enum CliError {
+    /// Bad invocation (arguments, missing inputs): exit 2.
+    Usage(String),
+    /// The run itself failed (strict-mode parse failure, I/O): exit 1.
+    Runtime(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,72 +64,119 @@ fn main() -> ExitCode {
         "learn" => cmd_learn(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(Outcome::Clean)
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::Findings) => ExitCode::from(1),
+        Err(CliError::Runtime(e)) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
         }
     }
 }
 
 const USAGE: &str = "usage:
-  seldon graph  <file.py> [--dot]
-  seldon check  <path...> [--spec <spec.txt>] [--param-sensitive] [--format json]
-  seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>]";
+  seldon graph  <file.py> [--dot] [--strict|--lenient]
+  seldon check  <path...> [--spec <spec.txt>] [--param-sensitive] [--format json] [--strict|--lenient]
+  seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>] [--strict|--lenient]
 
-/// Recursively collects `.py` files under each path.
-fn collect_py_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+exit codes: 0 clean; 1 violations found or degraded analysis; 2 usage error";
+
+/// Directory recursion bound; also caps how far a symlink chain can lead.
+const MAX_WALK_DEPTH: usize = 64;
+
+/// Recursively collects `.py` files under each path. Unreadable entries
+/// are skipped with a warning; symlink cycles are broken by a visited set
+/// of canonical directory paths.
+fn collect_py_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, CliError> {
     let mut out = Vec::new();
+    let mut visited = HashSet::new();
     for p in paths {
-        walk(p, &mut out)?;
+        if !p.exists() {
+            return Err(CliError::usage(format!("no such path: {}", p.display())));
+        }
+        walk(p, &mut out, &mut visited, 0);
     }
     out.sort();
+    out.dedup();
     if out.is_empty() {
-        return Err("no .py files found".into());
+        return Err(CliError::usage("no .py files found"));
     }
     Ok(out)
 }
 
-fn walk(p: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+fn walk(p: &Path, out: &mut Vec<PathBuf>, visited: &mut HashSet<PathBuf>, depth: usize) {
+    if depth > MAX_WALK_DEPTH {
+        eprintln!(
+            "warning: skipping {}: nesting deeper than {MAX_WALK_DEPTH} levels",
+            p.display()
+        );
+        return;
+    }
     if p.is_file() {
         if p.extension().is_some_and(|e| e == "py") {
             out.push(p.to_path_buf());
         }
-        return Ok(());
+        return;
     }
     if p.is_dir() {
-        let entries =
-            std::fs::read_dir(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        match p.canonicalize() {
+            Ok(canonical) => {
+                if !visited.insert(canonical) {
+                    // Second arrival at the same real directory: a symlink
+                    // cycle or a diamond; either way, walking it again can
+                    // only duplicate or loop.
+                    return;
+                }
+            }
+            Err(e) => {
+                eprintln!("warning: skipping {}: {e}", p.display());
+                return;
+            }
+        }
+        let entries = match std::fs::read_dir(p) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("warning: skipping {}: {e}", p.display());
+                return;
+            }
+        };
         for entry in entries {
-            let entry = entry.map_err(|e| e.to_string())?;
-            walk(&entry.path(), out)?;
+            match entry {
+                Ok(entry) => walk(&entry.path(), out, visited, depth + 1),
+                Err(e) => eprintln!("warning: skipping entry in {}: {e}", p.display()),
+            }
         }
     }
-    Ok(())
 }
 
-fn load_spec(path: Option<&str>) -> Result<TaintSpec, String> {
+fn load_spec(path: Option<&str>) -> Result<TaintSpec, CliError> {
     match path {
         Some(p) => {
-            let text =
-                std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
-            TaintSpec::parse(&text).map_err(|e| e.to_string())
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| CliError::usage(format!("cannot read {p}: {e}")))?;
+            TaintSpec::parse(&text).map_err(|e| CliError::usage(e.to_string()))
         }
         None => Ok(paper_seed()),
     }
 }
+
+/// Positional paths, `--opt value` pairs, and bare flags from one command line.
+type ParsedArgs<'a> = (Vec<PathBuf>, HashMap<&'a str, &'a str>, Vec<&'a str>);
 
 /// Parses paths + named options from `rest`.
 fn split_args<'a>(
     rest: &'a [String],
     flags: &[&str],
     options: &[&str],
-) -> Result<(Vec<PathBuf>, HashMap<&'a str, &'a str>, Vec<&'a str>), String> {
+) -> Result<ParsedArgs<'a>, CliError> {
     let mut paths = Vec::new();
     let mut opts = HashMap::new();
     let mut set_flags = Vec::new();
@@ -106,10 +185,10 @@ fn split_args<'a>(
         if flags.contains(&a.as_str()) {
             set_flags.push(a.as_str());
         } else if options.contains(&a.as_str()) {
-            let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+            let v = it.next().ok_or_else(|| CliError::usage(format!("{a} needs a value")))?;
             opts.insert(a.as_str(), v.as_str());
         } else if a.starts_with('-') {
-            return Err(format!("unknown option `{a}`"));
+            return Err(CliError::usage(format!("unknown option `{a}`")));
         } else {
             paths.push(PathBuf::from(a));
         }
@@ -117,28 +196,90 @@ fn split_args<'a>(
     Ok((paths, opts, set_flags))
 }
 
-fn build_graph_for(files: &[PathBuf]) -> Result<(PropagationGraph, Vec<String>), String> {
-    let mut graph = PropagationGraph::new();
-    let mut names = Vec::new();
-    for (i, f) in files.iter().enumerate() {
-        let src = std::fs::read_to_string(f)
-            .map_err(|e| format!("cannot read {}: {e}", f.display()))?;
-        let (g, errors) = build_source_lenient(&src, FileId(i as u32));
-        for e in errors {
-            eprintln!("warning: {}: {e}", f.display());
-        }
-        graph.union(&g);
-        names.push(f.display().to_string());
+fn policy_from_flags(flags: &[&str]) -> Result<FaultPolicy, CliError> {
+    match (flags.contains(&"--strict"), flags.contains(&"--lenient")) {
+        (true, true) => Err(CliError::usage("--strict and --lenient are mutually exclusive")),
+        (true, false) => Ok(FaultPolicy::FailFast),
+        _ => Ok(FaultPolicy::Recover),
     }
-    Ok((graph, names))
 }
 
-fn cmd_graph(rest: &[String]) -> Result<(), String> {
-    let (paths, _, flags) = split_args(rest, &["--dot"], &[])?;
+/// A set of on-disk files analyzed through the fault-tolerant pipeline.
+struct Analysis {
+    analyzed: AnalyzedCorpus,
+    report: AnalysisReport,
+    /// Display name per [`FileId`] index.
+    names: Vec<String>,
+    /// Files that could not even be read (skipped with a warning).
+    io_skipped: usize,
+}
+
+impl Analysis {
+    fn is_degraded(&self) -> bool {
+        self.io_skipped > 0 || self.report.is_degraded()
+    }
+}
+
+/// Reads `files`, wraps them as a single-project corpus, and runs the
+/// fault-tolerant pipeline over it under `policy` with default budgets.
+fn analyze_files(files: &[PathBuf], policy: FaultPolicy) -> Result<Analysis, CliError> {
+    let mut sources = Vec::new();
+    let mut names = Vec::new();
+    let mut io_skipped = 0usize;
+    for f in files {
+        match std::fs::read_to_string(f) {
+            Ok(content) => {
+                names.push(f.display().to_string());
+                sources.push(SourceFile { path: f.display().to_string(), content });
+            }
+            Err(e) => {
+                eprintln!("warning: skipping {}: {e}", f.display());
+                io_skipped += 1;
+            }
+        }
+    }
+    if sources.is_empty() {
+        return Err(CliError::usage("no readable .py files"));
+    }
+    let corpus = Corpus {
+        projects: vec![Project { name: "cli".into(), files: sources }],
+        ..Default::default()
+    };
+    let opts = AnalyzeOptions { policy, budget: Some(Budget::default()), ..Default::default() };
+    let (analyzed, report) = analyze_corpus_with(&corpus, &opts)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    Ok(Analysis { analyzed, report, names, io_skipped })
+}
+
+/// Prints per-file degradation warnings and the summary line to stderr.
+fn print_degradation(analysis: &Analysis) {
+    for f in &analysis.report.files {
+        match &f.outcome {
+            FileOutcome::Ok => {}
+            FileOutcome::Recovered { errors } => {
+                eprintln!("warning: recovered {} ({errors} parse error(s) skipped)", f.path)
+            }
+            FileOutcome::Skipped { error }
+            | FileOutcome::OverBudget { error }
+            | FileOutcome::Panicked { error } => {
+                eprintln!("warning: quarantined {}: {error}", f.path)
+            }
+        }
+    }
+    if analysis.is_degraded() {
+        eprintln!("degraded analysis: {}", analysis.report.summary());
+    }
+}
+
+fn cmd_graph(rest: &[String]) -> Result<Outcome, CliError> {
+    let (paths, _, flags) = split_args(rest, &["--dot", "--strict", "--lenient"], &[])?;
+    let policy = policy_from_flags(&flags)?;
     let files = collect_py_files(&paths)?;
-    let (graph, _) = build_graph_for(&files)?;
+    let analysis = analyze_files(&files, policy)?;
+    print_degradation(&analysis);
+    let graph = &analysis.analyzed.graph;
     if flags.contains(&"--dot") {
-        print!("{}", to_dot(&graph, &HashMap::new()));
+        print!("{}", to_dot(graph, &HashMap::new()));
     } else {
         println!("{} events, {} edges", graph.event_count(), graph.edge_count());
         for (id, event) in graph.events() {
@@ -148,31 +289,42 @@ fn cmd_graph(rest: &[String]) -> Result<(), String> {
             println!("  {} -> {}", graph.event(from).rep(), graph.event(to).rep());
         }
     }
-    Ok(())
+    Ok(if analysis.is_degraded() { Outcome::Findings } else { Outcome::Clean })
 }
 
-fn cmd_check(rest: &[String]) -> Result<(), String> {
-    let (paths, opts, flags) =
-        split_args(rest, &["--param-sensitive"], &["--spec", "--format"])?;
+fn cmd_check(rest: &[String]) -> Result<Outcome, CliError> {
+    let (paths, opts, flags) = split_args(
+        rest,
+        &["--param-sensitive", "--strict", "--lenient"],
+        &["--spec", "--format"],
+    )?;
+    let policy = policy_from_flags(&flags)?;
     let spec = load_spec(opts.get("--spec").copied())?;
     let files = collect_py_files(&paths)?;
-    let (graph, names) = build_graph_for(&files)?;
+    let analysis = analyze_files(&files, policy)?;
+    print_degradation(&analysis);
+    let graph = &analysis.analyzed.graph;
     let analyzer = TaintAnalyzer::with_options(
-        &graph,
+        graph,
         &spec,
         TaintOptions { param_sensitive: flags.contains(&"--param-sensitive") },
     );
     let violations = analyzer.find_violations();
+    let outcome = if violations.is_empty() && !analysis.is_degraded() {
+        Outcome::Clean
+    } else {
+        Outcome::Findings
+    };
     if opts.get("--format") == Some(&"json") {
-        println!("{}", reports_to_json(&violations, &graph));
-        return Ok(());
+        println!("{}", reports_to_json(&violations, graph));
+        return Ok(outcome);
     }
     if violations.is_empty() {
-        println!("no violations found in {} file(s)", names.len());
-        return Ok(());
+        println!("no violations found in {} file(s)", analysis.names.len());
+        return Ok(outcome);
     }
     // Group reports per file for readability.
-    for (i, name) in names.iter().enumerate() {
+    for (i, name) in analysis.names.iter().enumerate() {
         let of_file: Vec<_> = violations
             .iter()
             .filter(|v| v.file == FileId(i as u32))
@@ -182,32 +334,36 @@ fn cmd_check(rest: &[String]) -> Result<(), String> {
             continue;
         }
         println!("== {name} ==");
-        print!("{}", render_reports(&of_file, &graph));
+        print!("{}", render_reports(&of_file, graph));
     }
     println!("{} violation(s) total", violations.len());
-    Ok(())
+    Ok(outcome)
 }
 
-fn cmd_learn(rest: &[String]) -> Result<(), String> {
-    let (paths, opts, _) = split_args(rest, &[], &["--seed", "--out", "--cutoff"])?;
+fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
+    let (paths, opts, flags) =
+        split_args(rest, &["--strict", "--lenient"], &["--seed", "--out", "--cutoff"])?;
+    let policy = policy_from_flags(&flags)?;
     let seed = load_spec(opts.get("--seed").copied())?;
     let files = collect_py_files(&paths)?;
-    let (graph, names) = build_graph_for(&files)?;
+    let analysis = analyze_files(&files, policy)?;
+    print_degradation(&analysis);
+    let graph = &analysis.analyzed.graph;
     eprintln!(
         "analyzed {} files: {} events, {} edges",
-        names.len(),
+        analysis.names.len(),
         graph.event_count(),
         graph.edge_count()
     );
     let cutoff: usize = opts
         .get("--cutoff")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(if names.len() < 50 { 2 } else { 5 });
+        .unwrap_or(if analysis.names.len() < 50 { 2 } else { 5 });
     let options = SeldonOptions {
         gen: GenOptions { rep_cutoff: cutoff, ..Default::default() },
         ..Default::default()
     };
-    let run = run_seldon(&graph, &seed, &options);
+    let run = run_seldon(graph, &seed, &options);
     eprintln!(
         "{} constraints over {} variables solved in {:?} ({} iterations)",
         run.system.constraint_count(),
@@ -215,10 +371,14 @@ fn cmd_learn(rest: &[String]) -> Result<(), String> {
         run.solve_time,
         run.solution.iterations
     );
+    if run.solution.diverged {
+        eprintln!("warning: solver diverged and restarted with a reduced learning rate");
+    }
     let text = run.extraction.spec.to_text();
     match opts.get("--out") {
         Some(path) => {
-            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
             eprintln!(
                 "wrote {} learned entries to {path}",
                 run.extraction.spec.role_count()
@@ -226,5 +386,9 @@ fn cmd_learn(rest: &[String]) -> Result<(), String> {
         }
         None => print!("{text}"),
     }
-    Ok(())
+    Ok(if analysis.is_degraded() || run.solution.diverged {
+        Outcome::Findings
+    } else {
+        Outcome::Clean
+    })
 }

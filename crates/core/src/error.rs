@@ -1,16 +1,45 @@
 //! Pipeline errors.
+//!
+//! [`PipelineError`] is the full failure taxonomy of the end-to-end
+//! pipeline. Under [`FaultPolicy::FailFast`](crate::FaultPolicy) these
+//! surface as `Err` from [`analyze_corpus_with`](crate::analyze_corpus_with);
+//! under [`FaultPolicy::Skip`](crate::FaultPolicy) the per-file variants are
+//! quarantined into the [`AnalysisReport`](crate::AnalysisReport) instead.
 
+use seldon_propgraph::BudgetExceeded;
 use std::error::Error;
 use std::fmt;
 
 /// Failure of the end-to-end pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PipelineError {
     /// A corpus file failed to lex/parse.
     Parse {
         /// Path of the offending file.
         path: String,
         /// Front-end error message.
+        message: String,
+    },
+    /// A corpus file exceeded a per-file resource budget.
+    OverBudget {
+        /// Path of the offending file.
+        path: String,
+        /// Which budget dimension tripped.
+        limit: BudgetExceeded,
+    },
+    /// Analysis of a corpus file panicked; the panic was contained.
+    Panicked {
+        /// Path of the offending file.
+        path: String,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// An I/O failure while reading corpus input.
+    Io {
+        /// Path of the offending file or directory.
+        path: String,
+        /// The underlying I/O error message.
         message: String,
     },
     /// A project index was out of range.
@@ -22,6 +51,15 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Parse { path, message } => {
                 write!(f, "failed to parse {path}: {message}")
+            }
+            PipelineError::OverBudget { path, limit } => {
+                write!(f, "{path} over budget: {limit}")
+            }
+            PipelineError::Panicked { path, message } => {
+                write!(f, "analysis of {path} panicked: {message}")
+            }
+            PipelineError::Io { path, message } => {
+                write!(f, "io error on {path}: {message}")
             }
             PipelineError::NoSuchProject(i) => write!(f, "no project with index {i}"),
         }
@@ -39,5 +77,25 @@ mod tests {
         let e = PipelineError::Parse { path: "a.py".into(), message: "boom".into() };
         assert_eq!(e.to_string(), "failed to parse a.py: boom");
         assert_eq!(PipelineError::NoSuchProject(3).to_string(), "no project with index 3");
+    }
+
+    #[test]
+    fn display_over_budget() {
+        let e = PipelineError::OverBudget {
+            path: "big.py".into(),
+            limit: BudgetExceeded::SourceBytes { limit: 10, actual: 20 },
+        };
+        assert_eq!(
+            e.to_string(),
+            "big.py over budget: source size 20 bytes exceeds budget of 10 bytes"
+        );
+    }
+
+    #[test]
+    fn display_panicked_and_io() {
+        let e = PipelineError::Panicked { path: "p.py".into(), message: "overflow".into() };
+        assert_eq!(e.to_string(), "analysis of p.py panicked: overflow");
+        let e = PipelineError::Io { path: "dir".into(), message: "denied".into() };
+        assert_eq!(e.to_string(), "io error on dir: denied");
     }
 }

@@ -30,6 +30,7 @@
 pub mod error;
 pub mod eval;
 pub mod pipeline;
+pub mod report;
 
 pub use error::PipelineError;
 pub use eval::{
@@ -37,6 +38,7 @@ pub use eval::{
     ReportSummary, RoleEval, SpecEval,
 };
 pub use pipeline::{
-    analyze_corpus, analyze_project, run_seldon, AnalyzedCorpus, FileMeta, SeldonOptions,
-    SeldonRun,
+    analyze_corpus, analyze_corpus_with, analyze_project, run_seldon, AnalyzeOptions,
+    AnalyzedCorpus, FaultPolicy, FileMeta, SeldonOptions, SeldonRun,
 };
+pub use report::{AnalysisReport, FileOutcome, FileReport};

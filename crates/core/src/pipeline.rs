@@ -2,13 +2,30 @@
 //! extract per-file propagation graphs (in parallel), union them into the
 //! global graph, generate the linear constraint system, solve it with
 //! projected Adam, and extract the learned specification.
+//!
+//! ## Fault tolerance
+//!
+//! Real big-code corpora contain files that are malformed, pathological, or
+//! that expose analysis bugs. [`analyze_corpus_with`] isolates every file:
+//! a [`FaultPolicy`] decides whether a bad file aborts the run, is retried
+//! leniently, or is quarantined; an optional per-file
+//! [`Budget`](seldon_propgraph::Budget) bounds each file's cost; and a
+//! panic during one file's analysis is contained and quarantines only that
+//! file. The per-file verdicts come back in an
+//! [`AnalysisReport`](crate::AnalysisReport).
 
 use crate::error::PipelineError;
+use crate::report::{AnalysisReport, FileOutcome, FileReport};
 use seldon_constraints::{generate, ConstraintSystem, GenOptions};
 use seldon_corpus::Corpus;
-use seldon_propgraph::{build_source, FileId, PropagationGraph};
+use seldon_propgraph::{
+    build_source, build_source_budgeted, build_source_lenient, build_source_lenient_budgeted,
+    Budget, BuildError, FileId, PropagationGraph,
+};
 use seldon_solver::{extract, solve, ExtractOptions, Extraction, SolveOptions, Solution};
 use seldon_specs::TaintSpec;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Metadata for one analyzed file.
@@ -24,7 +41,8 @@ pub struct FileMeta {
 #[derive(Debug)]
 pub struct AnalyzedCorpus {
     /// The global propagation graph (union of per-file graphs; event sets
-    /// of different files stay disjoint, §4).
+    /// of different files stay disjoint, §4). Quarantined files contribute
+    /// no events but keep their [`FileId`] slot in `files`.
     pub graph: PropagationGraph,
     /// Per-[`FileId`] metadata, indexed by `FileId.0`.
     pub files: Vec<FileMeta>,
@@ -39,11 +57,192 @@ impl AnalyzedCorpus {
     }
 }
 
+/// How the pipeline reacts to a file that cannot be analyzed cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Abort the whole run on the first bad file (legacy behaviour).
+    #[default]
+    FailFast,
+    /// Retry strict-parse failures with the lenient front end; quarantine
+    /// only files that defeat recovery (budget trips, panics).
+    Recover,
+    /// Quarantine every bad file without retrying; the run always
+    /// completes on whatever parses cleanly.
+    Skip,
+}
+
+/// Options controlling a fault-tolerant corpus analysis.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// What to do with files that fail analysis.
+    pub policy: FaultPolicy,
+    /// Per-file resource budget; `None` analyzes without limits.
+    pub budget: Option<Budget>,
+    /// Worker threads for per-file graph extraction (0 and 1 both mean
+    /// sequential; union order is deterministic either way).
+    pub threads: usize,
+    /// Honor [`seldon_corpus::PANIC_MARKER`] by panicking inside the
+    /// per-file guard. Only the fault-injection harness sets this; it
+    /// exercises panic containment without a real analysis bug.
+    pub fault_markers: bool,
+}
+
+/// Analyzes one file under the options' budget and policy. Never panics:
+/// a panic inside extraction is contained and reported as
+/// [`FileOutcome::Panicked`].
+fn analyze_one(
+    path: &str,
+    content: &str,
+    id: FileId,
+    opts: &AnalyzeOptions,
+) -> (Option<PropagationGraph>, FileOutcome) {
+    let guarded = catch_unwind(AssertUnwindSafe(|| {
+        if opts.fault_markers && content.contains(seldon_corpus::PANIC_MARKER) {
+            panic!("injected panic ({})", seldon_corpus::PANIC_MARKER);
+        }
+        let strict = match &opts.budget {
+            Some(budget) => build_source_budgeted(content, id, budget),
+            None => build_source(content, id).map_err(BuildError::Frontend),
+        };
+        match strict {
+            Ok(g) => (Some(g), FileOutcome::Ok),
+            Err(BuildError::OverBudget(limit)) => {
+                let error = PipelineError::OverBudget { path: path.to_string(), limit };
+                (None, FileOutcome::OverBudget { error })
+            }
+            Err(BuildError::Frontend(_)) if opts.policy == FaultPolicy::Recover => {
+                // Lenient retry; only a budget trip can still fail.
+                let lenient = match &opts.budget {
+                    Some(budget) => build_source_lenient_budgeted(content, id, budget),
+                    None => Ok(build_source_lenient(content, id)),
+                };
+                match lenient {
+                    Ok((g, errors)) => {
+                        (Some(g), FileOutcome::Recovered { errors: errors.len().max(1) })
+                    }
+                    Err(limit) => {
+                        let error =
+                            PipelineError::OverBudget { path: path.to_string(), limit };
+                        (None, FileOutcome::OverBudget { error })
+                    }
+                }
+            }
+            Err(BuildError::Frontend(e)) => {
+                let error = PipelineError::Parse {
+                    path: path.to_string(),
+                    message: e.to_string(),
+                };
+                (None, FileOutcome::Skipped { error })
+            }
+        }
+    }));
+    match guarded {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            let error = PipelineError::Panicked { path: path.to_string(), message };
+            (None, FileOutcome::Panicked { error })
+        }
+    }
+}
+
+/// Parses every file of `corpus` under `opts`, unions the graphs of
+/// successfully analyzed files, and reports a per-file verdict for each.
+///
+/// File identity is stable: the [`FileId`] of every file equals its index
+/// in corpus order even when earlier files are quarantined, so the union
+/// order — and therefore event identity — is deterministic and independent
+/// of the thread count.
+///
+/// # Errors
+///
+/// Under [`FaultPolicy::FailFast`], the error of the first (lowest-index)
+/// bad file; the other policies only fail on corpus-level errors.
+pub fn analyze_corpus_with(
+    corpus: &Corpus,
+    opts: &AnalyzeOptions,
+) -> Result<(AnalyzedCorpus, AnalysisReport), PipelineError> {
+    let started = Instant::now();
+    let inputs: Vec<(usize, &str, &str)> = corpus
+        .files()
+        .map(|(project, f)| (project, f.path.as_str(), f.content.as_str()))
+        .collect();
+    let n = inputs.len();
+    let threads = opts.threads.max(1).min(n.max(1));
+
+    let mut slots: Vec<Option<(Option<PropagationGraph>, FileOutcome)>> =
+        (0..n).map(|_| None).collect();
+    if threads <= 1 {
+        for (i, (_, path, content)) in inputs.iter().enumerate() {
+            slots[i] = Some(analyze_one(path, content, FileId(i as u32), opts));
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        let results =
+            Mutex::new(Vec::<(usize, (Option<PropagationGraph>, FileOutcome))>::new());
+        std::thread::scope(|scope| {
+            for (t, chunk_inputs) in inputs.chunks(chunk).enumerate() {
+                let results = &results;
+                scope.spawn(move || {
+                    let base = t * chunk;
+                    let mut local = Vec::with_capacity(chunk_inputs.len());
+                    // Drain the whole chunk: a bad file never starves the
+                    // files behind it of analysis.
+                    for (off, (_, path, content)) in chunk_inputs.iter().enumerate() {
+                        let i = base + off;
+                        local.push((i, analyze_one(path, content, FileId(i as u32), opts)));
+                    }
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(local);
+                });
+            }
+        });
+        for (i, r) in results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            slots[i] = Some(r);
+        }
+    }
+
+    let mut graph = PropagationGraph::new();
+    let mut files = Vec::with_capacity(n);
+    let mut reports = Vec::with_capacity(n);
+    for (i, (project, path, _)) in inputs.iter().enumerate() {
+        let (g, outcome) =
+            slots[i].take().expect("every index 0..n is written exactly once above");
+        if opts.policy == FaultPolicy::FailFast {
+            // Deterministic: the lowest-index bad file wins regardless of
+            // which worker finished first.
+            match &outcome {
+                FileOutcome::Ok | FileOutcome::Recovered { .. } => {}
+                FileOutcome::Skipped { error }
+                | FileOutcome::OverBudget { error }
+                | FileOutcome::Panicked { error } => return Err(error.clone()),
+            }
+        }
+        if let Some(g) = g {
+            graph.union(&g);
+        }
+        files.push(FileMeta { project: *project, path: path.to_string() });
+        reports.push(FileReport { project: *project, path: path.to_string(), outcome });
+    }
+    Ok((
+        AnalyzedCorpus { graph, files, build_time: started.elapsed() },
+        AnalysisReport { files: reports },
+    ))
+}
+
 /// Parses every file of `corpus` and unions the per-file graphs.
 ///
-/// Per-file graph extraction runs on `threads` worker threads (pass 1 for
-/// deterministic single-threaded runs; the union order is deterministic
-/// either way).
+/// Equivalent to [`analyze_corpus_with`] under [`FaultPolicy::FailFast`]
+/// with no budget — the legacy strict pipeline.
 ///
 /// # Errors
 ///
@@ -51,58 +250,8 @@ impl AnalyzedCorpus {
 /// the corpus generator guarantees parseable output, so this indicates a
 /// front-end bug.
 pub fn analyze_corpus(corpus: &Corpus, threads: usize) -> Result<AnalyzedCorpus, PipelineError> {
-    let started = Instant::now();
-    let inputs: Vec<(usize, &str, &str)> = corpus
-        .files()
-        .map(|(project, f)| (project, f.path.as_str(), f.content.as_str()))
-        .collect();
-    let n = inputs.len();
-    let threads = threads.max(1).min(n.max(1));
-
-    let mut slots: Vec<Option<PropagationGraph>> = (0..n).map(|_| None).collect();
-    if threads <= 1 {
-        for (i, (_, path, content)) in inputs.iter().enumerate() {
-            let g = build_source(content, FileId(i as u32))
-                .map_err(|e| PipelineError::Parse { path: path.to_string(), message: e.to_string() })?;
-            slots[i] = Some(g);
-        }
-    } else {
-        let chunk = n.div_ceil(threads);
-        let results = parking_lot::Mutex::new(Vec::<(usize, Result<PropagationGraph, PipelineError>)>::new());
-        crossbeam::scope(|scope| {
-            for (t, chunk_inputs) in inputs.chunks(chunk).enumerate() {
-                let results = &results;
-                scope.spawn(move |_| {
-                    let base = t * chunk;
-                    let mut local = Vec::with_capacity(chunk_inputs.len());
-                    for (off, (_, path, content)) in chunk_inputs.iter().enumerate() {
-                        let i = base + off;
-                        let r = build_source(content, FileId(i as u32)).map_err(|e| {
-                            PipelineError::Parse {
-                                path: path.to_string(),
-                                message: e.to_string(),
-                            }
-                        });
-                        local.push((i, r));
-                    }
-                    results.lock().extend(local);
-                });
-            }
-        })
-        .expect("scoped threads do not panic");
-        for (i, r) in results.into_inner() {
-            slots[i] = Some(r?);
-        }
-    }
-
-    let mut graph = PropagationGraph::new();
-    let mut files = Vec::with_capacity(n);
-    for (i, (project, path, _)) in inputs.iter().enumerate() {
-        let g = slots[i].take().expect("all slots filled");
-        graph.union(&g);
-        files.push(FileMeta { project: *project, path: path.to_string() });
-    }
-    Ok(AnalyzedCorpus { graph, files, build_time: started.elapsed() })
+    let opts = AnalyzeOptions { threads, ..AnalyzeOptions::default() };
+    Ok(analyze_corpus_with(corpus, &opts)?.0)
 }
 
 /// Analyzes a single project of the corpus (used for the Q5 experiment).
@@ -178,13 +327,33 @@ pub fn run_seldon(graph: &PropagationGraph, seed: &TaintSpec, opts: &SeldonOptio
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+    use seldon_corpus::{generate_corpus, CorpusOptions, Project, SourceFile, Universe};
 
     fn corpus() -> Corpus {
         generate_corpus(
             &Universe::new(),
             &CorpusOptions { projects: 8, ..Default::default() },
         )
+    }
+
+    /// A corpus with one clean and one malformed file.
+    fn mixed_corpus() -> Corpus {
+        Corpus {
+            projects: vec![Project {
+                name: "p0".into(),
+                files: vec![
+                    SourceFile {
+                        path: "good.py".into(),
+                        content: "import flask\nx = flask.request.args.get('q')\n".into(),
+                    },
+                    SourceFile {
+                        path: "bad.py".into(),
+                        content: "def broken(:\n".into(),
+                    },
+                ],
+            }],
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -221,6 +390,99 @@ mod tests {
             analyze_project(&c, 999),
             Err(PipelineError::NoSuchProject(999))
         ));
+    }
+
+    #[test]
+    fn failfast_aborts_on_malformed_file() {
+        let c = mixed_corpus();
+        let err = analyze_corpus(&c, 1).unwrap_err();
+        assert!(matches!(err, PipelineError::Parse { ref path, .. } if path == "bad.py"));
+        // Same error regardless of thread count.
+        assert_eq!(err, analyze_corpus(&c, 4).unwrap_err());
+    }
+
+    #[test]
+    fn skip_quarantines_malformed_file() {
+        let c = mixed_corpus();
+        let opts = AnalyzeOptions { policy: FaultPolicy::Skip, ..Default::default() };
+        let (analyzed, report) = analyze_corpus_with(&c, &opts).unwrap();
+        assert_eq!(analyzed.files.len(), 2, "quarantined files keep their FileId slot");
+        assert!(analyzed.graph.event_count() > 0);
+        assert_eq!(report.ok(), 1);
+        assert_eq!(report.skipped(), 1);
+        assert!(report.is_degraded());
+        let quarantined: Vec<&str> =
+            report.quarantined().map(|f| f.path.as_str()).collect();
+        assert_eq!(quarantined, ["bad.py"]);
+    }
+
+    #[test]
+    fn recover_retries_malformed_file() {
+        let c = mixed_corpus();
+        let opts = AnalyzeOptions { policy: FaultPolicy::Recover, ..Default::default() };
+        let (analyzed, report) = analyze_corpus_with(&c, &opts).unwrap();
+        assert_eq!(report.ok(), 1);
+        assert_eq!(report.recovered(), 1);
+        assert_eq!(report.quarantined().count(), 0);
+        assert_eq!(analyzed.files.len(), 2);
+    }
+
+    #[test]
+    fn recover_equals_failfast_on_clean_corpus() {
+        let c = corpus();
+        let strict = analyze_corpus(&c, 2).unwrap();
+        let opts = AnalyzeOptions {
+            policy: FaultPolicy::Recover,
+            threads: 2,
+            ..Default::default()
+        };
+        let (lenient, report) = analyze_corpus_with(&c, &opts).unwrap();
+        assert!(!report.is_degraded());
+        assert_eq!(strict.graph.event_count(), lenient.graph.event_count());
+        assert_eq!(strict.graph.edge_count(), lenient.graph.edge_count());
+        for (id, ev) in strict.graph.events() {
+            assert_eq!(ev.reps, lenient.graph.event(id).reps);
+        }
+    }
+
+    #[test]
+    fn budget_quarantines_oversized_file() {
+        let mut c = mixed_corpus();
+        c.projects[0].files[1] = SourceFile {
+            path: "huge.py".into(),
+            content: format!("# {}\n", "x".repeat(4096)),
+        };
+        let opts = AnalyzeOptions {
+            policy: FaultPolicy::Skip,
+            budget: Some(Budget { max_source_bytes: 1024, ..Budget::default() }),
+            ..Default::default()
+        };
+        let (_, report) = analyze_corpus_with(&c, &opts).unwrap();
+        assert_eq!(report.over_budget(), 1);
+        assert!(matches!(
+            report.files[1].outcome,
+            FileOutcome::OverBudget {
+                error: PipelineError::OverBudget { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn panic_marker_is_contained_under_skip() {
+        let mut c = mixed_corpus();
+        c.projects[0].files[1] = SourceFile {
+            path: "panics.py".into(),
+            content: format!("x = 1\n{}\n", seldon_corpus::PANIC_MARKER),
+        };
+        let opts = AnalyzeOptions {
+            policy: FaultPolicy::Skip,
+            fault_markers: true,
+            ..Default::default()
+        };
+        let (analyzed, report) = analyze_corpus_with(&c, &opts).unwrap();
+        assert_eq!(report.panicked(), 1);
+        assert_eq!(report.ok(), 1);
+        assert!(analyzed.graph.event_count() > 0);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Structured per-file outcomes of a corpus analysis.
+//!
+//! A fault-tolerant run (see [`FaultPolicy`](crate::FaultPolicy)) never
+//! hides degradation: every file the pipeline touched gets a
+//! [`FileReport`] recording whether it was analyzed cleanly, recovered
+//! leniently, or quarantined — and why. The aggregate [`AnalysisReport`]
+//! is what callers (and the `seldon` CLI) use to decide exit status and
+//! print degradation summaries.
+
+use crate::error::PipelineError;
+use std::fmt;
+
+/// What happened to one corpus file during analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileOutcome {
+    /// Strict parse and extraction succeeded.
+    Ok,
+    /// Strict parse failed; lenient recovery analyzed the file with this
+    /// many statement-level errors skipped.
+    Recovered {
+        /// Number of front-end errors skipped during recovery.
+        errors: usize,
+    },
+    /// The file was quarantined because of a parse failure.
+    Skipped {
+        /// The error that caused quarantine.
+        error: PipelineError,
+    },
+    /// The file was quarantined because it exceeded a resource budget.
+    OverBudget {
+        /// The error that caused quarantine.
+        error: PipelineError,
+    },
+    /// Analysis of the file panicked; the panic was contained and the
+    /// file quarantined.
+    Panicked {
+        /// The error that caused quarantine.
+        error: PipelineError,
+    },
+}
+
+impl FileOutcome {
+    /// Whether the file contributed a graph to the union (possibly with
+    /// lenient recovery).
+    pub fn is_analyzed(&self) -> bool {
+        matches!(self, FileOutcome::Ok | FileOutcome::Recovered { .. })
+    }
+
+    /// Whether the file was excluded from the union.
+    pub fn is_quarantined(&self) -> bool {
+        !self.is_analyzed()
+    }
+}
+
+/// Outcome of one corpus file, with its identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileReport {
+    /// Index of the project the file belongs to.
+    pub project: usize,
+    /// The file's path within the corpus.
+    pub path: String,
+    /// What happened to it.
+    pub outcome: FileOutcome,
+}
+
+/// Aggregate per-file outcomes of one corpus analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// One entry per corpus file, in corpus order.
+    pub files: Vec<FileReport>,
+}
+
+impl AnalysisReport {
+    /// Number of files analyzed strictly with no degradation.
+    pub fn ok(&self) -> usize {
+        self.files.iter().filter(|f| f.outcome == FileOutcome::Ok).count()
+    }
+
+    /// Number of files recovered leniently.
+    pub fn recovered(&self) -> usize {
+        self.files
+            .iter()
+            .filter(|f| matches!(f.outcome, FileOutcome::Recovered { .. }))
+            .count()
+    }
+
+    /// Number of files quarantined for parse failures.
+    pub fn skipped(&self) -> usize {
+        self.files
+            .iter()
+            .filter(|f| matches!(f.outcome, FileOutcome::Skipped { .. }))
+            .count()
+    }
+
+    /// Number of files quarantined for budget violations.
+    pub fn over_budget(&self) -> usize {
+        self.files
+            .iter()
+            .filter(|f| matches!(f.outcome, FileOutcome::OverBudget { .. }))
+            .count()
+    }
+
+    /// Number of files whose analysis panicked.
+    pub fn panicked(&self) -> usize {
+        self.files
+            .iter()
+            .filter(|f| matches!(f.outcome, FileOutcome::Panicked { .. }))
+            .count()
+    }
+
+    /// Whether any file was degraded (recovered or quarantined).
+    pub fn is_degraded(&self) -> bool {
+        self.files.iter().any(|f| f.outcome != FileOutcome::Ok)
+    }
+
+    /// Files excluded from the graph union.
+    pub fn quarantined(&self) -> impl Iterator<Item = &FileReport> {
+        self.files.iter().filter(|f| f.outcome.is_quarantined())
+    }
+
+    /// One-line degradation summary, e.g. for CLI stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} file(s): {} ok, {} recovered, {} skipped, {} over budget, {} panicked",
+            self.files.len(),
+            self.ok(),
+            self.recovered(),
+            self.skipped(),
+            self.over_budget(),
+            self.panicked(),
+        )
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for file in self.files.iter().filter(|f| f.outcome != FileOutcome::Ok) {
+            match &file.outcome {
+                FileOutcome::Ok => {}
+                FileOutcome::Recovered { errors } => {
+                    writeln!(f, "  recovered {} ({errors} errors skipped)", file.path)?
+                }
+                FileOutcome::Skipped { error }
+                | FileOutcome::OverBudget { error }
+                | FileOutcome::Panicked { error } => {
+                    writeln!(f, "  quarantined {}: {error}", file.path)?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> AnalysisReport {
+        AnalysisReport {
+            files: vec![
+                FileReport { project: 0, path: "a.py".into(), outcome: FileOutcome::Ok },
+                FileReport {
+                    project: 0,
+                    path: "b.py".into(),
+                    outcome: FileOutcome::Recovered { errors: 2 },
+                },
+                FileReport {
+                    project: 1,
+                    path: "c.py".into(),
+                    outcome: FileOutcome::Skipped {
+                        error: PipelineError::Parse {
+                            path: "c.py".into(),
+                            message: "bad".into(),
+                        },
+                    },
+                },
+                FileReport {
+                    project: 1,
+                    path: "d.py".into(),
+                    outcome: FileOutcome::Panicked {
+                        error: PipelineError::Panicked {
+                            path: "d.py".into(),
+                            message: "boom".into(),
+                        },
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let r = report();
+        assert_eq!(r.ok(), 1);
+        assert_eq!(r.recovered(), 1);
+        assert_eq!(r.skipped(), 1);
+        assert_eq!(r.over_budget(), 0);
+        assert_eq!(r.panicked(), 1);
+        assert!(r.is_degraded());
+        assert_eq!(r.quarantined().count(), 2);
+    }
+
+    #[test]
+    fn clean_report_not_degraded() {
+        let r = AnalysisReport {
+            files: vec![FileReport {
+                project: 0,
+                path: "a.py".into(),
+                outcome: FileOutcome::Ok,
+            }],
+        };
+        assert!(!r.is_degraded());
+        assert_eq!(r.quarantined().count(), 0);
+    }
+
+    #[test]
+    fn summary_and_display() {
+        let r = report();
+        assert_eq!(
+            r.summary(),
+            "4 file(s): 1 ok, 1 recovered, 1 skipped, 0 over budget, 1 panicked"
+        );
+        let text = r.to_string();
+        assert!(text.contains("recovered b.py (2 errors skipped)"));
+        assert!(text.contains("quarantined c.py"));
+        assert!(text.contains("quarantined d.py"));
+        assert!(!text.contains("a.py"));
+    }
+}

@@ -2,7 +2,7 @@
 //! CLI (and anything else) can run against it like any checkout.
 //!
 //! ```text
-//! gen-corpus <out_dir> [--projects N] [--seed S]
+//! gen-corpus <out_dir> [--projects N] [--seed S] [--fault-rate R]
 //! ```
 //!
 //! Alongside the project directories it writes `seed_spec.txt` (the corpus
@@ -40,11 +40,19 @@ fn run() -> Result<(), String> {
                 opts.rng_seed =
                     it.next().and_then(|v| v.parse().ok()).ok_or("--seed needs a number")?;
             }
+            "--fault-rate" => {
+                opts.fault_rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("--fault-rate needs a number in [0, 1]")?;
+            }
             other if !other.starts_with('-') => out_dir = Some(PathBuf::from(other)),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    let out_dir = out_dir.ok_or("usage: gen-corpus <out_dir> [--projects N] [--seed S]")?;
+    let out_dir =
+        out_dir.ok_or("usage: gen-corpus <out_dir> [--projects N] [--seed S] [--fault-rate R]")?;
 
     let universe = Universe::new();
     let corpus = generate_corpus(&universe, &opts);
@@ -85,6 +93,18 @@ fn run() -> Result<(), String> {
         ));
     }
     std::fs::write(out_dir.join("ground_truth.txt"), truth).map_err(|e| e.to_string())?;
+
+    if !corpus.faults.is_empty() {
+        let mut manifest = String::new();
+        for f in &corpus.faults {
+            manifest.push_str(&format!(
+                "{}\t{}\t{:?}\n",
+                corpus.projects[f.project].name, f.path, f.kind
+            ));
+        }
+        std::fs::write(out_dir.join("injected_faults.txt"), manifest).map_err(|e| e.to_string())?;
+        eprintln!("injected {} faults (see injected_faults.txt)", corpus.faults.len());
+    }
 
     eprintln!(
         "wrote {} projects / {files_written} files to {} ({} known flows)",

@@ -81,6 +81,9 @@ pub struct Corpus {
     /// Representations of generated app-level wrappers that truly carry a
     /// role (e.g. a helper returning a source value is itself a source).
     pub derived_roles: Vec<(String, Role)>,
+    /// Faults injected into files (see [`CorpusOptions::fault_rate`]);
+    /// empty for clean corpora.
+    pub faults: Vec<crate::faults::InjectedFault>,
 }
 
 impl Corpus {
@@ -111,6 +114,10 @@ pub struct CorpusOptions {
     pub rng_seed: u64,
     /// Probability a role slot picks a seed API instead of a learnable one.
     pub seed_api_bias: f64,
+    /// Probability each generated file is corrupted with an injected fault
+    /// (see [`crate::faults::FaultKind`]). `0.0` disables injection and
+    /// leaves generation byte-identical to a fault-unaware build.
+    pub fault_rate: f64,
 }
 
 impl Default for CorpusOptions {
@@ -121,6 +128,7 @@ impl Default for CorpusOptions {
             handlers_per_file: (2, 5),
             rng_seed: 0xC0FFEE,
             seed_api_bias: 0.5,
+            fault_rate: 0.0,
         }
     }
 }
@@ -146,6 +154,9 @@ pub fn generate_corpus(universe: &Universe, opts: &CorpusOptions) -> Corpus {
             files.push(SourceFile { path, content });
         }
         corpus.projects.push(Project { name: format!("project_{pi:03}"), files });
+    }
+    if opts.fault_rate > 0.0 {
+        crate::faults::inject_faults(&mut corpus, opts.fault_rate, opts.rng_seed);
     }
     corpus
 }

@@ -24,9 +24,11 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod generator;
 pub mod universe;
 
+pub use faults::{apply_fault, FaultKind, InjectedFault, PANIC_MARKER};
 pub use generator::{
     generate_corpus, Corpus, CorpusOptions, FlowKind, FlowTruth, Project, SourceFile,
 };

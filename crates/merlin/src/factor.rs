@@ -141,12 +141,12 @@ impl FactorGraph {
             // factor → var messages.
             for fi in 0..nf {
                 let f = &self.factors[fi];
-                for slot in 0..f.vars.len() {
+                for (slot, m) in msg_fv[fi].iter_mut().enumerate().take(f.vars.len()) {
                     let new = self.factor_to_var(f, slot, &msg_vf[fi]);
-                    let old = msg_fv[fi][slot];
+                    let old = *m;
                     let damped = damping * old + (1.0 - damping) * new;
                     max_delta = max_delta.max((damped - old).abs());
-                    msg_fv[fi][slot] = damped;
+                    *m = damped;
                 }
             }
             if max_delta < tol {
@@ -165,7 +165,8 @@ impl FactorGraph {
                 let mut p0 = 1.0 - self.priors[vi];
                 for &fi in &self.var_factors[vi] {
                     let f = &self.factors[fi as usize];
-                    let slot = f.vars.iter().position(|x| *x == v).expect("slot");
+                    let slot = f.vars.iter().position(|x| *x == v)
+                .expect("var_factors only indexes factors that contain the variable");
                     let m = msg_fv[fi as usize][slot];
                     p1 *= m;
                     p0 *= 1.0 - m;
@@ -193,7 +194,8 @@ impl FactorGraph {
                 continue;
             }
             let f = &self.factors[other as usize];
-            let slot = f.vars.iter().position(|x| *x == v).expect("slot");
+            let slot = f.vars.iter().position(|x| *x == v)
+                .expect("var_factors only indexes factors that contain the variable");
             let m = msg_fv[other as usize][slot];
             p1 *= m;
             p0 *= 1.0 - m;
@@ -258,12 +260,12 @@ impl FactorGraph {
             }
             for fi in 0..nf {
                 let f = &self.factors[fi];
-                for slot in 0..f.vars.len() {
+                for (slot, m) in msg_fv[fi].iter_mut().enumerate().take(f.vars.len()) {
                     let new = self.factor_to_var_max(f, slot, &msg_vf[fi]);
-                    let old = msg_fv[fi][slot];
+                    let old = *m;
                     let damped = damping * old + (1.0 - damping) * new;
                     max_delta = max_delta.max((damped - old).abs());
-                    msg_fv[fi][slot] = damped;
+                    *m = damped;
                 }
             }
             if max_delta < tol {
@@ -280,7 +282,8 @@ impl FactorGraph {
                 let mut p0 = 1.0 - self.priors[vi];
                 for &fi in &self.var_factors[vi] {
                     let f = &self.factors[fi as usize];
-                    let slot = f.vars.iter().position(|x| *x == v).expect("slot");
+                    let slot = f.vars.iter().position(|x| *x == v)
+                .expect("var_factors only indexes factors that contain the variable");
                     let m = msg_fv[fi as usize][slot];
                     p1 *= m;
                     p0 *= 1.0 - m;

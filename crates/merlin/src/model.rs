@@ -83,7 +83,7 @@ impl MerlinResult {
         let mut v: Vec<(String, Role, f64)> = self
             .marginals
             .iter()
-            .filter(|((rep, role), &p)| p >= threshold && !seed.has_role(rep, **&role))
+            .filter(|((rep, role), &p)| p >= threshold && !seed.has_role(rep, *role))
             .map(|((rep, role), &p)| (rep.clone(), *role, p))
             .collect();
         v.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));

@@ -9,6 +9,7 @@
 //! analysis adds field-aliasing flow the environment threading misses.
 
 use crate::andersen::{Andersen, VarId};
+use crate::budget::{Budget, BudgetExceeded, BudgetMeter};
 use crate::event::{Event, EventId, EventKind, FileId};
 use crate::graph::{ArgPos, EdgeKind, PropagationGraph};
 use crate::repr::{describe_expr, ReprCtx};
@@ -16,6 +17,7 @@ use seldon_pyast::ast::*;
 use seldon_pyast::visit::{self, Visitor};
 use seldon_pyast::{parse, parse_lenient, FrontendError};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Maximum events tracked per variable binding; larger sets are truncated.
 const MAX_FLOW_SET: usize = 8;
@@ -49,6 +51,107 @@ pub fn build_source_lenient(
 ) -> (PropagationGraph, Vec<FrontendError>) {
     let (module, errors) = parse_lenient(source);
     (build_module(&module, file), errors)
+}
+
+/// Failure of a budgeted build: either the front end rejected the source,
+/// or a resource budget was exceeded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The source failed to lex or parse.
+    Frontend(FrontendError),
+    /// A [`Budget`] limit was exceeded.
+    OverBudget(BudgetExceeded),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Frontend(e) => e.fmt(f),
+            BuildError::OverBudget(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<FrontendError> for BuildError {
+    fn from(e: FrontendError) -> Self {
+        BuildError::Frontend(e)
+    }
+}
+
+impl From<BudgetExceeded> for BuildError {
+    fn from(e: BudgetExceeded) -> Self {
+        BuildError::OverBudget(e)
+    }
+}
+
+/// Checks the source-size budget shared by the budgeted entry points.
+fn check_source_size(source: &str, budget: &Budget) -> Result<(), BudgetExceeded> {
+    if source.len() > budget.max_source_bytes {
+        return Err(BudgetExceeded::SourceBytes {
+            limit: budget.max_source_bytes,
+            actual: source.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the graph of a parsed module under a resource [`Budget`].
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] if the walk trips a statement-count, depth,
+/// or deadline limit; the partially built graph is discarded.
+pub fn build_module_budgeted(
+    module: &Module,
+    file: FileId,
+    budget: &Budget,
+) -> Result<PropagationGraph, BudgetExceeded> {
+    let mut b = Builder::new(file);
+    b.meter = Some(BudgetMeter::new(budget.clone()));
+    b.run(module);
+    if let Some(e) = b.meter.take().and_then(BudgetMeter::into_tripped) {
+        return Err(e);
+    }
+    Ok(b.finish())
+}
+
+/// Like [`build_source`], with every phase held to a resource [`Budget`]:
+/// the source size is checked before parsing and the graph walk is
+/// metered cooperatively.
+///
+/// # Errors
+///
+/// Returns [`BuildError::Frontend`] on a lex/parse failure and
+/// [`BuildError::OverBudget`] when a budget limit trips.
+pub fn build_source_budgeted(
+    source: &str,
+    file: FileId,
+    budget: &Budget,
+) -> Result<PropagationGraph, BuildError> {
+    check_source_size(source, budget)?;
+    let module = parse(source)?;
+    Ok(build_module_budgeted(&module, file, budget)?)
+}
+
+/// Like [`build_source_lenient`], under a resource [`Budget`].
+///
+/// Parse errors degrade per statement as usual; only a budget trip fails
+/// the whole file.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] when a budget limit trips.
+pub fn build_source_lenient_budgeted(
+    source: &str,
+    file: FileId,
+    budget: &Budget,
+) -> Result<(PropagationGraph, Vec<FrontendError>), BudgetExceeded> {
+    check_source_size(source, budget)?;
+    let (module, errors) = parse_lenient(source);
+    let graph = build_module_budgeted(&module, file, budget)?;
+    Ok((graph, errors))
 }
 
 /// Summary of a locally-defined function for call linking.
@@ -111,6 +214,10 @@ struct Builder {
     /// inline-depth bound.
     inline_stack: Vec<String>,
     next_scope: u32,
+    /// Resource accounting; `None` builds without limits.
+    meter: Option<BudgetMeter>,
+    /// Current statement-nesting depth, fed to the meter.
+    stmt_depth: usize,
 }
 
 impl Builder {
@@ -125,6 +232,8 @@ impl Builder {
             pending: Vec::new(),
             inline_stack: Vec::new(),
             next_scope: 0,
+            meter: None,
+            stmt_depth: 0,
         }
     }
 
@@ -250,7 +359,21 @@ impl Builder {
 
     // ----- statements -------------------------------------------------------
 
+    /// Walks one statement under budget accounting. Once a budget trips,
+    /// the walk unwinds cooperatively: every further statement is a no-op,
+    /// so the only cost left is popping the recursion already on the stack.
     fn walk_stmt(&mut self, stmt: &Stmt, sc: &mut Scope) {
+        if let Some(meter) = &mut self.meter {
+            if !meter.tick_statement(self.stmt_depth) {
+                return;
+            }
+        }
+        self.stmt_depth += 1;
+        self.walk_stmt_inner(stmt, sc);
+        self.stmt_depth -= 1;
+    }
+
+    fn walk_stmt_inner(&mut self, stmt: &Stmt, sc: &mut Scope) {
         match &stmt.kind {
             StmtKind::Import(_) | StmtKind::ImportFrom { .. } => {}
             StmtKind::FunctionDef(def) => self.walk_function(def, sc, None, None),
@@ -795,16 +918,23 @@ impl Builder {
             _ => None,
         };
         if let Some(q) = qualified {
-            let can_inline = self.inline_stack.len() < 3
+            let callee = if self.inline_stack.len() < 3
                 && !self.inline_stack.iter().any(|n| n == &q)
-                && self.funcs.get(&q).is_some_and(|f| f.def.is_some());
-            if can_inline {
+            {
+                // Clone-and-take in one step so inlinability and the body
+                // can't disagree.
+                self.funcs
+                    .get(&q)
+                    .cloned()
+                    .and_then(|mut info| info.def.take().map(|def| (info, def)))
+            } else {
+                None
+            };
+            if let Some((info, def)) = callee {
                 // Per-call-site inlining (§5.2): re-analyze the callee body
                 // with the parameters bound to this call's argument flows.
                 // This is context-sensitive — taint from one call site
                 // cannot leak into another.
-                let mut info = self.funcs.get(&q).cloned().expect("checked above");
-                let def = info.def.take().expect("checked above");
                 let returns =
                     self.inline_call(&q, &def, &info, &arg_flows, &kwarg_flows);
                 match call_event {

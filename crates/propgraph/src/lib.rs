@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod andersen;
+pub mod budget;
 pub mod builder;
 pub mod dot;
 pub mod event;
@@ -31,7 +32,11 @@ pub mod graph;
 pub mod repr;
 pub mod stats;
 
-pub use builder::{build_module, build_source, build_source_lenient};
+pub use budget::{Budget, BudgetExceeded};
+pub use builder::{
+    build_module, build_module_budgeted, build_source, build_source_budgeted,
+    build_source_lenient, build_source_lenient_budgeted, BuildError,
+};
 pub use dot::to_dot;
 pub use event::{Event, EventId, EventKind, FileId};
 pub use graph::{ArgPos, EdgeKind, PropagationGraph};

@@ -1190,7 +1190,13 @@ impl Parser {
             Some(Box::new(self.parse_test()?))
         };
         if !self.eat(&TokenKind::Colon) {
-            return Ok(*lower.expect("non-slice item has an expression"));
+            // `lower` is Some here whenever the token stream is coherent
+            // (a leading `:` was eaten above); report instead of panicking
+            // so a lexer/parser desync can never abort a corpus run.
+            return match lower {
+                Some(expr) => Ok(*expr),
+                None => self.err("expression or `:` in subscript"),
+            };
         }
         let upper = if matches!(self.peek(), TokenKind::Colon | TokenKind::RBracket | TokenKind::Comma)
         {
@@ -2086,7 +2092,7 @@ def media():
         // The malformed middle line is dropped; only one error reported.
         // (The unterminated paren swallows the rest of the logical line.)
         assert!(!errors.is_empty());
-        assert!(m.body.len() >= 1, "recovered statements: {}", m.body.len());
+        assert!(!m.body.is_empty(), "recovered statements: {}", m.body.len());
         assert!(matches!(m.body[0].kind, StmtKind::Assign { .. }));
     }
 

@@ -133,7 +133,14 @@ mod tests {
         for &(i, s) in scores {
             v[i] = s;
         }
-        Solution { scores: v, objective: 0.0, violation: 0.0, iterations: 0, history: vec![] }
+        Solution {
+            scores: v,
+            objective: 0.0,
+            violation: 0.0,
+            iterations: 0,
+            history: vec![],
+            diverged: false,
+        }
     }
 
     #[test]

@@ -126,8 +126,8 @@ pub fn simplex(lp: &LpProblem) -> LpOutcome {
         }
     }
     // Forbid re-entering artificial columns.
-    for j in n + m..cols - 1 {
-        obj[j] = f64::INFINITY;
+    for v in &mut obj[n + m..cols - 1] {
+        *v = f64::INFINITY;
     }
     if !run_simplex(&mut t, &mut obj, &mut basis, rhs_col) {
         return LpOutcome::Unbounded;
@@ -149,7 +149,7 @@ pub fn simplex(lp: &LpProblem) -> LpOutcome {
 /// basis index.
 fn run_simplex(
     t: &mut [Vec<f64>],
-    obj: &mut Vec<f64>,
+    obj: &mut [f64],
     basis: &mut [usize],
     rhs_col: usize,
 ) -> bool {
@@ -183,32 +183,32 @@ fn run_simplex(
 }
 
 fn pivot_full(t: &mut [Vec<f64>], obj: &mut [f64], row: usize, col: usize, rhs_col: usize) {
-    let m = t.len();
     let p = t[row][col];
-    for j in 0..=rhs_col {
-        t[row][j] /= p;
+    for v in t[row].iter_mut().take(rhs_col + 1) {
+        *v /= p;
     }
-    for r in 0..m {
+    let pivot_row: Vec<f64> = t[row][..=rhs_col].to_vec();
+    for (r, tr) in t.iter_mut().enumerate() {
         if r != row {
-            let f = t[r][col];
+            let f = tr[col];
             if f.abs() > 1e-12 {
-                for j in 0..=rhs_col {
-                    t[r][j] -= f * t[row][j];
+                for (v, pv) in tr.iter_mut().zip(&pivot_row) {
+                    *v -= f * pv;
                 }
             }
         }
     }
     let f = obj[col];
     if f.abs() > 1e-12 && f.is_finite() {
-        for j in 0..=rhs_col {
-            if obj[j].is_finite() {
-                obj[j] -= f * t[row][j];
+        for (v, pv) in obj.iter_mut().zip(&pivot_row) {
+            if v.is_finite() {
+                *v -= f * pv;
             }
         }
     }
 }
 
-fn pivot(t: &mut [Vec<f64>], obj: &mut Vec<f64>, row: usize, col: usize, rhs_col: usize) {
+fn pivot(t: &mut [Vec<f64>], obj: &mut [f64], row: usize, col: usize, rhs_col: usize) {
     pivot_full(t, obj, row, col, rhs_col);
 }
 

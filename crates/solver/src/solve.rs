@@ -46,6 +46,10 @@ pub struct Solution {
     pub iterations: usize,
     /// Objective value per iteration (for convergence plots).
     pub history: Vec<f64>,
+    /// Whether the optimizer produced non-finite values. The solver
+    /// restarts once with a reduced learning rate and sanitizes the final
+    /// scores, so `scores` is finite and in `[0,1]` even when this is set.
+    pub diverged: bool,
 }
 
 impl Solution {
@@ -70,8 +74,13 @@ pub fn evaluate(sys: &ConstraintSystem, scores: &[f64], lambda: f64) -> (f64, f6
     (violation, violation + lambda * l1)
 }
 
-/// Minimizes the relaxed objective with projected Adam.
-pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
+/// One projected-Adam run; aborts early if the objective or any score
+/// turns non-finite and reports it in the last tuple field.
+fn run_adam(
+    sys: &ConstraintSystem,
+    opts: &SolveOptions,
+    lr_scale: f64,
+) -> (Vec<f64>, usize, Vec<f64>, bool) {
     let n = sys.var_count();
     let mut x = vec![0.0f64; n];
     let pinned: Vec<(usize, f64)> =
@@ -83,12 +92,14 @@ pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
     };
     apply_pins(&mut x);
 
-    let mut adam = Adam::new(n, opts.adam.clone());
+    let adam_cfg = AdamConfig { lr: opts.adam.lr * lr_scale, ..opts.adam.clone() };
+    let mut adam = Adam::new(n, adam_cfg);
     let mut grad = vec![0.0f64; n];
     let mut history = Vec::with_capacity(opts.max_iters.min(4096));
     let mut best = f64::INFINITY;
     let mut stall = 0usize;
     let mut iterations = 0usize;
+    let mut diverged = false;
 
     for iter in 0..opts.max_iters {
         iterations = iter + 1;
@@ -110,10 +121,18 @@ pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
             }
         }
         let objective = violation + opts.lambda * x.iter().sum::<f64>();
+        if !objective.is_finite() {
+            diverged = true;
+            break;
+        }
         history.push(objective);
 
         adam.step_projected(&mut x, &grad, 0.0, 1.0);
         apply_pins(&mut x);
+        if x.iter().any(|s| !s.is_finite()) {
+            diverged = true;
+            break;
+        }
 
         if objective + opts.tol < best {
             best = objective;
@@ -126,8 +145,43 @@ pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
         }
     }
 
+    (x, iterations, history, diverged)
+}
+
+/// Learning-rate scale of the single restart after a diverged run.
+const RESTART_LR_SCALE: f64 = 0.25;
+
+/// Minimizes the relaxed objective with projected Adam.
+///
+/// Numerically guarded: if the run produces non-finite scores or
+/// objective, it restarts once with the learning rate scaled by
+/// [`RESTART_LR_SCALE`], sanitizes whatever remains non-finite to `0`,
+/// and sets [`Solution::diverged`]. Scores are always finite and in
+/// `[0,1]` with pinned variables at their pinned values.
+pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
+    let (mut x, mut iterations, mut history, diverged) = run_adam(sys, opts, 1.0);
+    if diverged {
+        let (x2, it2, h2, _) = run_adam(sys, opts, RESTART_LR_SCALE);
+        x = x2;
+        iterations = it2;
+        history = h2;
+    }
+
+    // Final sanitization: a diverged restart can still be non-finite (e.g.
+    // NaN hyperparameters); downstream extraction must never see it.
+    for s in &mut x {
+        if !s.is_finite() {
+            *s = 0.0;
+        } else {
+            *s = s.clamp(0.0, 1.0);
+        }
+    }
+    for (v, val) in sys.pinned_vars() {
+        x[v.index()] = val;
+    }
+
     let (violation, objective) = evaluate(sys, &x, opts.lambda);
-    Solution { scores: x, objective, violation, iterations, history }
+    Solution { scores: x, objective, violation, iterations, history, diverged }
 }
 
 #[cfg(test)]
@@ -247,6 +301,37 @@ mod tests {
         // 2 ≤ 0.5(vs1 + vsh) + 0.75 ⇒ vs1 + vsh ≥ 2.5 ⇒ both ≈ 1.
         assert!(sol.score(vs1) > 0.8, "vs1 = {}", sol.score(vs1));
         assert!(sol.score(vsh) > 0.8, "vsh = {}", sol.score(vsh));
+    }
+
+    /// NaN hyperparameters poison every iterate: the guard must detect it,
+    /// restart, and still hand back finite sanitized scores.
+    #[test]
+    fn nan_lambda_is_detected_and_sanitized() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let b = sys.rep("b()");
+        let va = sys.var(a, Role::Source);
+        let vb = sys.var(b, Role::Sink);
+        sys.pin(va, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: va, coeff: 1.0 }],
+            rhs: vec![Term { var: vb, coeff: 1.0 }],
+            ..Default::default()
+        });
+        let sol = solve(&sys, &SolveOptions { lambda: f64::NAN, ..Default::default() });
+        assert!(sol.diverged, "NaN λ must be reported as divergence");
+        assert!(sol.scores.iter().all(|s| s.is_finite() && (0.0..=1.0).contains(s)));
+        assert_eq!(sol.score(va), 1.0, "pins survive sanitization");
+    }
+
+    #[test]
+    fn healthy_runs_do_not_report_divergence() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let v = sys.var(a, Role::Source);
+        sys.pin(v, 1.0);
+        let sol = solve(&sys, &SolveOptions::default());
+        assert!(!sol.diverged);
     }
 
     #[test]
