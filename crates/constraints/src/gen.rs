@@ -15,7 +15,7 @@
 
 use crate::system::{ConstraintSystem, FlowConstraint, RepId, Template, Term, VarId};
 use seldon_propgraph::{EventId, PropagationGraph};
-use seldon_specs::{Role, TaintSpec};
+use seldon_specs::{CompiledSpec, Role, TaintSpec};
 use std::collections::{HashMap, HashSet};
 
 /// Tunable knobs of constraint generation; defaults follow the paper.
@@ -61,20 +61,21 @@ pub fn generate(
     opts: &GenOptions,
 ) -> ConstraintSystem {
     let mut sys = ConstraintSystem::new(opts.c);
-    let freq = graph.representation_frequencies();
+    let freq = graph.rep_frequency_counts();
+    let compiled = CompiledSpec::new(seed);
 
     // --- backoff selection: surviving representation list per event --------
     let mut event_reps: Vec<Option<Vec<RepId>>> = Vec::with_capacity(graph.event_count());
     for (_, event) in graph.events() {
         let mut reps: Vec<RepId> = Vec::new();
-        for r in event.reps.iter().take(opts.max_backoff) {
-            if freq.get(r).copied().unwrap_or(0) < opts.rep_cutoff {
+        for &r in event.reps.iter().take(opts.max_backoff) {
+            if freq.get(r.index()).copied().unwrap_or(0) < opts.rep_cutoff {
                 continue;
             }
-            if seed.is_blacklisted(r) {
+            if compiled.is_blacklisted(r) {
                 continue;
             }
-            let id = sys.rep(r);
+            let id = sys.add_rep(r);
             if !reps.contains(&id) {
                 reps.push(id);
             }
@@ -94,11 +95,12 @@ pub fn generate(
     }
 
     // --- pin seed entries (fully qualified representations only, §4.4) ----
-    let rep_texts: Vec<String> =
-        (0..sys.rep_count()).map(|i| sys.rep_text(RepId(i as u32)).to_string()).collect();
-    for (i, text) in rep_texts.iter().enumerate() {
-        let rep = RepId(i as u32);
-        let roles = seed.roles(text);
+    // Iterates members in first-seen order — the same order the old
+    // string-keyed interner assigned dense ids — so pinning stays
+    // deterministic and byte-identical.
+    let member_reps: Vec<RepId> = sys.rep_syms().to_vec();
+    for rep in member_reps {
+        let roles = compiled.roles(rep);
         if roles.is_empty() {
             continue;
         }

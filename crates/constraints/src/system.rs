@@ -5,20 +5,19 @@
 //! `Σ lhs ≤ Σ rhs + C`, where each side is a sparse linear combination of
 //! variables (backoff averaging introduces fractional coefficients, §4.3).
 
+use seldon_intern::Symbol;
 use seldon_propgraph::EventId;
 use seldon_specs::Role;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Identifier of an interned representation string.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct RepId(pub u32);
-
-impl RepId {
-    /// The index form of the id.
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
+///
+/// Since the pipeline-wide interning refactor this *is* the global
+/// [`Symbol`]: representations arrive from the propagation graph already
+/// interned, and the constraint system only tracks which symbols are
+/// members (survived backoff selection). Identity checks and variable
+/// keys are integer operations end to end.
+pub type RepId = Symbol;
 
 /// Identifier of a variable `(representation, role)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -66,8 +65,11 @@ pub struct FlowConstraint {
 /// The full constraint system.
 #[derive(Debug, Clone, Default)]
 pub struct ConstraintSystem {
-    reps: Vec<String>,
-    rep_ids: HashMap<String, RepId>,
+    /// Member representations in first-seen order (drives deterministic
+    /// seed-pinning iteration).
+    reps: Vec<Symbol>,
+    /// Membership set over `reps`.
+    rep_set: HashSet<Symbol>,
     /// `(rep, role)` per variable.
     vars: Vec<(RepId, Role)>,
     var_ids: HashMap<(RepId, Role), VarId>,
@@ -88,28 +90,44 @@ impl ConstraintSystem {
         ConstraintSystem { c, ..Default::default() }
     }
 
-    /// Interns a representation string.
-    pub fn rep(&mut self, text: &str) -> RepId {
-        if let Some(&id) = self.rep_ids.get(text) {
-            return id;
+    /// Registers an already-interned representation as a member of this
+    /// system (idempotent). This is the hot-path entry: representations
+    /// coming from the propagation graph are already [`Symbol`]s.
+    pub fn add_rep(&mut self, sym: Symbol) -> RepId {
+        if self.rep_set.insert(sym) {
+            self.reps.push(sym);
         }
-        let id = RepId(self.reps.len() as u32);
-        self.reps.push(text.to_string());
-        self.rep_ids.insert(text.to_string(), id);
-        id
+        sym
     }
 
-    /// Looks up a representation without interning.
+    /// Interns a representation string and registers it as a member.
+    pub fn rep(&mut self, text: &str) -> RepId {
+        self.add_rep(seldon_intern::intern(text))
+    }
+
+    /// Looks up a representation by text without registering it. Returns
+    /// `None` for representations that are not members of *this* system,
+    /// even if the string is interned globally.
     pub fn rep_id(&self, text: &str) -> Option<RepId> {
-        self.rep_ids.get(text).copied()
+        seldon_intern::lookup(text).filter(|s| self.rep_set.contains(s))
+    }
+
+    /// Whether `sym` is a member of this system.
+    pub fn contains_rep(&self, sym: Symbol) -> bool {
+        self.rep_set.contains(&sym)
     }
 
     /// The text of a representation.
     pub fn rep_text(&self, id: RepId) -> &str {
-        &self.reps[id.index()]
+        id.as_str()
     }
 
-    /// Number of interned representations.
+    /// Member representations in first-seen order.
+    pub fn rep_syms(&self) -> &[Symbol] {
+        &self.reps
+    }
+
+    /// Number of member representations.
     pub fn rep_count(&self) -> usize {
         self.reps.len()
     }
@@ -189,11 +207,11 @@ impl ConstraintSystem {
     }
 
     /// Iterates `(VarId, rep text, role)` for all variables.
-    pub fn variables(&self) -> impl Iterator<Item = (VarId, &str, Role)> {
+    pub fn variables(&self) -> impl Iterator<Item = (VarId, &str, Role)> + '_ {
         self.vars
             .iter()
             .enumerate()
-            .map(|(i, (rep, role))| (VarId(i as u32), self.reps[rep.index()].as_str(), *role))
+            .map(|(i, (rep, role))| (VarId(i as u32), rep.as_str(), *role))
     }
 }
 

@@ -211,7 +211,7 @@ pub fn analyze_corpus_with(
         }
     }
 
-    let mut graph = PropagationGraph::new();
+    let mut graphs: Vec<Option<PropagationGraph>> = Vec::with_capacity(n);
     let mut files = Vec::with_capacity(n);
     let mut reports = Vec::with_capacity(n);
     for (i, (project, path, _)) in inputs.iter().enumerate() {
@@ -227,16 +227,71 @@ pub fn analyze_corpus_with(
                 | FileOutcome::Panicked { error } => return Err(error.clone()),
             }
         }
-        if let Some(g) = g {
-            graph.union(&g);
-        }
+        graphs.push(g);
         files.push(FileMeta { project: *project, path: path.to_string() });
         reports.push(FileReport { project: *project, path: path.to_string(), outcome });
     }
+    let graph = union_all(&mut graphs, threads);
     Ok((
         AnalyzedCorpus { graph, files, build_time: started.elapsed() },
         AnalysisReport { files: reports },
     ))
+}
+
+/// Folds per-file graphs into one global graph, sharded across `threads`.
+///
+/// `union` is an order-preserving concatenation (event ids shift by the
+/// running event count), so it is associative: folding contiguous chunks
+/// into per-thread shards and then folding the shards in chunk order
+/// produces byte-identical event identity to the sequential left fold.
+/// Each worker touches only its own chunk; the final shard merge is
+/// `threads − 1` cheap bulk copies.
+fn union_all(graphs: &mut [Option<PropagationGraph>], threads: usize) -> PropagationGraph {
+    let total_events: usize =
+        graphs.iter().map(|g| g.as_ref().map_or(0, PropagationGraph::event_count)).sum();
+    let mut graph = PropagationGraph::new();
+    graph.reserve_events(total_events);
+    if threads <= 1 || graphs.len() <= 1 {
+        for slot in graphs {
+            if let Some(g) = slot.take() {
+                graph.union(&g);
+            }
+        }
+        return graph;
+    }
+    let chunk = graphs.len().div_ceil(threads);
+    let shards: Vec<PropagationGraph> = std::thread::scope(|scope| {
+        let handles: Vec<_> = graphs
+            .chunks_mut(chunk)
+            .map(|slots| {
+                scope.spawn(move || {
+                    let mut shard = PropagationGraph::new();
+                    shard.reserve_events(
+                        slots
+                            .iter()
+                            .map(|g| g.as_ref().map_or(0, PropagationGraph::event_count))
+                            .sum(),
+                    );
+                    for slot in slots {
+                        if let Some(g) = slot.take() {
+                            shard.union(&g);
+                        }
+                    }
+                    shard
+                })
+            })
+            .collect();
+        // Joining in spawn order keeps the shard sequence aligned with the
+        // chunk (and therefore corpus) order.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard union worker panicked"))
+            .collect()
+    });
+    for shard in &shards {
+        graph.union(shard);
+    }
+    graph
 }
 
 /// Parses every file of `corpus` and unions the per-file graphs.

@@ -8,8 +8,9 @@
 //! contraction of same-representation events, §6.4) or uncollapsed.
 
 use crate::factor::{Factor, FactorGraph, VarIdx};
+use seldon_intern::Symbol;
 use seldon_propgraph::{EventId, EventKind, PropagationGraph};
-use seldon_specs::{Role, TaintSpec};
+use seldon_specs::{CompiledSpec, Role, TaintSpec};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -65,9 +66,9 @@ pub enum Inference {
 /// The result of a Merlin run.
 #[derive(Debug, Clone)]
 pub struct MerlinResult {
-    /// Marginal `p(role)` per representation (max over graph nodes sharing
-    /// the representation).
-    pub marginals: HashMap<(String, Role), f64>,
+    /// Marginal `p(role)` per interned representation (max over graph nodes
+    /// sharing the representation).
+    pub marginals: HashMap<(Symbol, Role), f64>,
     /// Candidate counts (sources, sanitizers, sinks), as in Tab. 2.
     pub candidates: (usize, usize, usize),
     /// Number of factors in the graphical model, as in Tab. 2.
@@ -83,8 +84,8 @@ impl MerlinResult {
         let mut v: Vec<(String, Role, f64)> = self
             .marginals
             .iter()
-            .filter(|((rep, role), &p)| p >= threshold && !seed.has_role(rep, *role))
-            .map(|((rep, role), &p)| (rep.clone(), *role, p))
+            .filter(|((rep, role), &p)| p >= threshold && !seed.has_role(rep.as_str(), *role))
+            .map(|((rep, role), &p)| (rep.as_str().to_string(), *role, p))
             .collect();
         v.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
         v
@@ -95,12 +96,18 @@ impl MerlinResult {
         let mut v: Vec<(String, f64)> = self
             .marginals
             .iter()
-            .filter(|((rep, r), _)| *r == role && !seed.has_role(rep, role))
-            .map(|((rep, _), &p)| (rep.clone(), p))
+            .filter(|((rep, r), _)| *r == role && !seed.has_role(rep.as_str(), role))
+            .map(|((rep, _), &p)| (rep.as_str().to_string(), p))
             .collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v.truncate(n);
         v
+    }
+
+    /// The marginal for `(rep text, role)`, if the representation occurred.
+    pub fn marginal(&self, rep: &str, role: Role) -> Option<f64> {
+        let sym = seldon_intern::lookup(rep)?;
+        self.marginals.get(&(sym, role)).copied()
     }
 }
 
@@ -162,10 +169,12 @@ pub fn run_merlin(graph: &PropagationGraph, seed: &TaintSpec, opts: &MerlinOptio
     }
 
     // Hard priors from the seed spec: match any backoff representation.
+    // Glob/entry resolution is memoized per symbol across the whole graph.
+    let compiled = CompiledSpec::new(seed);
     for &id in &ids {
         let ev = g.event(id);
-        for rep in &ev.reps {
-            let roles = seed.roles(rep);
+        for &rep in &ev.reps {
+            let roles = compiled.roles(rep);
             if roles.is_empty() {
                 continue;
             }
@@ -245,7 +254,7 @@ pub fn run_merlin(graph: &PropagationGraph, seed: &TaintSpec, opts: &MerlinOptio
     let inference_time = started.elapsed();
 
     // Aggregate marginals per representation (max over nodes).
-    let mut marginals: HashMap<(String, Role), f64> = HashMap::new();
+    let mut marginals: HashMap<(Symbol, Role), f64> = HashMap::new();
     let mut n_src = 0;
     let mut n_san = 0;
     let mut n_snk = 0;
@@ -255,7 +264,7 @@ pub fn run_merlin(graph: &PropagationGraph, seed: &TaintSpec, opts: &MerlinOptio
             Role::Sanitizer => n_san += 1,
             Role::Sink => n_snk += 1,
         }
-        let rep = g.event(id).rep().to_string();
+        let rep = g.event(id).rep_sym();
         let p = beliefs[v.0 as usize];
         let entry = marginals.entry((rep, role)).or_insert(0.0);
         *entry = entry.max(p);
@@ -297,9 +306,9 @@ os.system(y)
     fn sanitizer_between_seeded_endpoints_scores_high() {
         let g = sample_graph();
         let res = run_merlin(&g, &seed(), &MerlinOptions::default());
-        let p = res.marginals.get(&("m.clean()".to_string(), Role::Sanitizer));
+        let p = res.marginal("m.clean()", Role::Sanitizer);
         assert!(p.is_some());
-        assert!(*p.unwrap() > 0.5, "clean() san marginal = {:?}", p);
+        assert!(p.unwrap() > 0.5, "clean() san marginal = {:?}", p);
         assert!(res.factors > 0);
     }
 
@@ -324,7 +333,7 @@ os.system(y)
                 ..Default::default()
             },
         );
-        let key = ("m.clean()".to_string(), Role::Sanitizer);
+        let key = (seldon_intern::intern("m.clean()"), Role::Sanitizer);
         let d = (bp.marginals[&key] - gibbs.marginals[&key]).abs();
         assert!(d < 0.35, "bp vs gibbs differ too much: {d}");
     }
@@ -358,8 +367,8 @@ os.system(y)
             &seed(),
             &MerlinOptions { inference: Inference::MaxProduct, ..Default::default() },
         );
-        let p = res.marginals.get(&("m.clean()".to_string(), Role::Sanitizer));
-        assert!(p.is_some_and(|&p| p > 0.5), "max-product clean() = {p:?}");
+        let p = res.marginal("m.clean()", Role::Sanitizer);
+        assert!(p.is_some_and(|p| p > 0.5), "max-product clean() = {p:?}");
     }
 
     #[test]

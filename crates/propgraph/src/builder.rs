@@ -12,7 +12,8 @@ use crate::andersen::{Andersen, VarId};
 use crate::budget::{Budget, BudgetExceeded, BudgetMeter};
 use crate::event::{Event, EventId, EventKind, FileId};
 use crate::graph::{ArgPos, EdgeKind, PropagationGraph};
-use crate::repr::{describe_expr, ReprCtx};
+use crate::repr::{describe_expr, describe_syms, ReprCtx};
+use seldon_intern::intern;
 use seldon_pyast::ast::*;
 use seldon_pyast::visit::{self, Visitor};
 use seldon_pyast::{parse, parse_lenient, FrontendError};
@@ -546,12 +547,12 @@ impl Builder {
             }
             let mut reps = Vec::new();
             if let Some(class) = class_name {
-                reps.push(format!("{class}::{}(param {})", def.name, p.name));
+                reps.push(intern(&format!("{class}::{}(param {})", def.name, p.name)));
                 if let Some(base) = base_class {
-                    reps.push(format!("{base}::{}(param {})", def.name, p.name));
+                    reps.push(intern(&format!("{base}::{}(param {})", def.name, p.name)));
                 }
             }
-            reps.push(format!("{}(param {})", def.name, p.name));
+            reps.push(intern(&format!("{}(param {})", def.name, p.name)));
             let ev = self.graph.add_event(Event::new(
                 EventKind::ParamRead,
                 reps,
@@ -816,7 +817,7 @@ impl Builder {
         base_flows: FlowSet,
         sc: &mut Scope,
     ) -> FlowSet {
-        let reps = describe_expr(expr, &sc.ctx);
+        let reps = describe_syms(expr, &sc.ctx);
         if reps.is_empty() {
             return base_flows;
         }
@@ -864,7 +865,7 @@ impl Builder {
             .map(|k| (k.name.clone().unwrap_or_default(), self.eval(&k.value, sc)))
             .collect();
 
-        let reps = describe_expr(expr, &sc.ctx);
+        let reps = describe_syms(expr, &sc.ctx);
         let call_event = if reps.is_empty() {
             None
         } else {
@@ -1055,7 +1056,7 @@ mod tests {
 
     fn find(g: &PropagationGraph, rep: &str) -> EventId {
         g.events()
-            .find(|(_, e)| e.reps.iter().any(|r| r == rep))
+            .find(|(_, e)| e.has_rep(rep))
             .map(|(id, _)| id)
             .unwrap_or_else(|| {
                 let all: Vec<&str> = g.events().map(|(_, e)| e.rep()).collect();
@@ -1123,12 +1124,12 @@ def media():
     fn any_reaches(g: &PropagationGraph, from_rep: &str, to_rep: &str) -> bool {
         let froms: Vec<EventId> = g
             .events()
-            .filter(|(_, e)| e.reps.iter().any(|r| r == from_rep))
+            .filter(|(_, e)| e.has_rep(from_rep))
             .map(|(id, _)| id)
             .collect();
         let tos: Vec<EventId> = g
             .events()
-            .filter(|(_, e)| e.reps.iter().any(|r| r == to_rep))
+            .filter(|(_, e)| e.has_rep(to_rep))
             .map(|(id, _)| id)
             .collect();
         froms.iter().any(|&f| tos.iter().any(|&t| g.is_reachable(f, t)))

@@ -5,6 +5,7 @@
 //! formal argument of a function definition. Each event carries a chain of
 //! *representations* ordered from most to least specific (§3.2).
 
+use seldon_intern::{intern, Symbol};
 use seldon_pyast::Span;
 use seldon_specs::{Role, RoleSet};
 use std::fmt;
@@ -73,10 +74,10 @@ impl fmt::Display for EventKind {
 pub struct Event {
     /// What kind of action this is.
     pub kind: EventKind,
-    /// Representations ordered most → least specific (§3.2). Never empty.
-    /// Distinct *alternatives* (from ambiguous targets) are interleaved in
-    /// specificity order and deduplicated.
-    pub reps: Vec<String>,
+    /// Interned representations ordered most → least specific (§3.2).
+    /// Never empty. Distinct *alternatives* (from ambiguous targets) are
+    /// interleaved in specificity order and deduplicated.
+    pub reps: Vec<Symbol>,
     /// The source file the event came from.
     pub file: FileId,
     /// The source span of the underlying expression.
@@ -91,15 +92,35 @@ impl Event {
     /// # Panics
     ///
     /// Panics if `reps` is empty.
-    pub fn new(kind: EventKind, reps: Vec<String>, file: FileId, span: Span) -> Self {
+    pub fn new(kind: EventKind, reps: Vec<Symbol>, file: FileId, span: Span) -> Self {
         assert!(!reps.is_empty(), "event must have at least one representation");
         let candidates = kind.candidate_roles();
         Event { kind, reps, file, span, candidates }
     }
 
+    /// Like [`Event::new`], interning the representation strings. Intended
+    /// for tests and hand-built graphs; the builder interns at parse time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps` is empty.
+    pub fn from_reps(kind: EventKind, reps: &[&str], file: FileId, span: Span) -> Self {
+        Event::new(kind, reps.iter().map(|r| intern(r)).collect(), file, span)
+    }
+
     /// The most specific representation.
-    pub fn rep(&self) -> &str {
-        &self.reps[0]
+    pub fn rep_sym(&self) -> Symbol {
+        self.reps[0]
+    }
+
+    /// The most specific representation, resolved to text.
+    pub fn rep(&self) -> &'static str {
+        self.reps[0].as_str()
+    }
+
+    /// Whether any backoff representation equals `text`.
+    pub fn has_rep(&self, text: &str) -> bool {
+        self.reps.iter().any(|r| r.as_str() == text)
     }
 }
 
@@ -119,13 +140,16 @@ mod tests {
 
     #[test]
     fn event_rep_is_most_specific() {
-        let e = Event::new(
+        let e = Event::from_reps(
             EventKind::Call,
-            vec!["a.b.c()".into(), "b.c()".into()],
+            &["a.b.c()", "b.c()"],
             FileId(0),
             Span::dummy(),
         );
         assert_eq!(e.rep(), "a.b.c()");
+        assert_eq!(e.rep_sym(), intern("a.b.c()"));
+        assert!(e.has_rep("b.c()"));
+        assert!(!e.has_rep("c()"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! contraction of same-representation events (§6.4).
 
 use crate::event::{Event, EventId, FileId};
+use seldon_intern::Symbol;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The position through which flow enters a call event.
@@ -192,18 +193,29 @@ impl PropagationGraph {
     /// introduced, but events may share representations.
     pub fn union(&mut self, other: &PropagationGraph) -> u32 {
         let offset = self.events.len() as u32;
-        for e in &other.events {
-            self.add_event(e.clone());
-        }
-        for (from, to) in other.edges() {
-            let kind = other.edge_kind(from, to).unwrap_or(EdgeKind::Argument);
-            let (f, t) = (EventId(from.0 + offset), EventId(to.0 + offset));
-            self.add_edge_kind(f, t, kind);
-            if let Some(pos) = other.arg_position(from, to) {
-                self.set_arg_position(f, t, pos.clone());
-            }
-        }
+        let shift = |id: EventId| EventId(id.0 + offset);
+        // `other` already upholds the graph invariants (no duplicate or
+        // self edges, symmetric succs/preds), so its adjacency is copied
+        // wholesale with shifted ids instead of re-validated edge by edge.
+        self.events.extend_from_slice(&other.events);
+        self.succs
+            .extend(other.succs.iter().map(|outs| outs.iter().map(|&t| shift(t)).collect()));
+        self.preds
+            .extend(other.preds.iter().map(|ins| ins.iter().map(|&f| shift(f)).collect()));
+        self.receiver_edges
+            .extend(other.receiver_edges.iter().map(|&(f, t)| (shift(f), shift(t))));
+        self.arg_positions.extend(
+            other.arg_positions.iter().map(|(&(f, t), pos)| ((shift(f), shift(t)), pos.clone())),
+        );
+        self.edge_count += other.edge_count;
         offset
+    }
+
+    /// Pre-allocates room for `events` additional events, for bulk unions.
+    pub fn reserve_events(&mut self, events: usize) {
+        self.events.reserve(events);
+        self.succs.reserve(events);
+        self.preds.reserve(events);
     }
 
     /// Events reachable from `start` by forward BFS (excluding `start`).
@@ -272,12 +284,12 @@ impl PropagationGraph {
     /// is *not* suitable for taint analysis (Fig. 8) but can be used for
     /// specification learning.
     pub fn contract(&self) -> (PropagationGraph, Vec<EventId>) {
-        let mut rep_to_new: HashMap<&str, EventId> = HashMap::new();
+        let mut rep_to_new: HashMap<Symbol, EventId> = HashMap::new();
         let mut mapping = vec![EventId(0); self.events.len()];
         let mut out = PropagationGraph::new();
         for (id, e) in self.events() {
-            let key = e.rep();
-            let new_id = match rep_to_new.get(key) {
+            let key = e.rep_sym();
+            let new_id = match rep_to_new.get(&key) {
                 Some(&n) => {
                     // Merge candidate roles; keep the first event's metadata.
                     let merged = out.events[n.index()].candidates.union(e.candidates);
@@ -303,16 +315,38 @@ impl PropagationGraph {
         (out, mapping)
     }
 
-    /// Counts how often each representation string occurs across all backoff
-    /// options of all events. Used for the backoff cutoff (§4.3).
-    pub fn representation_frequencies(&self) -> HashMap<String, usize> {
-        let mut freq = HashMap::new();
-        for (_, e) in self.events() {
+    /// Counts how often each representation occurs across all backoff
+    /// options of all events, as a [`Symbol`]-indexed vector (index
+    /// [`Symbol::index`], zero for symbols absent from this graph). Used
+    /// for the backoff cutoff (§4.3); lookups are array indexing instead
+    /// of string hashing.
+    pub fn rep_frequency_counts(&self) -> Vec<usize> {
+        let max_index = self
+            .events
+            .iter()
+            .flat_map(|e| &e.reps)
+            .map(|r| r.index())
+            .max();
+        let mut counts = vec![0usize; max_index.map_or(0, |m| m + 1)];
+        for e in &self.events {
             for r in &e.reps {
-                *freq.entry(r.clone()).or_insert(0) += 1;
+                counts[r.index()] += 1;
             }
         }
-        freq
+        counts
+    }
+
+    /// String-keyed convenience wrapper around [`rep_frequency_counts`]
+    /// for the CLI/stats path.
+    ///
+    /// [`rep_frequency_counts`]: PropagationGraph::rep_frequency_counts
+    pub fn representation_frequencies(&self) -> HashMap<String, usize> {
+        self.rep_frequency_counts()
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, n)| n > 0)
+            .map(|(i, n)| (Symbol(i as u32).as_str().to_string(), n))
+            .collect()
     }
 
     /// Average number of representations (backoff options) per event.
@@ -332,7 +366,7 @@ mod tests {
     use seldon_pyast::Span;
 
     fn ev(rep: &str) -> Event {
-        Event::new(EventKind::Call, vec![rep.to_string()], FileId(0), Span::dummy())
+        Event::from_reps(EventKind::Call, &[rep], FileId(0), Span::dummy())
     }
 
     fn chain(graph: &mut PropagationGraph, reps: &[&str]) -> Vec<EventId> {
@@ -393,6 +427,26 @@ mod tests {
     }
 
     #[test]
+    fn union_preserves_edge_kinds_and_arg_positions() {
+        let mut g2 = PropagationGraph::new();
+        let a = g2.add_event(ev("a()"));
+        let b = g2.add_event(ev("b()"));
+        let c = g2.add_event(ev("c()"));
+        g2.add_edge_kind(a, b, EdgeKind::Receiver);
+        g2.add_edge_kind(a, c, EdgeKind::Argument);
+        g2.set_arg_position(a, c, ArgPos::Positional(1));
+        let mut g1 = PropagationGraph::new();
+        chain(&mut g1, &["x()"]);
+        let offset = g1.union(&g2);
+        let (a, b, c) = (EventId(a.0 + offset), EventId(b.0 + offset), EventId(c.0 + offset));
+        assert_eq!(g1.edge_kind(a, b), Some(EdgeKind::Receiver));
+        assert_eq!(g1.edge_kind(a, c), Some(EdgeKind::Argument));
+        assert_eq!(g1.arg_position(a, c), Some(&ArgPos::Positional(1)));
+        assert_eq!(g1.edge_count(), 2);
+        assert_eq!(g1.predecessors(b), &[a]);
+    }
+
+    #[test]
     fn contraction_merges_same_rep() {
         // Fig. 8: two `san()` calls in different functions.
         let mut g = PropagationGraph::new();
@@ -416,21 +470,24 @@ mod tests {
     #[test]
     fn representation_frequencies_count_backoffs() {
         let mut g = PropagationGraph::new();
-        g.add_event(Event::new(
+        g.add_event(Event::from_reps(
             EventKind::Call,
-            vec!["a.b()".into(), "b()".into()],
+            &["a.b()", "b()"],
             FileId(0),
             Span::dummy(),
         ));
-        g.add_event(Event::new(
+        g.add_event(Event::from_reps(
             EventKind::Call,
-            vec!["c.b()".into(), "b()".into()],
+            &["c.b()", "b()"],
             FileId(0),
             Span::dummy(),
         ));
         let f = g.representation_frequencies();
         assert_eq!(f["b()"], 2);
         assert_eq!(f["a.b()"], 1);
+        let counts = g.rep_frequency_counts();
+        assert_eq!(counts[seldon_intern::intern("b()").index()], 2);
+        assert_eq!(counts[seldon_intern::intern("c.b()").index()], 1);
         assert!((g.avg_backoff_options() - 2.0).abs() < 1e-9);
     }
 
@@ -438,12 +495,7 @@ mod tests {
     fn events_in_file_filters() {
         let mut g = PropagationGraph::new();
         g.add_event(ev("a()"));
-        g.add_event(Event::new(
-            EventKind::Call,
-            vec!["b()".into()],
-            FileId(1),
-            Span::dummy(),
-        ));
+        g.add_event(Event::from_reps(EventKind::Call, &["b()"], FileId(1), Span::dummy()));
         assert_eq!(g.events_in_file(FileId(0)).len(), 1);
         assert_eq!(g.events_in_file(FileId(1)).len(), 1);
     }

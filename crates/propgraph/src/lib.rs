@@ -40,5 +40,6 @@ pub use builder::{
 pub use dot::to_dot;
 pub use event::{Event, EventId, EventKind, FileId};
 pub use graph::{ArgPos, EdgeKind, PropagationGraph};
-pub use repr::{describe_expr, ReprCtx};
+pub use repr::{describe_expr, describe_syms, interned_dot_suffixes, ReprCtx};
+pub use seldon_intern::{intern, Symbol};
 pub use stats::{graph_stats, GraphStats};

@@ -14,8 +14,10 @@
 //!   `args.get()` (suffixes keep at least two components so that maximally
 //!   generic names like `get()` do not conflate unrelated events).
 
+use seldon_intern::{intern, Symbol};
 use seldon_pyast::ast::{Expr, ExprKind};
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Maximum number of representations kept per event.
 pub const MAX_REPS: usize = 6;
@@ -86,24 +88,34 @@ impl ReprCtx {
 }
 
 /// Computes the representation variants of an expression, most → least
-/// specific. Returns an empty vector when the expression has no stable
-/// description (e.g. arithmetic on strings).
-pub fn describe_expr(expr: &Expr, ctx: &ReprCtx) -> Vec<String> {
+/// specific, as interned [`Symbol`]s. Returns an empty vector when the
+/// expression has no stable description (e.g. arithmetic on strings).
+///
+/// This is the hot-path entry used by the graph builder: variant strings
+/// are interned once and dot-suffix backoff reuses the per-symbol
+/// memoized suffix table ([`interned_dot_suffixes`]).
+pub fn describe_syms(expr: &Expr, ctx: &ReprCtx) -> Vec<Symbol> {
     let variants = describe_inner(expr, ctx, 0);
     finish(variants)
 }
 
-fn finish(variants: Vec<String>) -> Vec<String> {
-    let mut out: Vec<String> = Vec::new();
+/// String-resolving convenience wrapper around [`describe_syms`].
+pub fn describe_expr(expr: &Expr, ctx: &ReprCtx) -> Vec<String> {
+    describe_syms(expr, ctx).iter().map(|s| s.as_str().to_string()).collect()
+}
+
+fn finish(variants: Vec<String>) -> Vec<Symbol> {
+    let mut out: Vec<Symbol> = Vec::new();
     for v in &variants {
-        if !out.contains(v) {
-            out.push(v.clone());
+        let sym = intern(v);
+        if !out.contains(&sym) {
+            out.push(sym);
         }
     }
     // Dot-suffix backoff on the most specific plain dotted variant.
     if let Some(first) = variants.first() {
         if !first.contains("(param ") && !first.contains("::") {
-            for s in dot_suffixes(first) {
+            for &s in interned_dot_suffixes(intern(first)) {
                 if !out.contains(&s) {
                     out.push(s);
                 }
@@ -149,6 +161,29 @@ fn render_index(index: &Expr) -> String {
         ExprKind::Number(n) => n.clone(),
         _ => String::new(),
     }
+}
+
+/// The dot suffixes of an interned representation, computed once per
+/// symbol and memoized for the process lifetime.
+///
+/// A representation like `flask.request.args.get()` appears on thousands
+/// of events across a corpus; its suffix list is identical every time, so
+/// re-splitting and re-allocating per event ([`dot_suffixes`]) is pure
+/// waste. The memo is keyed by [`Symbol`], making the hot-path lookup one
+/// integer-keyed hash probe.
+pub fn interned_dot_suffixes(rep: Symbol) -> &'static [Symbol] {
+    static MEMO: RwLock<Option<HashMap<Symbol, &'static [Symbol]>>> = RwLock::new(None);
+    if let Some(memo) = MEMO.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+        if let Some(&suffixes) = memo.get(&rep) {
+            return suffixes;
+        }
+    }
+    let computed: Vec<Symbol> =
+        dot_suffixes(rep.as_str()).iter().map(|s| intern(s)).collect();
+    let mut guard = MEMO.write().unwrap_or_else(|e| e.into_inner());
+    let memo = guard.get_or_insert_with(HashMap::new);
+    // Re-check under the write lock; leak only for the winning thread.
+    memo.entry(rep).or_insert_with(|| Box::leak(computed.into_boxed_slice()))
 }
 
 /// Splits a representation on top-level dots (ignoring dots inside brackets
@@ -323,6 +358,35 @@ mod tests {
         );
         assert!(dot_suffixes("a.b()").is_empty());
         assert!(dot_suffixes("solo()").is_empty());
+    }
+
+    #[test]
+    fn interned_suffixes_pin_order_and_dedup() {
+        // Order: longest (most specific) suffix first, each keeping ≥ 2
+        // components; identical to the string-level dot_suffixes.
+        let sym = intern("a.b.c.d()");
+        let suffixes = interned_dot_suffixes(sym);
+        assert_eq!(
+            suffixes,
+            &[intern("b.c.d()"), intern("c.d()")],
+            "suffix order must be most → least specific"
+        );
+        // Memoized: a second lookup returns the very same leaked slice.
+        assert!(std::ptr::eq(suffixes, interned_dot_suffixes(sym)));
+        // Short reps have no suffixes, memoized or not.
+        assert!(interned_dot_suffixes(intern("a.b()")).is_empty());
+        assert!(interned_dot_suffixes(intern("solo()")).is_empty());
+        // finish() dedups suffixes against the variant list: the variants
+        // of `request.args.get()` under `from flask import request` already
+        // end with the suffix chain, and no symbol repeats.
+        let ctx = ctx_with_imports(&[("request", &["flask", "request"])]);
+        let syms = describe_syms(&parse_expr("request.args.get('n')").unwrap(), &ctx);
+        let mut seen = std::collections::HashSet::new();
+        for &s in &syms {
+            assert!(seen.insert(s), "duplicate symbol {s} in {syms:?}");
+        }
+        assert_eq!(syms[0], intern("flask.request.args.get()"));
+        assert_eq!(syms.last(), Some(&intern("args.get()")));
     }
 
     #[test]

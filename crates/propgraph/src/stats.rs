@@ -3,7 +3,8 @@
 
 use crate::event::EventKind;
 use crate::graph::PropagationGraph;
-use std::collections::HashMap;
+use seldon_intern::Symbol;
+use std::collections::HashSet;
 
 /// Summary statistics of a propagation graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +38,7 @@ pub fn graph_stats(graph: &PropagationGraph) -> GraphStats {
     let mut calls = 0;
     let mut reads = 0;
     let mut params = 0;
-    let mut reps: HashMap<&str, usize> = HashMap::new();
+    let mut reps: HashSet<Symbol> = HashSet::new();
     let mut total_backoff = 0usize;
     let mut max_out = 0usize;
     let mut max_in = 0usize;
@@ -49,7 +50,7 @@ pub fn graph_stats(graph: &PropagationGraph) -> GraphStats {
             EventKind::ObjectRead => reads += 1,
             EventKind::ParamRead => params += 1,
         }
-        *reps.entry(e.rep()).or_insert(0) += 1;
+        reps.insert(e.rep_sym());
         total_backoff += e.reps.len();
         let out = graph.successors(id).len();
         let inn = graph.predecessors(id).len();

@@ -6,7 +6,7 @@
 //! role. The selected representation text becomes the learned spec entry.
 
 use crate::solve::Solution;
-use seldon_constraints::ConstraintSystem;
+use seldon_constraints::{ConstraintSystem, RepId};
 use seldon_propgraph::EventId;
 use seldon_specs::{Role, RoleSet, TaintSpec};
 use std::collections::HashMap;
@@ -56,7 +56,8 @@ pub struct Extraction {
     /// Role set chosen for each candidate event.
     pub event_roles: HashMap<EventId, RoleSet>,
     /// The effective (decayed) score backing each learned `(rep, role)`.
-    pub scores: HashMap<(String, Role), f64>,
+    /// Keys are interned representations; resolve with [`RepId::as_str`].
+    pub scores: HashMap<(RepId, Role), f64>,
 }
 
 /// Runs the §7.1 extraction rule over all candidate events.
@@ -89,10 +90,9 @@ pub fn extract(
                 let effective = opts.decay.powi(i as i32) * sol.score(var);
                 if effective >= opts.threshold(role) {
                     roles = roles.with(role);
-                    let text = sys.rep_text(rep).to_string();
-                    let entry = out.scores.entry((text.clone(), role)).or_insert(0.0);
+                    let entry = out.scores.entry((rep, role)).or_insert(0.0);
                     *entry = entry.max(effective);
-                    out.spec.add(text, role);
+                    out.spec.add(rep.as_str(), role);
                     break;
                 }
             }
@@ -193,7 +193,8 @@ mod tests {
         let (sys, _) = mk_system();
         let sol = solution_with(&sys, &[(0, 0.6)]);
         let ex = extract(&sys, &sol, &ExtractOptions::default());
-        let s = ex.scores[&("pkg.mod.api()".to_string(), Role::Source)];
+        let rep = sys.rep_id("pkg.mod.api()").unwrap();
+        let s = ex.scores[&(rep, Role::Source)];
         assert!((s - 0.6).abs() < 1e-12);
     }
 

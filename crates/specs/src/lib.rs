@@ -19,12 +19,14 @@
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod pattern;
 pub mod role;
 pub mod seed;
 pub mod signature;
 pub mod spec;
 
+pub use compiled::CompiledSpec;
 pub use pattern::{Pattern, PatternList};
 pub use role::{Role, RoleSet};
 pub use seed::{paper_seed, ReportedBug, PAPER_SEED_TEXT, REPORTED_BUGS};

@@ -31,8 +31,9 @@
 
 pub mod report;
 
+use seldon_intern::Symbol;
 use seldon_propgraph::{ArgPos, EventId, FileId, PropagationGraph};
-use seldon_specs::{ArgRef, Role, RoleSet, SinkSignature, TaintSpec};
+use seldon_specs::{ArgRef, CompiledSpec, Role, RoleSet, SinkSignature, TaintSpec};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 pub use report::{render_reports, reports_to_json, Report, VulnClass};
@@ -71,7 +72,7 @@ pub struct TaintAnalyzer<'g> {
     /// Role set per event, resolved through representation backoff.
     roles: HashMap<EventId, RoleSet>,
     /// The representation that matched, per event.
-    matched: HashMap<EventId, String>,
+    matched: HashMap<EventId, Symbol>,
     /// Signatures of sink events whose matched representation declares one.
     sink_sigs: HashMap<EventId, SinkSignature>,
     options: TaintOptions,
@@ -92,14 +93,17 @@ impl<'g> TaintAnalyzer<'g> {
         let mut roles = HashMap::new();
         let mut matched = HashMap::new();
         let mut sink_sigs = HashMap::new();
+        // Role lookup (including blacklist globs) resolves once per distinct
+        // representation symbol, not once per event.
+        let compiled = CompiledSpec::new(spec);
         for (id, event) in graph.events() {
-            for rep in &event.reps {
-                let r = spec.roles(rep).intersection(event.candidates);
+            for &rep in &event.reps {
+                let r = compiled.roles(rep).intersection(event.candidates);
                 if !r.is_empty() {
                     roles.insert(id, r);
-                    matched.insert(id, rep.clone());
+                    matched.insert(id, rep);
                     if r.contains(Role::Sink) {
-                        if let Some(sig) = spec.signature(rep) {
+                        if let Some(sig) = spec.signature(rep.as_str()) {
                             sink_sigs.insert(id, sig.clone());
                         }
                     }
@@ -122,9 +126,7 @@ impl<'g> TaintAnalyzer<'g> {
             let cand = graph.event(id).candidates;
             let merged = a.roles.entry(id).or_insert(RoleSet::EMPTY);
             *merged = merged.union(r.intersection(cand));
-            a.matched
-                .entry(id)
-                .or_insert_with(|| graph.event(id).rep().to_string());
+            a.matched.entry(id).or_insert_with(|| graph.event(id).rep_sym());
         }
         a
     }
@@ -135,8 +137,8 @@ impl<'g> TaintAnalyzer<'g> {
     }
 
     /// The representation that matched the specification for `id`, if any.
-    pub fn matched_rep(&self, id: EventId) -> Option<&str> {
-        self.matched.get(&id).map(String::as_str)
+    pub fn matched_rep(&self, id: EventId) -> Option<&'static str> {
+        self.matched.get(&id).map(|s| s.as_str())
     }
 
     /// All events holding `role`, in id order.
@@ -197,8 +199,16 @@ impl<'g> TaintAnalyzer<'g> {
                 source,
                 sink: v,
                 path: self.reconstruct(source, v, &parent),
-                source_rep: self.matched.get(&source).cloned().unwrap_or_default(),
-                sink_rep: self.matched.get(&v).cloned().unwrap_or_default(),
+                source_rep: self
+                    .matched
+                    .get(&source)
+                    .map(|s| s.as_str().to_string())
+                    .unwrap_or_default(),
+                sink_rep: self
+                    .matched
+                    .get(&v)
+                    .map(|s| s.as_str().to_string())
+                    .unwrap_or_default(),
                 file: self.graph.event(v).file,
             })
             .collect()

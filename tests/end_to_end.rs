@@ -27,6 +27,25 @@ fn pipeline_is_deterministic() {
 }
 
 #[test]
+fn learned_spec_matches_golden_output() {
+    // Pins the exact learned specification for the standard small corpus.
+    // The golden file was captured before the Symbol-interning refactor, so
+    // this test proves the interned pipeline (Symbol-keyed constraint
+    // system, memoized blacklist matcher, sharded union) is byte-identical
+    // to the original String-keyed implementation — not merely similar.
+    let universe = Universe::new();
+    let corpus = generate_corpus(&universe, &small_corpus_opts());
+    let analyzed = analyze_corpus(&corpus, 4).unwrap();
+    let run = run_seldon(&analyzed.graph, &universe.seed_spec(), &SeldonOptions::default());
+    let golden = include_str!("golden/end_to_end_spec.txt");
+    assert_eq!(
+        run.extraction.spec.to_text(),
+        golden,
+        "learned spec diverged from tests/golden/end_to_end_spec.txt"
+    );
+}
+
+#[test]
 fn learning_meets_quality_floor() {
     let universe = Universe::new();
     let corpus = generate_corpus(&universe, &small_corpus_opts());

@@ -135,7 +135,7 @@ fn golden_snippets_parse_and_build() {
             .unwrap_or_else(|e| panic!("{name}: graph build failed: {e}"));
         for rep in *expected_reps {
             assert!(
-                graph.events().any(|(_, e)| e.reps.iter().any(|r| r == rep)),
+                graph.events().any(|(_, e)| e.has_rep(rep)),
                 "{name}: missing representation {rep}; have: {:?}",
                 graph.events().map(|(_, e)| e.rep().to_string()).collect::<Vec<_>>()
             );
