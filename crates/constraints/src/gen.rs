@@ -17,6 +17,7 @@ use crate::system::{ConstraintSystem, FlowConstraint, RepId, Template, Term, Var
 use seldon_propgraph::{EventId, PropagationGraph};
 use seldon_specs::{CompiledSpec, Role, TaintSpec};
 use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 /// Tunable knobs of constraint generation; defaults follow the paper.
 #[derive(Debug, Clone)]
@@ -54,12 +55,46 @@ impl Default for GenOptions {
     }
 }
 
+/// Observability counters and phase timings of one [`generate`] call.
+///
+/// The two phases match the paper's structure: *representation/backoff
+/// selection* (§4.3 — frequency cutoff, blacklist, variable and pin
+/// setup) and *constraint collection* (§4.2 — the Fig. 4 template BFS).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GenStats {
+    /// Wall-clock of backoff selection, variable creation, and pinning.
+    pub select_time: Duration,
+    /// Wall-clock of the Fig. 4 constraint collection.
+    pub collect_time: Duration,
+    /// Events with at least one surviving representation (candidates).
+    pub candidate_events: usize,
+    /// Distinct representations that survived selection (system members).
+    pub surviving_reps: usize,
+    /// Backoff options dropped by the frequency cutoff, across events.
+    pub dropped_by_cutoff: usize,
+    /// Backoff options dropped by the seed blacklist, across events.
+    pub dropped_by_blacklist: usize,
+}
+
 /// Builds the constraint system for `graph`, pinning `seed` entries.
 pub fn generate(
     graph: &PropagationGraph,
     seed: &TaintSpec,
     opts: &GenOptions,
 ) -> ConstraintSystem {
+    generate_with_stats(graph, seed, opts).0
+}
+
+/// Like [`generate`], also returning the [`GenStats`] the telemetry layer
+/// folds into stage spans. The stats cost a handful of clock reads and
+/// counter increments; the generated system is identical to [`generate`].
+pub fn generate_with_stats(
+    graph: &PropagationGraph,
+    seed: &TaintSpec,
+    opts: &GenOptions,
+) -> (ConstraintSystem, GenStats) {
+    let mut stats = GenStats::default();
+    let select_started = Instant::now();
     let mut sys = ConstraintSystem::new(opts.c);
     let freq = graph.rep_frequency_counts();
     let compiled = CompiledSpec::new(seed);
@@ -70,9 +105,11 @@ pub fn generate(
         let mut reps: Vec<RepId> = Vec::new();
         for &r in event.reps.iter().take(opts.max_backoff) {
             if freq.get(r.index()).copied().unwrap_or(0) < opts.rep_cutoff {
+                stats.dropped_by_cutoff += 1;
                 continue;
             }
             if compiled.is_blacklisted(r) {
+                stats.dropped_by_blacklist += 1;
                 continue;
             }
             let id = sys.add_rep(r);
@@ -119,10 +156,16 @@ pub fn generate(
         }
     }
 
+    stats.candidate_events = event_reps.iter().filter(|r| r.is_some()).count();
+    stats.surviving_reps = sys.rep_syms().len();
+    stats.select_time = select_started.elapsed();
+
     // --- flow constraints ---------------------------------------------------
+    let collect_started = Instant::now();
     let collector = Collector { graph, sys: &mut sys, event_reps: &event_reps, opts };
     collector.collect();
-    sys
+    stats.collect_time = collect_started.elapsed();
+    (sys, stats)
 }
 
 struct Collector<'a> {
@@ -419,6 +462,38 @@ def media():
         let gap = constraint_gap(&c, &assignment);
         assert!((gap - (0.8 - 0.2)).abs() < 1e-12);
         assert_eq!(constraint_vars(&c), vec![va, vb]);
+    }
+
+    #[test]
+    fn stats_match_generated_system() {
+        let g = fig2_graph();
+        let (sys, stats) = generate_with_stats(&g, &TaintSpec::new(), &opts());
+        // Same system as the plain entry point.
+        let plain = generate(&g, &TaintSpec::new(), &opts());
+        assert_eq!(sys.var_count(), plain.var_count());
+        assert_eq!(sys.constraint_count(), plain.constraint_count());
+        // Counters agree with the system's own bookkeeping.
+        assert_eq!(stats.candidate_events, sys.event_reps.len());
+        assert_eq!(stats.surviving_reps, sys.rep_syms().len());
+        assert_eq!(stats.dropped_by_cutoff, 0, "cutoff 1 drops nothing");
+        assert_eq!(stats.dropped_by_blacklist, 0);
+    }
+
+    #[test]
+    fn stats_count_dropped_options() {
+        let g = fig2_graph();
+        // Default cutoff (5) drops every option in this single small file.
+        let (sys, stats) =
+            generate_with_stats(&g, &TaintSpec::new(), &GenOptions::default());
+        assert_eq!(sys.var_count(), 0);
+        assert!(stats.dropped_by_cutoff > 0);
+        assert_eq!(stats.candidate_events, 0);
+        assert_eq!(stats.surviving_reps, 0);
+        // A blacklist entry registers its drops separately.
+        let mut seed = TaintSpec::new();
+        seed.blacklist("os.path.join()");
+        let (_, stats) = generate_with_stats(&g, &seed, &opts());
+        assert!(stats.dropped_by_blacklist > 0);
     }
 
     #[test]

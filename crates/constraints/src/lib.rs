@@ -26,5 +26,5 @@
 pub mod gen;
 pub mod system;
 
-pub use gen::{constraint_gap, constraint_vars, generate, GenOptions};
+pub use gen::{constraint_gap, constraint_vars, generate, generate_with_stats, GenOptions, GenStats};
 pub use system::{ConstraintSystem, FlowConstraint, RepId, Template, Term, VarId};

@@ -5,6 +5,7 @@
 //! seldon graph  <file.py> [--dot]
 //! seldon check  <path...> [--spec <spec.txt>] [--param-sensitive]
 //! seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>]
+//!                         [--telemetry <out.json>] [--trace <out.trace.json>]
 //! ```
 //!
 //! `--spec`/`--seed` files use the paper's App. B format (`o:`/`a:`/`i:`/
@@ -12,20 +13,25 @@
 //! is used.
 //!
 //! All commands accept `--lenient` (default: recover from per-statement
-//! parse errors) or `--strict` (abort on the first unparseable file).
+//! parse errors) or `--strict` (abort on the first unparseable file), and
+//! `--log-level off|info|debug` for stage logging on stderr. `learn`
+//! additionally accepts `--telemetry <file>` to write the machine-readable
+//! run manifest and `--trace <file>` for a Chrome trace-event file
+//! (loadable in `chrome://tracing` or Perfetto).
 //! Exit codes: `0` — clean run, nothing found; `1` — violations found or
 //! the analysis degraded (recovered/quarantined files, runtime failures);
 //! `2` — usage errors (bad arguments, unreadable spec, no input files).
 
 use seldon_constraints::GenOptions;
 use seldon_core::{
-    analyze_corpus_with, run_seldon, AnalysisReport, AnalyzeOptions, AnalyzedCorpus,
-    FaultPolicy, FileOutcome, SeldonOptions,
+    analyze_corpus_with, run_full, AnalysisReport, AnalyzeOptions, AnalyzedCorpus, FaultPolicy,
+    FileOutcome, SeldonOptions,
 };
 use seldon_corpus::{Corpus, Project, SourceFile};
 use seldon_propgraph::{to_dot, Budget, FileId};
 use seldon_specs::{paper_seed, TaintSpec};
 use seldon_taint::{render_reports, reports_to_json, TaintAnalyzer, TaintOptions};
+use seldon_telemetry::{Level, Telemetry};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -83,9 +89,10 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  seldon graph  <file.py> [--dot] [--strict|--lenient]
-  seldon check  <path...> [--spec <spec.txt>] [--param-sensitive] [--format json] [--strict|--lenient]
+  seldon graph  <file.py> [--dot] [--strict|--lenient] [--log-level off|info|debug]
+  seldon check  <path...> [--spec <spec.txt>] [--param-sensitive] [--format json] [--strict|--lenient] [--log-level off|info|debug]
   seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>] [--strict|--lenient]
+                [--telemetry <manifest.json>] [--trace <out.trace.json>] [--log-level off|info|debug]
 
 exit codes: 0 clean; 1 violations found or degraded analysis; 2 usage error";
 
@@ -204,6 +211,14 @@ fn policy_from_flags(flags: &[&str]) -> Result<FaultPolicy, CliError> {
     }
 }
 
+/// The stderr log level from `--log-level` (default off).
+fn level_from_opts(opts: &HashMap<&str, &str>) -> Result<Level, CliError> {
+    match opts.get("--log-level") {
+        Some(v) => v.parse::<Level>().map_err(CliError::usage),
+        None => Ok(Level::Off),
+    }
+}
+
 /// A set of on-disk files analyzed through the fault-tolerant pipeline.
 struct Analysis {
     analyzed: AnalyzedCorpus,
@@ -220,9 +235,10 @@ impl Analysis {
     }
 }
 
-/// Reads `files`, wraps them as a single-project corpus, and runs the
-/// fault-tolerant pipeline over it under `policy` with default budgets.
-fn analyze_files(files: &[PathBuf], policy: FaultPolicy) -> Result<Analysis, CliError> {
+/// Reads `files` from disk into a single-project corpus. Unreadable files
+/// are skipped with a warning and counted; returns the corpus, the display
+/// name per [`FileId`] index, and the skip count.
+fn read_corpus(files: &[PathBuf]) -> Result<(Corpus, Vec<String>, usize), CliError> {
     let mut sources = Vec::new();
     let mut names = Vec::new();
     let mut io_skipped = 0usize;
@@ -245,7 +261,29 @@ fn analyze_files(files: &[PathBuf], policy: FaultPolicy) -> Result<Analysis, Cli
         projects: vec![Project { name: "cli".into(), files: sources }],
         ..Default::default()
     };
-    let opts = AnalyzeOptions { policy, budget: Some(Budget::default()), ..Default::default() };
+    Ok((corpus, names, io_skipped))
+}
+
+/// The [`AnalyzeOptions`] every command uses: `policy` plus default
+/// budgets, with stage telemetry wired through.
+fn cli_analyze_opts(policy: FaultPolicy, tele: &Telemetry) -> AnalyzeOptions {
+    AnalyzeOptions {
+        policy,
+        budget: Some(Budget::default()),
+        telemetry: tele.clone(),
+        ..Default::default()
+    }
+}
+
+/// Reads `files`, wraps them as a single-project corpus, and runs the
+/// fault-tolerant pipeline over it under `policy` with default budgets.
+fn analyze_files(
+    files: &[PathBuf],
+    policy: FaultPolicy,
+    tele: &Telemetry,
+) -> Result<Analysis, CliError> {
+    let (corpus, names, io_skipped) = read_corpus(files)?;
+    let opts = cli_analyze_opts(policy, tele);
     let (analyzed, report) = analyze_corpus_with(&corpus, &opts)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     Ok(Analysis { analyzed, report, names, io_skipped })
@@ -272,10 +310,12 @@ fn print_degradation(analysis: &Analysis) {
 }
 
 fn cmd_graph(rest: &[String]) -> Result<Outcome, CliError> {
-    let (paths, _, flags) = split_args(rest, &["--dot", "--strict", "--lenient"], &[])?;
+    let (paths, opts, flags) =
+        split_args(rest, &["--dot", "--strict", "--lenient"], &["--log-level"])?;
     let policy = policy_from_flags(&flags)?;
+    let tele = Telemetry::disabled().with_log_level(level_from_opts(&opts)?);
     let files = collect_py_files(&paths)?;
-    let analysis = analyze_files(&files, policy)?;
+    let analysis = analyze_files(&files, policy, &tele)?;
     print_degradation(&analysis);
     let graph = &analysis.analyzed.graph;
     if flags.contains(&"--dot") {
@@ -296,12 +336,13 @@ fn cmd_check(rest: &[String]) -> Result<Outcome, CliError> {
     let (paths, opts, flags) = split_args(
         rest,
         &["--param-sensitive", "--strict", "--lenient"],
-        &["--spec", "--format"],
+        &["--spec", "--format", "--log-level"],
     )?;
     let policy = policy_from_flags(&flags)?;
+    let tele = Telemetry::disabled().with_log_level(level_from_opts(&opts)?);
     let spec = load_spec(opts.get("--spec").copied())?;
     let files = collect_py_files(&paths)?;
-    let analysis = analyze_files(&files, policy)?;
+    let analysis = analyze_files(&files, policy, &tele)?;
     print_degradation(&analysis);
     let graph = &analysis.analyzed.graph;
     let analyzer = TaintAnalyzer::with_options(
@@ -341,12 +382,36 @@ fn cmd_check(rest: &[String]) -> Result<Outcome, CliError> {
 }
 
 fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
-    let (paths, opts, flags) =
-        split_args(rest, &["--strict", "--lenient"], &["--seed", "--out", "--cutoff"])?;
+    let (paths, opts, flags) = split_args(
+        rest,
+        &["--strict", "--lenient"],
+        &["--seed", "--out", "--cutoff", "--telemetry", "--trace", "--log-level"],
+    )?;
     let policy = policy_from_flags(&flags)?;
+    let manifest_path = opts.get("--telemetry").copied();
+    let trace_path = opts.get("--trace").copied();
+    // Either output file needs the recorder; `--log-level` alone only logs.
+    let tele = if manifest_path.is_some() || trace_path.is_some() {
+        Telemetry::recording()
+    } else {
+        Telemetry::disabled()
+    }
+    .with_log_level(level_from_opts(&opts)?);
     let seed = load_spec(opts.get("--seed").copied())?;
     let files = collect_py_files(&paths)?;
-    let analysis = analyze_files(&files, policy)?;
+    let (corpus, names, io_skipped) = read_corpus(&files)?;
+    let cutoff: usize = opts
+        .get("--cutoff")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if names.len() < 50 { 2 } else { 5 });
+    let options = SeldonOptions {
+        gen: GenOptions { rep_cutoff: cutoff, ..Default::default() },
+        ..Default::default()
+    };
+    let full = run_full(&corpus, &seed, "learn", &cli_analyze_opts(policy, &tele), &options)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let analysis =
+        Analysis { analyzed: full.analyzed, report: full.report, names, io_skipped };
     print_degradation(&analysis);
     let graph = &analysis.analyzed.graph;
     eprintln!(
@@ -355,15 +420,7 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
         graph.event_count(),
         graph.edge_count()
     );
-    let cutoff: usize = opts
-        .get("--cutoff")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if analysis.names.len() < 50 { 2 } else { 5 });
-    let options = SeldonOptions {
-        gen: GenOptions { rep_cutoff: cutoff, ..Default::default() },
-        ..Default::default()
-    };
-    let run = run_seldon(graph, &seed, &options);
+    let run = &full.run;
     eprintln!(
         "{} constraints over {} variables solved in {:?} ({} iterations)",
         run.system.constraint_count(),
@@ -373,6 +430,24 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     );
     if run.solution.diverged {
         eprintln!("warning: solver diverged and restarted with a reduced learning rate");
+    }
+    if flags.contains(&"--strict") {
+        eprintln!(
+            "solver: {} restart(s), final learning rate {:.6}",
+            run.solution.restarts, run.solution.final_lr
+        );
+    }
+    if let Some(m) = &full.manifest {
+        if let Some(path) = manifest_path {
+            std::fs::write(path, m.to_json())
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote run manifest to {path}");
+        }
+        if let Some(path) = trace_path {
+            std::fs::write(path, m.chrome_trace())
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote Chrome trace to {path}");
+        }
     }
     let text = run.extraction.spec.to_text();
     match opts.get("--out") {

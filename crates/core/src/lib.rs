@@ -29,6 +29,7 @@
 
 pub mod error;
 pub mod eval;
+pub mod manifest;
 pub mod pipeline;
 pub mod report;
 
@@ -37,8 +38,10 @@ pub use eval::{
     classify_all, classify_violation, evaluate_spec, reps_match, GroundTruth, ReportClass,
     ReportSummary, RoleEval, SpecEval,
 };
+pub use manifest::{run_full, FullRun};
 pub use pipeline::{
-    analyze_corpus, analyze_corpus_with, analyze_project, run_seldon, AnalyzeOptions,
-    AnalyzedCorpus, FaultPolicy, FileMeta, SeldonOptions, SeldonRun,
+    analyze_corpus, analyze_corpus_with, analyze_project, run_seldon, run_seldon_traced,
+    AnalyzeOptions, AnalyzedCorpus, FaultPolicy, FileMeta, SeldonOptions, SeldonRun,
+    DEFAULT_TRACE_STRIDE,
 };
 pub use report::{AnalysisReport, FileOutcome, FileReport};

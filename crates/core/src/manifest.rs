@@ -1,0 +1,205 @@
+//! Full-pipeline driver with telemetry: runs all eight stages — parse,
+//! propgraph, union, representation, constraints, solve, extract, taint —
+//! and assembles the machine-readable [`RunManifest`] the `--telemetry`
+//! flag writes.
+//!
+//! [`run_full`] is [`analyze_corpus_with`] + [`run_seldon_traced`] plus a
+//! final taint pass with the learned specification. With a recording
+//! [`Telemetry`] handle in [`AnalyzeOptions`], the manifest captures the
+//! corpus shape, per-file fault outcomes, every stage span with its
+//! counters, the per-template constraint counts (Fig. 4a/b/c), the
+//! solver's sampled convergence curve, the §7.1 extraction backoff sweep,
+//! and the taint verdict. With a disabled handle the pipeline runs
+//! telemetry-free and no manifest is produced.
+
+use crate::error::PipelineError;
+use crate::pipeline::{
+    analyze_corpus_with, run_seldon_traced, AnalyzeOptions, AnalyzedCorpus, SeldonOptions,
+    SeldonRun,
+};
+use crate::report::AnalysisReport;
+use seldon_corpus::Corpus;
+use seldon_specs::{Role, TaintSpec};
+use seldon_taint::{TaintAnalyzer, Violation};
+use seldon_telemetry::{
+    stage, ConstraintSummary, CorpusShape, ExtractionSummary, OutcomeCounts, RunManifest,
+    SolverSummary, TaintSummary, Telemetry,
+};
+
+/// Everything one full pipeline run produces.
+#[derive(Debug)]
+pub struct FullRun {
+    /// The analyzed corpus (global graph + file metadata).
+    pub analyzed: AnalyzedCorpus,
+    /// Per-file fault/budget outcomes.
+    pub report: AnalysisReport,
+    /// Constraint system, solution, and extraction.
+    pub run: SeldonRun,
+    /// Unsanitized source→sink flows found with the seed + learned spec.
+    pub violations: Vec<Violation>,
+    /// The assembled manifest; `None` unless the telemetry handle in
+    /// [`AnalyzeOptions`] was recording.
+    pub manifest: Option<RunManifest>,
+}
+
+/// Runs the complete eight-stage pipeline over `corpus` and assembles the
+/// run manifest from whatever the telemetry handle recorded.
+///
+/// The taint stage merges the learned specification over the seed and
+/// reuses the extraction's per-event role assignments, so backoff-learned
+/// roles reach the analyzer even for representations below the cutoff.
+///
+/// # Errors
+///
+/// Propagates [`analyze_corpus_with`] errors (first bad file under
+/// [`FaultPolicy::FailFast`](crate::FaultPolicy::FailFast)).
+pub fn run_full(
+    corpus: &Corpus,
+    seed: &TaintSpec,
+    command: &str,
+    analyze: &AnalyzeOptions,
+    seldon: &SeldonOptions,
+) -> Result<FullRun, PipelineError> {
+    let tele = analyze.telemetry.clone();
+    let (analyzed, report) = analyze_corpus_with(corpus, analyze)?;
+    let run = run_seldon_traced(&analyzed.graph, seed, seldon, &tele);
+
+    let mut full_spec = seed.clone();
+    full_spec.merge(&run.extraction.spec);
+    let taint_span = tele.span(stage::TAINT);
+    let analyzer =
+        TaintAnalyzer::with_event_roles(&analyzed.graph, &full_spec, &run.extraction.event_roles);
+    let violations = analyzer.find_violations();
+    taint_span.counter("violations", violations.len() as f64);
+    drop(taint_span);
+
+    let manifest = tele.is_recording().then(|| {
+        assemble_manifest(command, corpus, &analyzed, &report, &run, seldon, &violations, &tele)
+    });
+    Ok(FullRun { analyzed, report, run, violations, manifest })
+}
+
+/// Folds the recorded spans and pipeline artifacts into a [`RunManifest`].
+/// Drains the telemetry recorder.
+#[allow(clippy::too_many_arguments)]
+fn assemble_manifest(
+    command: &str,
+    corpus: &Corpus,
+    analyzed: &AnalyzedCorpus,
+    report: &AnalysisReport,
+    run: &SeldonRun,
+    seldon: &SeldonOptions,
+    violations: &[Violation],
+    tele: &Telemetry,
+) -> RunManifest {
+    let mut m = RunManifest::new(command);
+    m.corpus = CorpusShape {
+        files: corpus.file_count() as u64,
+        projects: corpus.projects.len() as u64,
+        events: analyzed.graph.event_count() as u64,
+        edges: analyzed.graph.edge_count() as u64,
+        symbols: seldon_intern::len() as u64,
+    };
+    m.outcomes = OutcomeCounts {
+        ok: report.ok() as u64,
+        recovered: report.recovered() as u64,
+        skipped: report.skipped() as u64,
+        over_budget: report.over_budget() as u64,
+        panicked: report.panicked() as u64,
+    };
+    m.stages = tele.take_spans().into_iter().map(Into::into).collect();
+    let by_template = run.system.template_counts();
+    m.constraints = ConstraintSummary {
+        total: run.system.constraint_count() as u64,
+        vars: run.system.var_count() as u64,
+        pinned: run.system.pinned_count() as u64,
+        by_template: [
+            by_template[0] as u64,
+            by_template[1] as u64,
+            by_template[2] as u64,
+        ],
+    };
+    m.solver = SolverSummary {
+        iterations: run.solution.iterations as u64,
+        restarts: run.solution.restarts as u64,
+        diverged: run.solution.diverged,
+        final_lr: run.solution.final_lr,
+        objective: run.solution.objective,
+        violation: run.solution.violation,
+        curve: run.solution.trace.clone(),
+    };
+    let mut learned = [0u64; 3];
+    for (_, roles) in run.extraction.spec.iter() {
+        for role in Role::ALL {
+            if roles.contains(role) {
+                learned[role.index()] += 1;
+            }
+        }
+    }
+    m.extraction = ExtractionSummary {
+        thresholds: seldon.extract.thresholds,
+        decay: seldon.extract.decay,
+        backoff_hits: run.extraction.backoff_hits.iter().map(|&n| n as u64).collect(),
+        learned,
+    };
+    m.taint = TaintSummary { violations: violations.len() as u64 };
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::FaultPolicy;
+    use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+
+    fn small_corpus() -> (Corpus, TaintSpec) {
+        let universe = Universe::new();
+        let corpus = generate_corpus(
+            &universe,
+            &CorpusOptions { projects: 6, ..Default::default() },
+        );
+        let seed = universe.seed_spec();
+        (corpus, seed)
+    }
+
+    #[test]
+    fn disabled_telemetry_produces_no_manifest() {
+        let (corpus, seed) = small_corpus();
+        let full = run_full(
+            &corpus,
+            &seed,
+            "learn",
+            &AnalyzeOptions::default(),
+            &SeldonOptions::default(),
+        )
+        .unwrap();
+        assert!(full.manifest.is_none());
+        assert!(full.run.system.constraint_count() > 0);
+    }
+
+    #[test]
+    fn recording_run_emits_complete_manifest() {
+        let (corpus, seed) = small_corpus();
+        let opts = AnalyzeOptions {
+            policy: FaultPolicy::Recover,
+            threads: 2,
+            telemetry: Telemetry::recording(),
+            ..Default::default()
+        };
+        let full =
+            run_full(&corpus, &seed, "learn", &opts, &SeldonOptions::default()).unwrap();
+        let m = full.manifest.expect("recording handle yields a manifest");
+        assert!(m.has_all_stages(), "stages: {:?}",
+            m.stages.iter().map(|s| s.name.clone()).collect::<Vec<_>>());
+        assert!(!m.solver.curve.is_empty(), "default stride traces the solver");
+        assert_eq!(
+            m.constraints.by_template.iter().sum::<u64>(),
+            m.constraints.total
+        );
+        assert_eq!(m.corpus.files, corpus.file_count() as u64);
+        assert_eq!(m.outcomes.ok, corpus.file_count() as u64);
+        // The manifest round-trips through its JSON form losslessly.
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -16,14 +16,16 @@
 
 use crate::error::PipelineError;
 use crate::report::{AnalysisReport, FileOutcome, FileReport};
-use seldon_constraints::{generate, ConstraintSystem, GenOptions};
+use seldon_constraints::{generate_with_stats, ConstraintSystem, GenOptions, GenStats};
 use seldon_corpus::Corpus;
 use seldon_propgraph::{
     build_source, build_source_budgeted, build_source_lenient, build_source_lenient_budgeted,
-    Budget, BuildError, FileId, PropagationGraph,
+    build_source_lenient_timed, build_source_timed, Budget, BuildError, BuildTimings, FileId,
+    PropagationGraph,
 };
 use seldon_solver::{extract, solve, ExtractOptions, Extraction, SolveOptions, Solution};
 use seldon_specs::TaintSpec;
+use seldon_telemetry::{stage, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -85,45 +87,73 @@ pub struct AnalyzeOptions {
     /// per-file guard. Only the fault-injection harness sets this; it
     /// exercises panic containment without a real analysis bug.
     pub fault_markers: bool,
+    /// Telemetry handle for stage spans and stderr logging. The default
+    /// (disabled) handle keeps the per-file path on the untimed builders —
+    /// no clock reads, no allocations.
+    pub telemetry: Telemetry,
 }
 
 /// Analyzes one file under the options' budget and policy. Never panics:
 /// a panic inside extraction is contained and reported as
 /// [`FileOutcome::Panicked`].
+///
+/// With active telemetry the timed builders report the parse/build phase
+/// split of the successful attempt; a disabled handle stays on the untimed
+/// builders (no clock reads) and the timings come back zero.
 fn analyze_one(
     path: &str,
     content: &str,
     id: FileId,
     opts: &AnalyzeOptions,
-) -> (Option<PropagationGraph>, FileOutcome) {
+) -> (Option<PropagationGraph>, FileOutcome, BuildTimings) {
     let guarded = catch_unwind(AssertUnwindSafe(|| {
         if opts.fault_markers && content.contains(seldon_corpus::PANIC_MARKER) {
             panic!("injected panic ({})", seldon_corpus::PANIC_MARKER);
         }
-        let strict = match &opts.budget {
-            Some(budget) => build_source_budgeted(content, id, budget),
-            None => build_source(content, id).map_err(BuildError::Frontend),
+        let timed = opts.telemetry.is_active();
+        let mut timings = BuildTimings::default();
+        let strict = if timed {
+            build_source_timed(content, id, opts.budget.as_ref()).map(|(g, t)| {
+                timings = t;
+                g
+            })
+        } else {
+            match &opts.budget {
+                Some(budget) => build_source_budgeted(content, id, budget),
+                None => build_source(content, id).map_err(BuildError::Frontend),
+            }
         };
         match strict {
-            Ok(g) => (Some(g), FileOutcome::Ok),
+            Ok(g) => (Some(g), FileOutcome::Ok, timings),
             Err(BuildError::OverBudget(limit)) => {
                 let error = PipelineError::OverBudget { path: path.to_string(), limit };
-                (None, FileOutcome::OverBudget { error })
+                (None, FileOutcome::OverBudget { error }, timings)
             }
             Err(BuildError::Frontend(_)) if opts.policy == FaultPolicy::Recover => {
                 // Lenient retry; only a budget trip can still fail.
-                let lenient = match &opts.budget {
-                    Some(budget) => build_source_lenient_budgeted(content, id, budget),
-                    None => Ok(build_source_lenient(content, id)),
+                let lenient = if timed {
+                    build_source_lenient_timed(content, id, opts.budget.as_ref()).map(
+                        |(g, errors, t)| {
+                            timings = t;
+                            (g, errors)
+                        },
+                    )
+                } else {
+                    match &opts.budget {
+                        Some(budget) => build_source_lenient_budgeted(content, id, budget),
+                        None => Ok(build_source_lenient(content, id)),
+                    }
                 };
                 match lenient {
-                    Ok((g, errors)) => {
-                        (Some(g), FileOutcome::Recovered { errors: errors.len().max(1) })
-                    }
+                    Ok((g, errors)) => (
+                        Some(g),
+                        FileOutcome::Recovered { errors: errors.len().max(1) },
+                        timings,
+                    ),
                     Err(limit) => {
                         let error =
                             PipelineError::OverBudget { path: path.to_string(), limit };
-                        (None, FileOutcome::OverBudget { error })
+                        (None, FileOutcome::OverBudget { error }, timings)
                     }
                 }
             }
@@ -132,7 +162,7 @@ fn analyze_one(
                     path: path.to_string(),
                     message: e.to_string(),
                 };
-                (None, FileOutcome::Skipped { error })
+                (None, FileOutcome::Skipped { error }, timings)
             }
         }
     }));
@@ -147,7 +177,7 @@ fn analyze_one(
                 "non-string panic payload".to_string()
             };
             let error = PipelineError::Panicked { path: path.to_string(), message };
-            (None, FileOutcome::Panicked { error })
+            (None, FileOutcome::Panicked { error }, BuildTimings::default())
         }
     }
 }
@@ -176,16 +206,15 @@ pub fn analyze_corpus_with(
     let n = inputs.len();
     let threads = opts.threads.max(1).min(n.max(1));
 
-    let mut slots: Vec<Option<(Option<PropagationGraph>, FileOutcome)>> =
-        (0..n).map(|_| None).collect();
+    type FileSlot = (Option<PropagationGraph>, FileOutcome, BuildTimings);
+    let mut slots: Vec<Option<FileSlot>> = (0..n).map(|_| None).collect();
     if threads <= 1 {
         for (i, (_, path, content)) in inputs.iter().enumerate() {
             slots[i] = Some(analyze_one(path, content, FileId(i as u32), opts));
         }
     } else {
         let chunk = n.div_ceil(threads);
-        let results =
-            Mutex::new(Vec::<(usize, (Option<PropagationGraph>, FileOutcome))>::new());
+        let results = Mutex::new(Vec::<(usize, FileSlot)>::new());
         std::thread::scope(|scope| {
             for (t, chunk_inputs) in inputs.chunks(chunk).enumerate() {
                 let results = &results;
@@ -214,8 +243,9 @@ pub fn analyze_corpus_with(
     let mut graphs: Vec<Option<PropagationGraph>> = Vec::with_capacity(n);
     let mut files = Vec::with_capacity(n);
     let mut reports = Vec::with_capacity(n);
+    let mut timings = BuildTimings::default();
     for (i, (project, path, _)) in inputs.iter().enumerate() {
-        let (g, outcome) =
+        let (g, outcome, t) =
             slots[i].take().expect("every index 0..n is written exactly once above");
         if opts.policy == FaultPolicy::FailFast {
             // Deterministic: the lowest-index bad file wins regardless of
@@ -227,11 +257,28 @@ pub fn analyze_corpus_with(
                 | FileOutcome::Panicked { error } => return Err(error.clone()),
             }
         }
+        timings.add(t);
         graphs.push(g);
         files.push(FileMeta { project: *project, path: path.to_string() });
         reports.push(FileReport { project: *project, path: path.to_string(), outcome });
     }
+    let tele = &opts.telemetry;
+    // Parse and graph construction run per file across workers, so their
+    // cost is the summed per-file time (aggregate spans), not a driver
+    // wall-clock interval.
+    tele.aggregate_span(stage::PARSE, timings.parse, &[("files", n as f64)]);
+    let analyzed_files = reports.iter().filter(|r| r.outcome.is_analyzed()).count();
+    tele.aggregate_span(
+        stage::PROPGRAPH,
+        timings.build,
+        &[("files_analyzed", analyzed_files as f64)],
+    );
+    let union_span = tele.span(stage::UNION);
     let graph = union_all(&mut graphs, threads);
+    union_span.counter("events", graph.event_count() as f64);
+    union_span.counter("edges", graph.edge_count() as f64);
+    union_span.counter("symbols", seldon_intern::len() as f64);
+    drop(union_span);
     Ok((
         AnalyzedCorpus { graph, files, build_time: started.elapsed() },
         AnalysisReport { files: reports },
@@ -358,6 +405,8 @@ pub struct SeldonRun {
     pub gen_time: Duration,
     /// Time spent solving.
     pub solve_time: Duration,
+    /// Phase timings and drop counters of constraint generation.
+    pub gen_stats: GenStats,
 }
 
 impl SeldonRun {
@@ -367,16 +416,75 @@ impl SeldonRun {
     }
 }
 
+/// Convergence-trace stride used when telemetry records but the caller
+/// left [`SolveOptions::trace_stride`] at 0: every 10th epoch plus the
+/// final one — dense enough to plot, sparse enough to keep the Adam hot
+/// loop cheap.
+pub const DEFAULT_TRACE_STRIDE: usize = 10;
+
 /// Runs constraint generation, solving, and extraction over a graph.
 pub fn run_seldon(graph: &PropagationGraph, seed: &TaintSpec, opts: &SeldonOptions) -> SeldonRun {
+    run_seldon_traced(graph, seed, opts, &Telemetry::disabled())
+}
+
+/// Like [`run_seldon`], emitting the `representation`, `constraints`,
+/// `solve`, and `extract` stage spans on `tele`. When `tele` records and
+/// the caller left the solver trace stride at 0, the stride defaults to
+/// [`DEFAULT_TRACE_STRIDE`] so the manifest always carries a convergence
+/// curve.
+pub fn run_seldon_traced(
+    graph: &PropagationGraph,
+    seed: &TaintSpec,
+    opts: &SeldonOptions,
+    tele: &Telemetry,
+) -> SeldonRun {
     let t0 = Instant::now();
-    let system = generate(graph, seed, &opts.gen);
+    let (system, gen_stats) = generate_with_stats(graph, seed, &opts.gen);
     let gen_time = t0.elapsed();
+    tele.aggregate_span(
+        stage::REPRESENTATION,
+        gen_stats.select_time,
+        &[
+            ("candidate_events", gen_stats.candidate_events as f64),
+            ("surviving_reps", gen_stats.surviving_reps as f64),
+            ("dropped_by_cutoff", gen_stats.dropped_by_cutoff as f64),
+            ("dropped_by_blacklist", gen_stats.dropped_by_blacklist as f64),
+        ],
+    );
+    let by_template = system.template_counts();
+    tele.aggregate_span(
+        stage::CONSTRAINTS,
+        gen_stats.collect_time,
+        &[
+            ("constraints", system.constraint_count() as f64),
+            ("vars", system.var_count() as f64),
+            ("pinned", system.pinned_count() as f64),
+            ("template_a", by_template[0] as f64),
+            ("template_b", by_template[1] as f64),
+            ("template_c", by_template[2] as f64),
+        ],
+    );
+
+    let mut solve_opts = opts.solve.clone();
+    if tele.is_recording() && solve_opts.trace_stride == 0 {
+        solve_opts.trace_stride = DEFAULT_TRACE_STRIDE;
+    }
     let t1 = Instant::now();
-    let solution = solve(&system, &opts.solve);
+    let solve_span = tele.span(stage::SOLVE);
+    let solution = solve(&system, &solve_opts);
+    solve_span.counter("iterations", solution.iterations as f64);
+    solve_span.counter("restarts", solution.restarts as f64);
+    solve_span.counter("objective", solution.objective);
+    solve_span.counter("violation", solution.violation);
+    drop(solve_span);
     let solve_time = t1.elapsed();
+
+    let extract_span = tele.span(stage::EXTRACT);
     let extraction = extract(&system, &solution, &opts.extract);
-    SeldonRun { system, solution, extraction, gen_time, solve_time }
+    extract_span.counter("learned_entries", extraction.spec.role_count() as f64);
+    extract_span.counter("events_with_roles", extraction.event_roles.len() as f64);
+    drop(extract_span);
+    SeldonRun { system, solution, extraction, gen_time, solve_time, gen_stats }
 }
 
 #[cfg(test)]

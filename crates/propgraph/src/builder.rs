@@ -19,6 +19,7 @@ use seldon_pyast::visit::{self, Visitor};
 use seldon_pyast::{parse, parse_lenient, FrontendError};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Maximum events tracked per variable binding; larger sets are truncated.
 const MAX_FLOW_SET: usize = 8;
@@ -131,9 +132,7 @@ pub fn build_source_budgeted(
     file: FileId,
     budget: &Budget,
 ) -> Result<PropagationGraph, BuildError> {
-    check_source_size(source, budget)?;
-    let module = parse(source)?;
-    Ok(build_module_budgeted(&module, file, budget)?)
+    build_source_timed(source, file, Some(budget)).map(|(g, _)| g)
 }
 
 /// Like [`build_source_lenient`], under a resource [`Budget`].
@@ -149,10 +148,84 @@ pub fn build_source_lenient_budgeted(
     file: FileId,
     budget: &Budget,
 ) -> Result<(PropagationGraph, Vec<FrontendError>), BudgetExceeded> {
-    check_source_size(source, budget)?;
+    build_source_lenient_timed(source, file, Some(budget)).map(|(g, e, _)| (g, e))
+}
+
+/// Wall-clock split of one file's front-end work, reported by the
+/// `*_timed` entry points. The telemetry layer sums these per-file
+/// durations across worker threads into the `parse` and `propgraph`
+/// aggregate stage spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildTimings {
+    /// Time spent lexing and parsing the source into an AST.
+    pub parse: Duration,
+    /// Time spent walking the AST into a propagation graph (including the
+    /// points-to solve and call linking).
+    pub build: Duration,
+}
+
+impl BuildTimings {
+    /// Component-wise sum, for folding per-file timings into totals.
+    pub fn add(&mut self, other: BuildTimings) {
+        self.parse += other.parse;
+        self.build += other.build;
+    }
+}
+
+/// Strict timed build: the budget-optional superset of [`build_source`]
+/// and [`build_source_budgeted`], reporting the parse/build phase split.
+///
+/// # Errors
+///
+/// Returns [`BuildError::Frontend`] on a lex/parse failure and
+/// [`BuildError::OverBudget`] when a budget limit trips (never with
+/// `budget: None`).
+pub fn build_source_timed(
+    source: &str,
+    file: FileId,
+    budget: Option<&Budget>,
+) -> Result<(PropagationGraph, BuildTimings), BuildError> {
+    if let Some(b) = budget {
+        check_source_size(source, b)?;
+    }
+    let parse_started = Instant::now();
+    let module = parse(source)?;
+    let parse_time = parse_started.elapsed();
+    let build_started = Instant::now();
+    let graph = match budget {
+        Some(b) => build_module_budgeted(&module, file, b)?,
+        None => build_module(&module, file),
+    };
+    let timings = BuildTimings { parse: parse_time, build: build_started.elapsed() };
+    Ok((graph, timings))
+}
+
+/// Lenient timed build: the budget-optional superset of
+/// [`build_source_lenient`] and [`build_source_lenient_budgeted`],
+/// reporting the parse/build phase split.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] when a budget limit trips (never with
+/// `budget: None`).
+pub fn build_source_lenient_timed(
+    source: &str,
+    file: FileId,
+    budget: Option<&Budget>,
+) -> Result<(PropagationGraph, Vec<FrontendError>, BuildTimings), BudgetExceeded> {
+    if let Some(b) = budget {
+        check_source_size(source, b)?;
+    }
+    let parse_started = Instant::now();
     let (module, errors) = parse_lenient(source);
-    let graph = build_module_budgeted(&module, file, budget)?;
-    Ok((graph, errors))
+    let parse_time = parse_started.elapsed();
+    let build_started = Instant::now();
+    let graph = match budget {
+        Some(b) => build_module_budgeted(&module, file, b)?,
+        None => build_module(&module, file),
+    };
+    let timings = BuildTimings { parse: parse_time, build: build_started.elapsed() };
+    Ok((graph, errors, timings))
 }
 
 /// Summary of a locally-defined function for call linking.
@@ -1353,6 +1426,35 @@ for i in range(3):
         let (g, errors) = build_source_lenient(src, FileId(0));
         assert_eq!(errors.len(), 1);
         assert!(g.is_reachable(find(&g, "m.src()"), find(&g, "m.sink()")));
+    }
+
+    #[test]
+    fn timed_builds_match_untimed() {
+        let src = "from m import src, sink\nx = src()\nsink(x)\n";
+        let (g, t) = build_source_timed(src, FileId(0), None).expect("builds");
+        let plain = build_source(src, FileId(0)).unwrap();
+        assert_eq!(g.event_count(), plain.event_count());
+        assert_eq!(g.edge_count(), plain.edge_count());
+        // Durations are reported (possibly zero on coarse clocks), and the
+        // lenient variant agrees.
+        let mut total = BuildTimings::default();
+        total.add(t);
+        assert_eq!(total, t);
+        let (g2, errors, _) =
+            build_source_lenient_timed(src, FileId(0), None).expect("builds");
+        assert!(errors.is_empty());
+        assert_eq!(g2.event_count(), plain.event_count());
+    }
+
+    #[test]
+    fn timed_build_honors_budget() {
+        let tight = Budget { max_source_bytes: 4, ..Budget::unlimited() };
+        let src = "x = 1\n";
+        let err = build_source_timed(src, FileId(0), Some(&tight)).unwrap_err();
+        assert!(matches!(err, BuildError::OverBudget(_)));
+        let err =
+            build_source_lenient_timed(src, FileId(0), Some(&tight)).unwrap_err();
+        assert!(matches!(err, BudgetExceeded::SourceBytes { .. }));
     }
 
     #[test]

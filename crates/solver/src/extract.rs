@@ -58,6 +58,12 @@ pub struct Extraction {
     /// The effective (decayed) score backing each learned `(rep, role)`.
     /// Keys are interned representations; resolve with [`RepId::as_str`].
     pub scores: HashMap<(RepId, Role), f64>,
+    /// Role selections per backoff level: `backoff_hits[i]` counts
+    /// `(event, role)` selections whose winning representation was the
+    /// `i`-th backoff option (effective score `decay^i · score`). The
+    /// vector is as long as the deepest level that scored a hit — the
+    /// threshold-sweep record telemetry exports (§7.1).
+    pub backoff_hits: Vec<usize>,
 }
 
 /// Runs the §7.1 extraction rule over all candidate events.
@@ -93,6 +99,10 @@ pub fn extract(
                     let entry = out.scores.entry((rep, role)).or_insert(0.0);
                     *entry = entry.max(effective);
                     out.spec.add(rep.as_str(), role);
+                    if out.backoff_hits.len() <= i {
+                        out.backoff_hits.resize(i + 1, 0);
+                    }
+                    out.backoff_hits[i] += 1;
                     break;
                 }
             }
@@ -133,14 +143,7 @@ mod tests {
         for &(i, s) in scores {
             v[i] = s;
         }
-        Solution {
-            scores: v,
-            objective: 0.0,
-            violation: 0.0,
-            iterations: 0,
-            history: vec![],
-            diverged: false,
-        }
+        Solution { scores: v, ..Default::default() }
     }
 
     #[test]
@@ -152,6 +155,20 @@ mod tests {
         assert!(ex.spec.has_role("pkg.mod.api()", Role::Source));
         assert!(!ex.spec.has_role("mod.api()", Role::Source));
         assert!(ex.event_roles[&EventId(0)].contains(Role::Source));
+        assert_eq!(ex.backoff_hits, vec![1], "hit recorded at level 0");
+    }
+
+    #[test]
+    fn backoff_hits_count_per_level() {
+        let (sys, _) = mk_system();
+        // Specific rep scores 0: selection falls through to level 1.
+        let sol = solution_with(&sys, &[(0, 0.0), (1, 0.9)]);
+        let ex = extract(&sys, &sol, &ExtractOptions::default());
+        assert_eq!(ex.backoff_hits, vec![0, 1]);
+        // No qualifying rep at all: no hits recorded.
+        let sol = solution_with(&sys, &[(0, 0.0), (1, 0.0)]);
+        let ex = extract(&sys, &sol, &ExtractOptions::default());
+        assert!(ex.backoff_hits.is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::adam::{Adam, AdamConfig};
 use seldon_constraints::ConstraintSystem;
+use seldon_telemetry::EpochSample;
 
 /// Solver hyperparameters; defaults follow the paper (λ = 0.1).
 #[derive(Debug, Clone)]
@@ -25,16 +26,27 @@ pub struct SolveOptions {
     pub tol: f64,
     /// Adam configuration.
     pub adam: AdamConfig,
+    /// Convergence-trace sampling stride: every `trace_stride`-th epoch
+    /// (plus the final one) is recorded into [`Solution::trace`] as an
+    /// [`EpochSample`]. `0` (the default) disables tracing entirely and
+    /// keeps the Adam hot loop free of any telemetry work.
+    pub trace_stride: usize,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { lambda: 0.1, max_iters: 800, tol: 1e-6, adam: AdamConfig::default() }
+        SolveOptions {
+            lambda: 0.1,
+            max_iters: 800,
+            tol: 1e-6,
+            adam: AdamConfig::default(),
+            trace_stride: 0,
+        }
     }
 }
 
 /// The result of solving a constraint system.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Solution {
     /// Score per variable, in `[0,1]`, indexed by `VarId`.
     pub scores: Vec<f64>,
@@ -50,6 +62,17 @@ pub struct Solution {
     /// restarts once with a reduced learning rate and sanitizes the final
     /// scores, so `scores` is finite and in `[0,1]` even when this is set.
     pub diverged: bool,
+    /// Divergence-guard restarts taken (0 or 1). Surfaced so callers can
+    /// report restarts instead of silently continuing on the rescaled run.
+    pub restarts: usize,
+    /// Learning rate of the run that produced `scores` — the configured
+    /// rate, scaled by [`RESTART_LR_SCALE`] if the run restarted.
+    pub final_lr: f64,
+    /// Sampled convergence trace (empty when
+    /// [`SolveOptions::trace_stride`] is 0); epochs strictly increase and
+    /// the final epoch is always included. After a restart this traces the
+    /// restarted run, consistent with `history`.
+    pub trace: Vec<EpochSample>,
 }
 
 impl Solution {
@@ -74,13 +97,22 @@ pub fn evaluate(sys: &ConstraintSystem, scores: &[f64], lambda: f64) -> (f64, f6
     (violation, violation + lambda * l1)
 }
 
+/// Everything one [`run_adam`] pass produces.
+struct AdamRun {
+    x: Vec<f64>,
+    iterations: usize,
+    history: Vec<f64>,
+    trace: Vec<EpochSample>,
+    diverged: bool,
+}
+
 /// One projected-Adam run; aborts early if the objective or any score
-/// turns non-finite and reports it in the last tuple field.
-fn run_adam(
-    sys: &ConstraintSystem,
-    opts: &SolveOptions,
-    lr_scale: f64,
-) -> (Vec<f64>, usize, Vec<f64>, bool) {
+/// turns non-finite and reports it in [`AdamRun::diverged`].
+///
+/// With `opts.trace_stride > 0`, every stride-th epoch (and the final
+/// epoch) is recorded as an [`EpochSample`]; with a stride of 0 the loop
+/// does no telemetry work at all.
+fn run_adam(sys: &ConstraintSystem, opts: &SolveOptions, lr_scale: f64) -> AdamRun {
     let n = sys.var_count();
     let mut x = vec![0.0f64; n];
     let pinned: Vec<(usize, f64)> =
@@ -92,10 +124,14 @@ fn run_adam(
     };
     apply_pins(&mut x);
 
-    let adam_cfg = AdamConfig { lr: opts.adam.lr * lr_scale, ..opts.adam.clone() };
+    let lr = opts.adam.lr * lr_scale;
+    let adam_cfg = AdamConfig { lr, ..opts.adam.clone() };
     let mut adam = Adam::new(n, adam_cfg);
     let mut grad = vec![0.0f64; n];
     let mut history = Vec::with_capacity(opts.max_iters.min(4096));
+    let stride = opts.trace_stride;
+    let mut trace: Vec<EpochSample> = Vec::new();
+    let mut last_sample: Option<EpochSample> = None;
     let mut best = f64::INFINITY;
     let mut stall = 0usize;
     let mut iterations = 0usize;
@@ -106,12 +142,14 @@ fn run_adam(
         // Gradient of hinge + L1.
         grad.iter_mut().for_each(|g| *g = opts.lambda);
         let mut violation = 0.0;
+        let mut violated = 0usize;
         for c in &sys.constraints {
             let lhs: f64 = c.lhs.iter().map(|t| t.coeff * x[t.var.index()]).sum();
             let rhs: f64 = c.rhs.iter().map(|t| t.coeff * x[t.var.index()]).sum();
             let gap = lhs - rhs - sys.c;
             if gap > 0.0 {
                 violation += gap;
+                violated += 1;
                 for t in &c.lhs {
                     grad[t.var.index()] += t.coeff;
                 }
@@ -121,6 +159,20 @@ fn run_adam(
             }
         }
         let objective = violation + opts.lambda * x.iter().sum::<f64>();
+        if stride != 0 {
+            let sample = EpochSample {
+                epoch: iter as u64,
+                objective,
+                hinge_loss: violation,
+                violated: violated as u64,
+                grad_norm: grad.iter().map(|g| g * g).sum::<f64>().sqrt(),
+                lr,
+            };
+            if iter % stride == 0 {
+                trace.push(sample);
+            }
+            last_sample = Some(sample);
+        }
         if !objective.is_finite() {
             diverged = true;
             break;
@@ -145,7 +197,15 @@ fn run_adam(
         }
     }
 
-    (x, iterations, history, diverged)
+    // The curve always ends at the epoch the loop actually stopped on
+    // (early stall, divergence, or max_iters), not the last stride mark.
+    if let Some(last) = last_sample {
+        if trace.last().map(|t| t.epoch) != Some(last.epoch) {
+            trace.push(last);
+        }
+    }
+
+    AdamRun { x, iterations, history, trace, diverged }
 }
 
 /// Learning-rate scale of the single restart after a diverged run.
@@ -159,13 +219,16 @@ const RESTART_LR_SCALE: f64 = 0.25;
 /// and sets [`Solution::diverged`]. Scores are always finite and in
 /// `[0,1]` with pinned variables at their pinned values.
 pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
-    let (mut x, mut iterations, mut history, diverged) = run_adam(sys, opts, 1.0);
+    let mut run = run_adam(sys, opts, 1.0);
+    let diverged = run.diverged;
+    let mut restarts = 0usize;
+    let mut final_lr = opts.adam.lr;
     if diverged {
-        let (x2, it2, h2, _) = run_adam(sys, opts, RESTART_LR_SCALE);
-        x = x2;
-        iterations = it2;
-        history = h2;
+        run = run_adam(sys, opts, RESTART_LR_SCALE);
+        restarts = 1;
+        final_lr = opts.adam.lr * RESTART_LR_SCALE;
     }
+    let AdamRun { mut x, iterations, history, trace, .. } = run;
 
     // Final sanitization: a diverged restart can still be non-finite (e.g.
     // NaN hyperparameters); downstream extraction must never see it.
@@ -181,7 +244,17 @@ pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
     }
 
     let (violation, objective) = evaluate(sys, &x, opts.lambda);
-    Solution { scores: x, objective, violation, iterations, history, diverged }
+    Solution {
+        scores: x,
+        objective,
+        violation,
+        iterations,
+        history,
+        diverged,
+        restarts,
+        final_lr,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +405,61 @@ mod tests {
         sys.pin(v, 1.0);
         let sol = solve(&sys, &SolveOptions::default());
         assert!(!sol.diverged);
+        assert_eq!(sol.restarts, 0);
+        assert_eq!(sol.final_lr, SolveOptions::default().adam.lr);
+        assert!(sol.trace.is_empty(), "stride 0 records no trace");
+    }
+
+    /// A solvable system traced at stride 7: epochs strictly increase,
+    /// start at 0, and end at the last epoch actually run.
+    #[test]
+    fn trace_sampling_covers_first_and_final_epoch() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let s = sys.rep("src()");
+        let m = sys.rep("san()");
+        let vsrc = sys.var(s, Role::Source);
+        let vsan = sys.var(m, Role::Sanitizer);
+        sys.pin(vsrc, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vsrc, coeff: 1.0 }],
+            rhs: vec![Term { var: vsan, coeff: 1.0 }],
+            ..Default::default()
+        });
+        let opts = SolveOptions { trace_stride: 7, ..Default::default() };
+        let sol = solve(&sys, &opts);
+        assert!(!sol.trace.is_empty());
+        assert_eq!(sol.trace[0].epoch, 0);
+        assert!(sol.trace.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        assert_eq!(sol.trace.last().unwrap().epoch as usize, sol.iterations - 1);
+        for e in &sol.trace {
+            assert!(e.objective.is_finite());
+            assert!(e.hinge_loss >= 0.0);
+            assert!(e.grad_norm.is_finite() && e.grad_norm >= 0.0);
+            assert_eq!(e.lr, opts.adam.lr);
+        }
+        // Interior samples land on stride marks.
+        for e in &sol.trace[..sol.trace.len() - 1] {
+            assert_eq!(e.epoch % 7, 0, "epoch {}", e.epoch);
+        }
+        // The objective column matches the untraced history exactly.
+        for e in &sol.trace {
+            assert_eq!(e.objective, sol.history[e.epoch as usize]);
+        }
+    }
+
+    #[test]
+    fn restart_is_surfaced_with_scaled_lr() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let va = sys.var(a, Role::Source);
+        sys.pin(va, 1.0);
+        let opts =
+            SolveOptions { lambda: f64::NAN, trace_stride: 1, ..Default::default() };
+        let sol = solve(&sys, &opts);
+        assert!(sol.diverged);
+        assert_eq!(sol.restarts, 1, "restart count surfaced");
+        assert_eq!(sol.final_lr, opts.adam.lr * RESTART_LR_SCALE);
+        assert!(!sol.trace.is_empty(), "diverged runs still trace their epochs");
     }
 
     #[test]

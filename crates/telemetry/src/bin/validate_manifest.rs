@@ -1,0 +1,79 @@
+//! Schema validator for `seldon --telemetry` run manifests, used by CI.
+//!
+//! ```text
+//! validate_manifest <manifest.json> [--require-full]
+//! ```
+//!
+//! Exit 0 when the file parses, schema-validates, and survives a lossless
+//! serialize→parse round trip. `--require-full` additionally demands all
+//! eight pipeline stage spans, a non-empty solver convergence curve with
+//! strictly increasing epoch indices, and per-template constraint counts
+//! that sum to the constraint total.
+
+use seldon_telemetry::{stage, RunManifest, SCHEMA_VERSION};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("validate_manifest: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let require_full = args.iter().any(|a| a == "--require-full");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [path] = paths.as_slice() else {
+        return fail("usage: validate_manifest <manifest.json> [--require-full]");
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let manifest = match RunManifest::from_json(&text) {
+        Ok(m) => m,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    if manifest.schema_version != SCHEMA_VERSION {
+        return fail(&format!(
+            "{path}: schema version {} (this tool validates {SCHEMA_VERSION})",
+            manifest.schema_version
+        ));
+    }
+    // Round trip: serializing and re-parsing must be lossless.
+    match RunManifest::from_json(&manifest.to_json()) {
+        Ok(back) if back == manifest => {}
+        Ok(_) => return fail(&format!("{path}: serialize→parse round trip is lossy")),
+        Err(e) => return fail(&format!("{path}: round trip failed: {e}")),
+    }
+
+    if require_full {
+        for name in stage::ALL {
+            if manifest.stage(name).is_none() {
+                return fail(&format!("{path}: missing stage span `{name}`"));
+            }
+        }
+        if manifest.solver.curve.is_empty() {
+            return fail(&format!("{path}: empty solver convergence curve"));
+        }
+        let epochs: Vec<u64> = manifest.solver.curve.iter().map(|e| e.epoch).collect();
+        if !epochs.windows(2).all(|w| w[0] < w[1]) {
+            return fail(&format!("{path}: solver epochs not strictly increasing"));
+        }
+        let by_template: u64 = manifest.constraints.by_template.iter().sum();
+        if by_template != manifest.constraints.total {
+            return fail(&format!(
+                "{path}: per-template counts sum to {by_template}, total is {}",
+                manifest.constraints.total
+            ));
+        }
+    }
+
+    println!(
+        "{path}: valid RunManifest (schema v{}, {} stage span(s), {} curve point(s))",
+        manifest.schema_version,
+        manifest.stages.len(),
+        manifest.solver.curve.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,726 @@
+//! The machine-readable run manifest (the `--telemetry` output).
+//!
+//! One [`RunManifest`] captures everything §7 of the paper reports per
+//! run: corpus shape, per-stage spans with counters, the solver's
+//! convergence curve, per-template constraint counts, the extraction
+//! threshold/backoff sweep, and the learned-spec summary. The same schema
+//! backs the `BENCH_*.json` bench history, so bench entries are a
+//! byproduct of any instrumented run.
+//!
+//! Serialization is hand-rolled over [`crate::json`] (the workspace is
+//! offline; there is no serde). [`RunManifest::from_json`] performs full
+//! schema validation — every required field must be present with the
+//! right type — and `from_json(to_json(m)) == m` holds for any manifest
+//! with finite numbers.
+
+use crate::json::{self, Json, JsonError};
+use crate::span::SpanRecord;
+use std::fmt;
+
+/// Version tag of the manifest schema emitted by this build.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Canonical stage names of the end-to-end pipeline, in pipeline order.
+pub mod stage {
+    /// Per-file parsing (front end), aggregated across workers.
+    pub const PARSE: &str = "parse";
+    /// Per-file propagation-graph construction, aggregated across workers.
+    pub const PROPGRAPH: &str = "propgraph";
+    /// Sharded union of per-file graphs into the global graph.
+    pub const UNION: &str = "union";
+    /// Representation/backoff selection (§4.3 cutoff + blacklist).
+    pub const REPRESENTATION: &str = "representation";
+    /// Flow-constraint collection (Fig. 4 templates).
+    pub const CONSTRAINTS: &str = "constraints";
+    /// Projected-Adam solving of the relaxed system.
+    pub const SOLVE: &str = "solve";
+    /// Specification extraction (§7.1 threshold/backoff rule).
+    pub const EXTRACT: &str = "extract";
+    /// Taint analysis with the learned specification.
+    pub const TAINT: &str = "taint";
+    /// All eight stages in pipeline order.
+    pub const ALL: [&str; 8] = [
+        PARSE,
+        PROPGRAPH,
+        UNION,
+        REPRESENTATION,
+        CONSTRAINTS,
+        SOLVE,
+        EXTRACT,
+        TAINT,
+    ];
+}
+
+/// One sampled epoch of the solver's convergence trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochSample {
+    /// 0-based Adam iteration index.
+    pub epoch: u64,
+    /// Full objective (hinge loss + λ·‖x‖₁) at this epoch.
+    pub objective: f64,
+    /// Total hinge loss (sum of positive constraint gaps).
+    pub hinge_loss: f64,
+    /// Number of violated constraints (positive gap).
+    pub violated: u64,
+    /// L2 norm of the full gradient.
+    pub grad_norm: f64,
+    /// Learning rate in effect (scaled after a divergence restart).
+    pub lr: f64,
+}
+
+/// Shape of the analyzed corpus and global graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CorpusShape {
+    /// Corpus files offered to the pipeline.
+    pub files: u64,
+    /// Projects the files belong to.
+    pub projects: u64,
+    /// Events in the global propagation graph.
+    pub events: u64,
+    /// Flow edges in the global propagation graph.
+    pub edges: u64,
+    /// Distinct representation symbols interned process-wide.
+    pub symbols: u64,
+}
+
+/// Per-file fault/budget outcomes folded in from the analysis report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeCounts {
+    /// Files analyzed strictly.
+    pub ok: u64,
+    /// Files recovered leniently.
+    pub recovered: u64,
+    /// Files quarantined on parse failure.
+    pub skipped: u64,
+    /// Files quarantined on budget trips.
+    pub over_budget: u64,
+    /// Files whose analysis panicked (contained).
+    pub panicked: u64,
+}
+
+/// One pipeline stage span as exported in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpan {
+    /// Stage name (see [`stage`]).
+    pub name: String,
+    /// Index of the enclosing span, if nested.
+    pub parent: Option<u32>,
+    /// Nesting depth.
+    pub depth: u32,
+    /// Microseconds from run start to span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Counters recorded on the span, in record order.
+    pub counters: Vec<(String, f64)>,
+}
+
+impl From<SpanRecord> for StageSpan {
+    fn from(s: SpanRecord) -> StageSpan {
+        StageSpan {
+            name: s.name.to_string(),
+            parent: s.parent,
+            depth: s.depth,
+            start_us: s.start_us,
+            dur_us: s.dur_us,
+            counters: s.counters.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+}
+
+/// Constraint-system shape, by Fig. 4 template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConstraintSummary {
+    /// Total flow constraints.
+    pub total: u64,
+    /// Role variables.
+    pub vars: u64,
+    /// Variables pinned by the seed.
+    pub pinned: u64,
+    /// Constraints per template `[4a, 4b, 4c]`.
+    pub by_template: [u64; 3],
+}
+
+/// Solver outcome plus its sampled convergence curve.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolverSummary {
+    /// Adam iterations actually run.
+    pub iterations: u64,
+    /// Divergence-guard restarts taken (0 or 1).
+    pub restarts: u64,
+    /// Whether the run diverged (scores were sanitized).
+    pub diverged: bool,
+    /// Learning rate of the final (possibly restarted) run.
+    pub final_lr: f64,
+    /// Final objective value.
+    pub objective: f64,
+    /// Final total hinge violation.
+    pub violation: f64,
+    /// Sampled convergence curve (stride-spaced epochs).
+    pub curve: Vec<EpochSample>,
+}
+
+/// Extraction (§7.1) threshold configuration and backoff sweep outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionSummary {
+    /// Score thresholds per role `[source, sanitizer, sink]`.
+    pub thresholds: [f64; 3],
+    /// Backoff decay per specificity level (0.8 in the paper).
+    pub decay: f64,
+    /// Selections per backoff level `i` (effective score `decay^i`·score):
+    /// index 0 counts most-specific hits.
+    pub backoff_hits: Vec<u64>,
+    /// Learned entries per role `[sources, sanitizers, sinks]`.
+    pub learned: [u64; 3],
+}
+
+impl Default for ExtractionSummary {
+    fn default() -> Self {
+        ExtractionSummary {
+            thresholds: [0.0; 3],
+            decay: 0.8,
+            backoff_hits: Vec::new(),
+            learned: [0; 3],
+        }
+    }
+}
+
+/// Taint-analysis outcome with the learned specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaintSummary {
+    /// Unsanitized source→sink flows reported.
+    pub violations: u64,
+}
+
+/// The complete machine-readable record of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunManifest {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Emitting tool (`"seldon"`).
+    pub tool: String,
+    /// The command that produced the run (e.g. `"learn"`).
+    pub command: String,
+    /// Corpus and global-graph shape.
+    pub corpus: CorpusShape,
+    /// Per-file fault/budget outcomes.
+    pub outcomes: OutcomeCounts,
+    /// Stage spans in open order.
+    pub stages: Vec<StageSpan>,
+    /// Constraint-system shape.
+    pub constraints: ConstraintSummary,
+    /// Solver outcome and convergence curve.
+    pub solver: SolverSummary,
+    /// Extraction configuration and sweep.
+    pub extraction: ExtractionSummary,
+    /// Taint outcome.
+    pub taint: TaintSummary,
+}
+
+impl RunManifest {
+    /// An empty manifest with the current schema version and tool name.
+    pub fn new(command: impl Into<String>) -> RunManifest {
+        RunManifest {
+            schema_version: SCHEMA_VERSION,
+            tool: "seldon".to_string(),
+            command: command.into(),
+            ..RunManifest::default()
+        }
+    }
+
+    /// The stage span named `name`, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageSpan> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Whether all eight pipeline stages are present.
+    pub fn has_all_stages(&self) -> bool {
+        stage::ALL.iter().all(|name| self.stage(name).is_some())
+    }
+
+    /// Zeroes all wall-clock fields (span start/duration) so manifests of
+    /// repeated runs compare equal; counts and curves are untouched.
+    pub fn redact_timings(&mut self) {
+        for s in &mut self.stages {
+            s.start_us = 0;
+            s.dur_us = 0;
+        }
+    }
+
+    /// Serializes to pretty JSON (the `--telemetry` file format).
+    pub fn to_json(&self) -> String {
+        self.to_value().pretty()
+    }
+
+    fn to_value(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::num(self.schema_version as f64)),
+            ("tool".into(), Json::str(&self.tool)),
+            ("command".into(), Json::str(&self.command)),
+            (
+                "corpus".into(),
+                Json::Obj(vec![
+                    ("files".into(), Json::num(self.corpus.files as f64)),
+                    ("projects".into(), Json::num(self.corpus.projects as f64)),
+                    ("events".into(), Json::num(self.corpus.events as f64)),
+                    ("edges".into(), Json::num(self.corpus.edges as f64)),
+                    ("symbols".into(), Json::num(self.corpus.symbols as f64)),
+                ]),
+            ),
+            (
+                "outcomes".into(),
+                Json::Obj(vec![
+                    ("ok".into(), Json::num(self.outcomes.ok as f64)),
+                    ("recovered".into(), Json::num(self.outcomes.recovered as f64)),
+                    ("skipped".into(), Json::num(self.outcomes.skipped as f64)),
+                    ("over_budget".into(), Json::num(self.outcomes.over_budget as f64)),
+                    ("panicked".into(), Json::num(self.outcomes.panicked as f64)),
+                ]),
+            ),
+            (
+                "stages".into(),
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(&s.name)),
+                                (
+                                    "parent".into(),
+                                    s.parent.map_or(Json::Null, |p| Json::num(f64::from(p))),
+                                ),
+                                ("depth".into(), Json::num(f64::from(s.depth))),
+                                ("start_us".into(), Json::num(s.start_us as f64)),
+                                ("dur_us".into(), Json::num(s.dur_us as f64)),
+                                (
+                                    "counters".into(),
+                                    Json::Obj(
+                                        s.counters
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::num(*v)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "constraints".into(),
+                Json::Obj(vec![
+                    ("total".into(), Json::num(self.constraints.total as f64)),
+                    ("vars".into(), Json::num(self.constraints.vars as f64)),
+                    ("pinned".into(), Json::num(self.constraints.pinned as f64)),
+                    (
+                        "by_template".into(),
+                        Json::Arr(
+                            self.constraints
+                                .by_template
+                                .iter()
+                                .map(|&n| Json::num(n as f64))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "solver".into(),
+                Json::Obj(vec![
+                    ("iterations".into(), Json::num(self.solver.iterations as f64)),
+                    ("restarts".into(), Json::num(self.solver.restarts as f64)),
+                    ("diverged".into(), Json::Bool(self.solver.diverged)),
+                    ("final_lr".into(), Json::num(self.solver.final_lr)),
+                    ("objective".into(), Json::num(self.solver.objective)),
+                    ("violation".into(), Json::num(self.solver.violation)),
+                    (
+                        "curve".into(),
+                        Json::Arr(
+                            self.solver
+                                .curve
+                                .iter()
+                                .map(|e| {
+                                    Json::Obj(vec![
+                                        ("epoch".into(), Json::num(e.epoch as f64)),
+                                        ("objective".into(), Json::num(e.objective)),
+                                        ("hinge_loss".into(), Json::num(e.hinge_loss)),
+                                        ("violated".into(), Json::num(e.violated as f64)),
+                                        ("grad_norm".into(), Json::num(e.grad_norm)),
+                                        ("lr".into(), Json::num(e.lr)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "extraction".into(),
+                Json::Obj(vec![
+                    (
+                        "thresholds".into(),
+                        Json::Arr(
+                            self.extraction.thresholds.iter().map(|&t| Json::num(t)).collect(),
+                        ),
+                    ),
+                    ("decay".into(), Json::num(self.extraction.decay)),
+                    (
+                        "backoff_hits".into(),
+                        Json::Arr(
+                            self.extraction
+                                .backoff_hits
+                                .iter()
+                                .map(|&n| Json::num(n as f64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "learned".into(),
+                        Json::Arr(
+                            self.extraction.learned.iter().map(|&n| Json::num(n as f64)).collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "taint".into(),
+                Json::Obj(vec![(
+                    "violations".into(),
+                    Json::num(self.taint.violations as f64),
+                )]),
+            ),
+        ])
+    }
+
+    /// Parses and schema-validates a manifest from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError::Json`] on malformed JSON and
+    /// [`ManifestError::Schema`] when a required field is missing or has
+    /// the wrong type.
+    pub fn from_json(text: &str) -> Result<RunManifest, ManifestError> {
+        let v = json::parse(text)?;
+        let corpus = req(&v, "corpus")?;
+        let outcomes = req(&v, "outcomes")?;
+        let constraints = req(&v, "constraints")?;
+        let solver = req(&v, "solver")?;
+        let extraction = req(&v, "extraction")?;
+        let taint = req(&v, "taint")?;
+        Ok(RunManifest {
+            schema_version: req_u64(&v, "schema_version")?,
+            tool: req_str(&v, "tool")?,
+            command: req_str(&v, "command")?,
+            corpus: CorpusShape {
+                files: req_u64(corpus, "files")?,
+                projects: req_u64(corpus, "projects")?,
+                events: req_u64(corpus, "events")?,
+                edges: req_u64(corpus, "edges")?,
+                symbols: req_u64(corpus, "symbols")?,
+            },
+            outcomes: OutcomeCounts {
+                ok: req_u64(outcomes, "ok")?,
+                recovered: req_u64(outcomes, "recovered")?,
+                skipped: req_u64(outcomes, "skipped")?,
+                over_budget: req_u64(outcomes, "over_budget")?,
+                panicked: req_u64(outcomes, "panicked")?,
+            },
+            stages: req_arr(&v, "stages")?
+                .iter()
+                .map(parse_stage)
+                .collect::<Result<Vec<_>, _>>()?,
+            constraints: ConstraintSummary {
+                total: req_u64(constraints, "total")?,
+                vars: req_u64(constraints, "vars")?,
+                pinned: req_u64(constraints, "pinned")?,
+                by_template: req_u64_triple(constraints, "by_template")?,
+            },
+            solver: SolverSummary {
+                iterations: req_u64(solver, "iterations")?,
+                restarts: req_u64(solver, "restarts")?,
+                diverged: req(solver, "diverged")?
+                    .as_bool()
+                    .ok_or_else(|| schema_err("solver.diverged", "bool"))?,
+                final_lr: req_f64(solver, "final_lr")?,
+                objective: req_f64(solver, "objective")?,
+                violation: req_f64(solver, "violation")?,
+                curve: req_arr(solver, "curve")?
+                    .iter()
+                    .map(parse_epoch)
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            extraction: ExtractionSummary {
+                thresholds: req_f64_triple(extraction, "thresholds")?,
+                decay: req_f64(extraction, "decay")?,
+                backoff_hits: req_arr(extraction, "backoff_hits")?
+                    .iter()
+                    .map(|n| n.as_u64().ok_or_else(|| schema_err("backoff_hits[]", "u64")))
+                    .collect::<Result<Vec<_>, _>>()?,
+                learned: req_u64_triple(extraction, "learned")?,
+            },
+            taint: TaintSummary { violations: req_u64(taint, "violations")? },
+        })
+    }
+
+    /// Serializes the stage spans in Chrome trace-event format (an array
+    /// of complete `"ph": "X"` events), loadable in `chrome://tracing` or
+    /// <https://ui.perfetto.dev>.
+    pub fn chrome_trace(&self) -> String {
+        Json::Arr(
+            self.stages
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(&s.name)),
+                        ("cat".into(), Json::str("stage")),
+                        ("ph".into(), Json::str("X")),
+                        ("ts".into(), Json::num(s.start_us as f64)),
+                        ("dur".into(), Json::num(s.dur_us as f64)),
+                        ("pid".into(), Json::num(1.0)),
+                        ("tid".into(), Json::num(1.0)),
+                        (
+                            "args".into(),
+                            Json::Obj(
+                                s.counters
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::num(*v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+        .pretty()
+    }
+}
+
+fn parse_stage(v: &Json) -> Result<StageSpan, ManifestError> {
+    let counters = match req(v, "counters")? {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .map(|(k, n)| {
+                n.as_f64()
+                    .map(|f| (k.clone(), f))
+                    .ok_or_else(|| schema_err("stage counter", "number"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(schema_err("stages[].counters", "object")),
+    };
+    let parent = match req(v, "parent")? {
+        Json::Null => None,
+        n => Some(
+            n.as_u64().ok_or_else(|| schema_err("stages[].parent", "u32 or null"))? as u32,
+        ),
+    };
+    Ok(StageSpan {
+        name: req_str(v, "name")?,
+        parent,
+        depth: req_u64(v, "depth")? as u32,
+        start_us: req_u64(v, "start_us")?,
+        dur_us: req_u64(v, "dur_us")?,
+        counters,
+    })
+}
+
+fn parse_epoch(v: &Json) -> Result<EpochSample, ManifestError> {
+    Ok(EpochSample {
+        epoch: req_u64(v, "epoch")?,
+        objective: req_f64(v, "objective")?,
+        hinge_loss: req_f64(v, "hinge_loss")?,
+        violated: req_u64(v, "violated")?,
+        grad_norm: req_f64(v, "grad_norm")?,
+        lr: req_f64(v, "lr")?,
+    })
+}
+
+fn schema_err(field: &str, expected: &str) -> ManifestError {
+    ManifestError::Schema(format!("field `{field}` missing or not a {expected}"))
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, ManifestError> {
+    v.get(key).ok_or_else(|| ManifestError::Schema(format!("missing field `{key}`")))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, ManifestError> {
+    req(v, key)?.as_u64().ok_or_else(|| schema_err(key, "u64"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, ManifestError> {
+    req(v, key)?.as_f64().ok_or_else(|| schema_err(key, "number"))
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, ManifestError> {
+    Ok(req(v, key)?.as_str().ok_or_else(|| schema_err(key, "string"))?.to_string())
+}
+
+fn req_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], ManifestError> {
+    req(v, key)?.as_arr().ok_or_else(|| schema_err(key, "array"))
+}
+
+fn req_u64_triple(v: &Json, key: &str) -> Result<[u64; 3], ManifestError> {
+    let arr = req_arr(v, key)?;
+    if arr.len() != 3 {
+        return Err(schema_err(key, "3-element array"));
+    }
+    let mut out = [0u64; 3];
+    for (slot, n) in out.iter_mut().zip(arr) {
+        *slot = n.as_u64().ok_or_else(|| schema_err(key, "u64 array"))?;
+    }
+    Ok(out)
+}
+
+fn req_f64_triple(v: &Json, key: &str) -> Result<[f64; 3], ManifestError> {
+    let arr = req_arr(v, key)?;
+    if arr.len() != 3 {
+        return Err(schema_err(key, "3-element array"));
+    }
+    let mut out = [0f64; 3];
+    for (slot, n) in out.iter_mut().zip(arr) {
+        *slot = n.as_f64().ok_or_else(|| schema_err(key, "number array"))?;
+    }
+    Ok(out)
+}
+
+/// Failure to parse or validate a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestError {
+    /// The input was not well-formed JSON.
+    Json(JsonError),
+    /// The JSON did not match the manifest schema.
+    Schema(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Json(e) => e.fmt(f),
+            ManifestError::Schema(msg) => write!(f, "manifest schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<JsonError> for ManifestError {
+    fn from(e: JsonError) -> Self {
+        ManifestError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> RunManifest {
+        let mut m = RunManifest::new("learn");
+        m.corpus = CorpusShape { files: 3, projects: 1, events: 40, edges: 25, symbols: 90 };
+        m.outcomes = OutcomeCounts { ok: 2, recovered: 1, ..Default::default() };
+        m.stages = vec![
+            StageSpan {
+                name: stage::PARSE.into(),
+                parent: None,
+                depth: 0,
+                start_us: 0,
+                dur_us: 120,
+                counters: vec![("files".into(), 3.0)],
+            },
+            StageSpan {
+                name: stage::SOLVE.into(),
+                parent: None,
+                depth: 0,
+                start_us: 130,
+                dur_us: 999,
+                counters: vec![("iterations".into(), 80.0)],
+            },
+        ];
+        m.constraints =
+            ConstraintSummary { total: 26, vars: 12, pinned: 4, by_template: [9, 8, 9] };
+        m.solver = SolverSummary {
+            iterations: 80,
+            restarts: 1,
+            diverged: false,
+            final_lr: 0.0125,
+            objective: 1.25,
+            violation: 0.5,
+            curve: vec![
+                EpochSample {
+                    epoch: 0,
+                    objective: 3.0,
+                    hinge_loss: 2.9,
+                    violated: 20,
+                    grad_norm: 4.2,
+                    lr: 0.05,
+                },
+                EpochSample {
+                    epoch: 10,
+                    objective: 1.25,
+                    hinge_loss: 0.5,
+                    violated: 3,
+                    grad_norm: 0.7,
+                    lr: 0.05,
+                },
+            ],
+        };
+        m.extraction = ExtractionSummary {
+            thresholds: [0.1, 0.4, 0.1],
+            decay: 0.8,
+            backoff_hits: vec![5, 2, 0],
+            learned: [3, 1, 2],
+        };
+        m.taint = TaintSummary { violations: 7 };
+        m
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let m = sample_manifest();
+        let back = RunManifest::from_json(&m.to_json()).expect("round trip");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn schema_validation_rejects_missing_and_mistyped_fields() {
+        let m = sample_manifest();
+        let text = m.to_json();
+        let no_solver = text.replace("\"solver\"", "\"solver_x\"");
+        assert!(matches!(
+            RunManifest::from_json(&no_solver),
+            Err(ManifestError::Schema(_))
+        ));
+        let bad_bool = text.replace("\"diverged\": false", "\"diverged\": 0");
+        assert!(matches!(RunManifest::from_json(&bad_bool), Err(ManifestError::Schema(_))));
+        assert!(matches!(RunManifest::from_json("{oops"), Err(ManifestError::Json(_))));
+    }
+
+    #[test]
+    fn redaction_zeroes_only_timings() {
+        let mut m = sample_manifest();
+        m.redact_timings();
+        assert!(m.stages.iter().all(|s| s.start_us == 0 && s.dur_us == 0));
+        assert_eq!(m.solver.curve.len(), 2, "curve untouched");
+        assert_eq!(m.stages[0].counters, vec![("files".to_string(), 3.0)]);
+    }
+
+    #[test]
+    fn stage_lookup_and_completeness() {
+        let m = sample_manifest();
+        assert!(m.stage(stage::PARSE).is_some());
+        assert!(m.stage(stage::TAINT).is_none());
+        assert!(!m.has_all_stages());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let m = sample_manifest();
+        let trace = crate::json::parse(&m.chrome_trace()).expect("valid JSON");
+        let events = trace.as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(events[1].get("dur").and_then(Json::as_u64), Some(999));
+        assert_eq!(
+            events[1].get("args").and_then(|a| a.get("iterations")).and_then(Json::as_u64),
+            Some(80)
+        );
+    }
+}

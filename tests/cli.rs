@@ -213,3 +213,67 @@ fn unknown_command_fails_with_usage() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage:"), "{stderr}");
 }
+
+#[test]
+fn learn_telemetry_writes_manifest_and_trace() {
+    let dir = temp_dir("telemetry");
+    write_app(&dir);
+    let manifest_path = dir.join("run.json");
+    let trace_path = dir.join("run.trace.json");
+    let out = seldon()
+        .arg("learn")
+        .arg(&dir)
+        .arg("--telemetry")
+        .arg(&manifest_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wrote run manifest"), "{stderr}");
+    assert!(stderr.contains("wrote Chrome trace"), "{stderr}");
+
+    let json = std::fs::read_to_string(&manifest_path).expect("manifest written");
+    let m = seldon_telemetry::RunManifest::from_json(&json).expect("manifest parses");
+    assert!(m.has_all_stages(), "all eight stages recorded");
+    assert_eq!(m.command, "learn");
+    assert_eq!(m.corpus.files, 1);
+    assert!(!m.solver.curve.is_empty(), "convergence curve sampled");
+
+    // Chrome's JSON-array trace format: one complete "X" event per stage.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    assert!(trace.trim_start().starts_with('['), "{trace}");
+    assert!(trace.contains("\"ph\": \"X\"") && trace.contains("\"solve\""), "{trace}");
+}
+
+#[test]
+fn log_level_controls_stage_lines() {
+    let dir = temp_dir("loglevel");
+    write_app(&dir);
+    let out = seldon().arg("check").arg(&dir).arg("--log-level").arg("info").output().expect("runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[seldon] parse:"), "{stderr}");
+    assert!(stderr.contains("[seldon] union:"), "{stderr}");
+
+    // Default stays silent about stages.
+    let out = seldon().arg("check").arg(&dir).output().expect("runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("[seldon]"), "{stderr}");
+
+    // An unknown level is a usage error.
+    let out = seldon().arg("check").arg(&dir).arg("--log-level").arg("loud").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown log level"), "{stderr}");
+}
+
+#[test]
+fn strict_learn_reports_solver_restarts() {
+    let dir = temp_dir("strictlearn");
+    write_app(&dir);
+    let out = seldon().arg("learn").arg(&dir).arg("--strict").output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("restart(s), final learning rate"), "{stderr}");
+}

@@ -25,6 +25,7 @@ fn harness_opts() -> AnalyzeOptions {
         budget: Some(Budget::default()),
         threads: 4,
         fault_markers: true,
+        ..Default::default()
     }
 }
 

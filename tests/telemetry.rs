@@ -1,0 +1,101 @@
+//! Golden telemetry tests: a fixed seeded corpus through [`run_full`]
+//! must yield a [`RunManifest`] with the eight pipeline stages in order,
+//! a monotone solver convergence curve, per-template constraint counts
+//! that add up, a lossless JSON round-trip, and — once wall-clock fields
+//! are redacted — byte-identical output across repeated runs.
+
+use seldon_core::{run_full, AnalyzeOptions, FaultPolicy, SeldonOptions};
+use seldon_corpus::{generate_corpus, Corpus, CorpusOptions, Universe};
+use seldon_specs::TaintSpec;
+use seldon_telemetry::{stage, RunManifest, Telemetry};
+
+fn fixture() -> (Corpus, TaintSpec) {
+    let universe = Universe::new();
+    let corpus = generate_corpus(
+        &universe,
+        &CorpusOptions { projects: 8, rng_seed: 7, ..Default::default() },
+    );
+    (corpus, universe.seed_spec())
+}
+
+fn recording_opts() -> AnalyzeOptions {
+    AnalyzeOptions {
+        policy: FaultPolicy::Recover,
+        threads: 2,
+        telemetry: Telemetry::recording(),
+        ..Default::default()
+    }
+}
+
+fn run_manifest(corpus: &Corpus, seed: &TaintSpec) -> RunManifest {
+    run_full(corpus, seed, "learn", &recording_opts(), &SeldonOptions::default())
+        .expect("fixture corpus analyzes")
+        .manifest
+        .expect("recording handle yields a manifest")
+}
+
+#[test]
+fn stages_appear_exactly_once_in_pipeline_order() {
+    let (corpus, seed) = fixture();
+    let m = run_manifest(&corpus, &seed);
+    let names: Vec<&str> = m.stages.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, stage::ALL, "one span per stage, in pipeline order");
+    for s in &m.stages {
+        assert_eq!(s.depth, 0, "driver stages are top-level: {}", s.name);
+        assert_eq!(s.parent, None);
+    }
+}
+
+#[test]
+fn solver_curve_is_monotone_and_reaches_the_final_epoch() {
+    let (corpus, seed) = fixture();
+    let m = run_manifest(&corpus, &seed);
+    let curve = &m.solver.curve;
+    assert!(!curve.is_empty(), "default stride samples the solver");
+    assert!(
+        curve.windows(2).all(|w| w[0].epoch < w[1].epoch),
+        "epoch indices strictly increase: {:?}",
+        curve.iter().map(|e| e.epoch).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        curve.last().unwrap().epoch,
+        m.solver.iterations - 1,
+        "the final epoch is always sampled"
+    );
+    for e in curve {
+        assert!(e.lr > 0.0 && e.objective.is_finite() && e.grad_norm.is_finite());
+        assert!(e.hinge_loss >= 0.0);
+    }
+}
+
+#[test]
+fn template_counts_add_up_and_manifest_round_trips() {
+    let (corpus, seed) = fixture();
+    let m = run_manifest(&corpus, &seed);
+    assert_eq!(m.constraints.by_template.iter().sum::<u64>(), m.constraints.total);
+    assert!(m.constraints.vars >= m.constraints.pinned);
+    let outcomes = &m.outcomes;
+    assert_eq!(
+        outcomes.ok + outcomes.recovered + outcomes.skipped + outcomes.over_budget
+            + outcomes.panicked,
+        m.corpus.files,
+        "every corpus file has exactly one outcome"
+    );
+    let back = RunManifest::from_json(&m.to_json()).expect("manifest JSON parses back");
+    assert_eq!(back, m, "JSON round-trip is lossless");
+}
+
+#[test]
+fn repeated_runs_are_identical_after_timing_redaction() {
+    let (corpus, seed) = fixture();
+    let mut a = run_manifest(&corpus, &seed);
+    let mut b = run_manifest(&corpus, &seed);
+    a.redact_timings();
+    b.redact_timings();
+    // The interner is process-global: concurrent tests may grow it between
+    // the two runs, so the symbol count is not part of the golden surface.
+    a.corpus.symbols = 0;
+    b.corpus.symbols = 0;
+    assert_eq!(a, b, "redacted manifests are deterministic");
+    assert_eq!(a.to_json(), b.to_json(), "and so is their JSON");
+}
