@@ -11,6 +11,7 @@ use seldon_constraints::{generate, GenOptions};
 use seldon_core::{analyze_corpus, run_seldon, SeldonOptions};
 use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
 use seldon_propgraph::{build_source, FileId, PropagationGraph};
+use seldon_telemetry::BenchRecord;
 use std::time::Instant;
 
 const ROUNDS: usize = 5;
@@ -96,12 +97,20 @@ fn main() {
 
     let union_ms = median_ms(union_samples);
     let gen_ms = median_ms(gen_samples);
-    println!(
-        "{{\"files\": {files}, \"events\": {}, \"edges\": {}, \"union_ms\": {union_ms:.2}, \"gen_ms\": {gen_ms:.2}, \"gen_union_ms\": {:.2}, \"constraints\": {constraints}, \"vars\": {vars}, \"learned_entries\": {}, \"spec_bytes\": {}}}",
-        global.event_count(),
-        global.edge_count(),
-        union_ms + gen_ms,
-        run.extraction.spec.role_count(),
-        spec_text.len(),
+    let mut r = BenchRecord::new(
+        "intern",
+        "intern_bench",
+        format!("medians of {ROUNDS} rounds, release build; union and gen stages in ms"),
     );
+    r.num("corpus", "files", files as f64)
+        .num("corpus", "events", global.event_count() as f64)
+        .num("corpus", "edges", global.edge_count() as f64)
+        .num("timing", "union_ms", union_ms)
+        .num("timing", "gen_ms", gen_ms)
+        .num("timing", "gen_union_ms", union_ms + gen_ms)
+        .num("output", "constraints", constraints as f64)
+        .num("output", "vars", vars as f64)
+        .num("output", "learned_entries", run.extraction.spec.role_count() as f64)
+        .num("output", "spec_bytes", spec_text.len() as f64);
+    println!("{}", r.to_json());
 }

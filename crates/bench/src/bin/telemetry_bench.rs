@@ -15,7 +15,7 @@ use seldon_constraints::{generate, generate_with_stats, GenOptions};
 use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
 use seldon_propgraph::{build_source, FileId, PropagationGraph};
 use seldon_specs::TaintSpec;
-use seldon_telemetry::{stage, Telemetry};
+use seldon_telemetry::{stage, BenchRecord, Telemetry};
 use std::time::Instant;
 
 const ROUNDS: usize = 5;
@@ -118,7 +118,16 @@ fn main() {
     let noop_ms = median_ms(noop);
     let recording_ms = median_ms(recording);
     let overhead_pct = (noop_ms - baseline_ms) / baseline_ms * 100.0;
-    println!(
-        "{{\"files\": {files}, \"constraints\": {constraints}, \"baseline_ms\": {baseline_ms:.2}, \"noop_sink_ms\": {noop_ms:.2}, \"recording_ms\": {recording_ms:.2}, \"noop_overhead_pct\": {overhead_pct:.2}}}"
+    let mut r = BenchRecord::new(
+        "telemetry",
+        "telemetry_bench",
+        format!("medians of {ROUNDS} rounds, release build; gen+union stage in ms"),
     );
+    r.num("corpus", "files", files as f64)
+        .num("corpus", "constraints", constraints as f64)
+        .num("overhead", "baseline_ms", baseline_ms)
+        .num("overhead", "noop_sink_ms", noop_ms)
+        .num("overhead", "recording_ms", recording_ms)
+        .num("overhead", "noop_overhead_pct", overhead_pct);
+    println!("{}", r.to_json());
 }

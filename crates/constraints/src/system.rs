@@ -183,6 +183,16 @@ impl ConstraintSystem {
         self.known.len()
     }
 
+    /// Pinned `(var index, value)` pairs sorted by variable index — the
+    /// deterministic order kernel compilation needs (the backing map
+    /// iterates in arbitrary order).
+    pub fn pinned_sorted(&self) -> Vec<(u32, f64)> {
+        let mut pins: Vec<(u32, f64)> =
+            self.known.iter().map(|(k, v)| (k.0, *v)).collect();
+        pins.sort_unstable_by_key(|&(i, _)| i);
+        pins
+    }
+
     /// Adds a flow constraint; empty-sided constraints are dropped when both
     /// sides are empty.
     pub fn add_constraint(&mut self, c: FlowConstraint) {

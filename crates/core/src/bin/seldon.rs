@@ -29,6 +29,7 @@ use seldon_core::{
 };
 use seldon_corpus::{Corpus, Project, SourceFile};
 use seldon_propgraph::{to_dot, Budget, FileId};
+use seldon_solver::SolveOptions;
 use seldon_specs::{paper_seed, TaintSpec};
 use seldon_taint::{render_reports, reports_to_json, TaintAnalyzer, TaintOptions};
 use seldon_telemetry::{Level, Telemetry};
@@ -92,7 +93,8 @@ const USAGE: &str = "usage:
   seldon graph  <file.py> [--dot] [--strict|--lenient] [--log-level off|info|debug]
   seldon check  <path...> [--spec <spec.txt>] [--param-sensitive] [--format json] [--strict|--lenient] [--log-level off|info|debug]
   seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>] [--strict|--lenient]
-                [--telemetry <manifest.json>] [--trace <out.trace.json>] [--log-level off|info|debug]
+                [--solver-threads <n>] [--telemetry <manifest.json>] [--trace <out.trace.json>]
+                [--log-level off|info|debug]
 
 exit codes: 0 clean; 1 violations found or degraded analysis; 2 usage error";
 
@@ -385,7 +387,15 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     let (paths, opts, flags) = split_args(
         rest,
         &["--strict", "--lenient"],
-        &["--seed", "--out", "--cutoff", "--telemetry", "--trace", "--log-level"],
+        &[
+            "--seed",
+            "--out",
+            "--cutoff",
+            "--solver-threads",
+            "--telemetry",
+            "--trace",
+            "--log-level",
+        ],
     )?;
     let policy = policy_from_flags(&flags)?;
     let manifest_path = opts.get("--telemetry").copied();
@@ -404,8 +414,24 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
         .get("--cutoff")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if names.len() < 50 { 2 } else { 5 });
+    // `--solver-threads 0` means "all cores"; the learned spec is
+    // byte-identical for any thread count, so this is purely a cost knob.
+    let solver_threads = match opts.get("--solver-threads") {
+        Some(v) => {
+            let t: usize = v.parse().map_err(|_| {
+                CliError::usage(format!("--solver-threads expects a number, got `{v}`"))
+            })?;
+            if t == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                t
+            }
+        }
+        None => 1,
+    };
     let options = SeldonOptions {
         gen: GenOptions { rep_cutoff: cutoff, ..Default::default() },
+        solve: SolveOptions { threads: solver_threads, ..Default::default() },
         ..Default::default()
     };
     let full = run_full(&corpus, &seed, "learn", &cli_analyze_opts(policy, &tele), &options)

@@ -126,6 +126,7 @@ fn assemble_manifest(
         final_lr: run.solution.final_lr,
         objective: run.solution.objective,
         violation: run.solution.violation,
+        threads: seldon.solve.threads.max(1) as u64,
         curve: run.solution.trace.clone(),
     };
     let mut learned = [0u64; 3];

@@ -23,7 +23,9 @@ use seldon_propgraph::{
     build_source_lenient_timed, build_source_timed, Budget, BuildError, BuildTimings, FileId,
     PropagationGraph,
 };
-use seldon_solver::{extract, solve, ExtractOptions, Extraction, SolveOptions, Solution};
+use seldon_solver::{
+    extract, solve_compiled, CompiledSystem, ExtractOptions, Extraction, SolveOptions, Solution,
+};
 use seldon_specs::TaintSpec;
 use seldon_telemetry::{stage, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -428,8 +430,9 @@ pub fn run_seldon(graph: &PropagationGraph, seed: &TaintSpec, opts: &SeldonOptio
 }
 
 /// Like [`run_seldon`], emitting the `representation`, `constraints`,
-/// `solve`, and `extract` stage spans on `tele`. When `tele` records and
-/// the caller left the solver trace stride at 0, the stride defaults to
+/// `solve` (with a nested `compile` child span for the CSR lowering),
+/// and `extract` stage spans on `tele`. When `tele` records and the
+/// caller left the solver trace stride at 0, the stride defaults to
 /// [`DEFAULT_TRACE_STRIDE`] so the manifest always carries a convergence
 /// curve.
 pub fn run_seldon_traced(
@@ -471,7 +474,15 @@ pub fn run_seldon_traced(
     }
     let t1 = Instant::now();
     let solve_span = tele.span(stage::SOLVE);
-    let solution = solve(&system, &solve_opts);
+    let compile_span = tele.span(stage::COMPILE);
+    let compiled = CompiledSystem::compile(&system);
+    compile_span.counter("constraints", compiled.constraint_count() as f64);
+    compile_span.counter("rows", compiled.row_count() as f64);
+    compile_span.counter("terms", compiled.term_count() as f64);
+    compile_span.counter("lanes", compiled.lane_count() as f64);
+    drop(compile_span);
+    let solution = solve_compiled(&compiled, &solve_opts);
+    solve_span.counter("threads", solve_opts.threads.max(1) as f64);
     solve_span.counter("iterations", solution.iterations as f64);
     solve_span.counter("restarts", solution.restarts as f64);
     solve_span.counter("objective", solution.objective);

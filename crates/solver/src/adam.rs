@@ -23,6 +23,54 @@ impl Default for AdamConfig {
     }
 }
 
+impl AdamConfig {
+    /// Rejects hyperparameters that poison every iterate: a NaN,
+    /// non-finite, or non-positive learning rate, decay rates outside
+    /// `[0, 1)` (NaN included), or a NaN/negative ε. Catching these up
+    /// front lets the solver short-circuit instead of burning a full
+    /// `max_iters` run plus a doomed restart.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return Err(format!("learning rate must be finite and positive, got {}", self.lr));
+        }
+        if !(0.0..1.0).contains(&self.beta1) {
+            return Err(format!("beta1 must be in [0, 1), got {}", self.beta1));
+        }
+        if !(0.0..1.0).contains(&self.beta2) {
+            return Err(format!("beta2 must be in [0, 1), got {}", self.beta2));
+        }
+        if !(self.eps.is_finite() && self.eps >= 0.0) {
+            return Err(format!("eps must be finite and non-negative, got {}", self.eps));
+        }
+        Ok(())
+    }
+}
+
+/// One element of the bias-corrected Adam update with box projection.
+/// `b1t`/`b2t` are the step's bias corrections `1 − βᵏᵗ`. Shared by
+/// [`Adam::step_projected`] and the compiled solver kernel so the two
+/// code paths can never drift arithmetically.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn step_element(
+    cfg: &AdamConfig,
+    b1t: f64,
+    b2t: f64,
+    m: &mut f64,
+    v: &mut f64,
+    x: &mut f64,
+    g: f64,
+    lo: f64,
+    hi: f64,
+) {
+    *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
+    *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
+    let m_hat = *m / b1t;
+    let v_hat = *v / b2t;
+    *x -= cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
+    *x = x.clamp(lo, hi);
+}
+
 /// Optimizer state for a fixed-size parameter vector.
 #[derive(Debug, Clone)]
 pub struct Adam {
@@ -48,15 +96,13 @@ impl Adam {
         assert_eq!(params.len(), self.m.len());
         assert_eq!(grad.len(), self.m.len());
         self.t += 1;
-        let b1t = 1.0 - self.cfg.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.cfg.beta2.powi(self.t as i32);
-        for i in 0..params.len() {
-            self.m[i] = self.cfg.beta1 * self.m[i] + (1.0 - self.cfg.beta1) * grad[i];
-            self.v[i] = self.cfg.beta2 * self.v[i] + (1.0 - self.cfg.beta2) * grad[i] * grad[i];
-            let m_hat = self.m[i] / b1t;
-            let v_hat = self.v[i] / b2t;
-            params[i] -= self.cfg.lr * m_hat / (v_hat.sqrt() + self.cfg.eps);
-            params[i] = params[i].clamp(lo, hi);
+        let Adam { cfg, m, v, t } = self;
+        let b1t = 1.0 - cfg.beta1.powi(*t as i32);
+        let b2t = 1.0 - cfg.beta2.powi(*t as i32);
+        for ((mi, vi), (xi, gi)) in
+            m.iter_mut().zip(v.iter_mut()).zip(params.iter_mut().zip(grad))
+        {
+            step_element(cfg, b1t, b2t, mi, vi, xi, *gi, lo, hi);
         }
     }
 
@@ -107,6 +153,26 @@ mod tests {
         }
         assert!((x[0] - 0.8).abs() < 1e-3);
         assert!((x[1] - 0.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn validate_rejects_poisonous_hyperparameters() {
+        assert!(AdamConfig::default().validate().is_ok());
+        assert!(AdamConfig { eps: 0.0, ..Default::default() }.validate().is_ok());
+        for bad in [
+            AdamConfig { lr: f64::NAN, ..Default::default() },
+            AdamConfig { lr: 0.0, ..Default::default() },
+            AdamConfig { lr: -0.1, ..Default::default() },
+            AdamConfig { lr: f64::INFINITY, ..Default::default() },
+            AdamConfig { beta1: 1.0, ..Default::default() },
+            AdamConfig { beta1: f64::NAN, ..Default::default() },
+            AdamConfig { beta2: -0.5, ..Default::default() },
+            AdamConfig { beta2: f64::NAN, ..Default::default() },
+            AdamConfig { eps: f64::NAN, ..Default::default() },
+            AdamConfig { eps: -1e-8, ..Default::default() },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! Compile-then-iterate solver kernel (the CSR lowering of §4.4).
+//!
+//! [`CompiledSystem::compile`] lowers a [`ConstraintSystem`] into a flat
+//! CSR layout: one contiguous terms array (struct-of-arrays: variable,
+//! signed coefficient, lane slot) with per-row offsets. Lhs terms carry
+//! `+coeff` and rhs terms `−coeff`, so the per-constraint gap
+//! `Σ lhs − Σ rhs − C` collapses to a single signed dot product and the
+//! epoch gap/gradient pass becomes a branch-light linear scan with no
+//! nested allocations. Duplicate variables within a constraint are
+//! pre-combined at compile time, and — because big-code corpora repeat
+//! the same flow pattern across many files — *identical constraints* are
+//! pre-combined too: each distinct signed-term row is stored once with an
+//! integer weight (its multiplicity), in first-occurrence order. A row's
+//! gap test is unweighted; its violation and gradient contributions are
+//! scaled by the weight, which is exactly the sum the duplicates would
+//! have produced up to one final rounding. On real corpora this shrinks
+//! the hot loop several-fold.
+//!
+//! ## Deterministic parallel reduction
+//!
+//! Floating-point addition is not associative, so a parallel gradient
+//! accumulation naively partitioned by thread count would change the
+//! summation order — and therefore the scores — with `threads`. Instead,
+//! rows are partitioned into *lanes*: contiguous ranges whose count and
+//! boundaries depend only on the row count, never on the thread count.
+//! Each lane accumulates hinge-gradient contributions
+//! into its own compact slot buffer (one slot per distinct variable the
+//! lane touches), and a variable-major transpose (`var_offsets` /
+//! `var_entries`) reduces the per-lane partials in ascending lane order.
+//! Threads only decide *which worker* runs a lane; the arithmetic — the
+//! order every term is added in — is identical for 1 and N threads, so
+//! scores are byte-identical across thread counts.
+
+use seldon_constraints::ConstraintSystem;
+use std::collections::HashMap;
+
+/// Target number of rows per lane.
+const LANE_TARGET: usize = 1024;
+/// Upper bound on lanes (and thus on useful gap-pass workers).
+const MAX_LANES: usize = 64;
+/// Target number of variables per update chunk (the fixed partition the
+/// gradient-norm reduction and the Adam update phase are chunked by).
+const VAR_CHUNK_TARGET: usize = 4096;
+
+/// One contiguous row range with a private gradient buffer shape.
+#[derive(Debug, Clone)]
+struct Lane {
+    /// First row index (inclusive).
+    start: u32,
+    /// Last row index (exclusive).
+    end: u32,
+    /// Number of distinct variables the lane touches — its buffer size.
+    slots: u32,
+}
+
+/// A constraint system lowered to a flat CSR layout with a fixed lane
+/// partition for deterministic parallel accumulation.
+#[derive(Debug, Clone)]
+pub struct CompiledSystem {
+    n_vars: usize,
+    /// Original constraint count, before identical rows were combined.
+    n_constraints: usize,
+    c: f64,
+    /// Pinned `(var, value)` pairs, sorted by variable index.
+    pins: Vec<(u32, f64)>,
+    /// CSR row offsets into the term arrays; length `rows + 1`.
+    offsets: Vec<u32>,
+    /// Row multiplicities: how many original constraints each distinct
+    /// row stands for (always an exact small integer).
+    weights: Vec<f64>,
+    /// Term variable indices, row-major, ascending within a row.
+    term_vars: Vec<u32>,
+    /// Signed term coefficients (`+` for lhs, `−` for rhs, duplicates
+    /// combined), parallel to `term_vars` — the gap dot product.
+    term_coeffs: Vec<f64>,
+    /// Weight-scaled coefficients (`weights[row] * term_coeffs[t]`),
+    /// parallel to `term_vars` — the gradient accumulate.
+    term_wcoeffs: Vec<f64>,
+    /// Lane-local gradient-buffer slot per term, parallel to `term_vars`.
+    term_slots: Vec<u32>,
+    lanes: Vec<Lane>,
+    /// Variable-major transpose offsets; length `n_vars + 1`.
+    var_offsets: Vec<u32>,
+    /// `(lane, slot)` pairs per variable, ascending lane order — the
+    /// deterministic reduction order of the per-lane gradient partials.
+    var_entries: Vec<(u32, u32)>,
+    /// Fixed variable-chunk width for the update phase (≥ 1).
+    var_chunk: usize,
+}
+
+impl CompiledSystem {
+    /// Lowers `sys` into the flat CSR + lane layout.
+    pub fn compile(sys: &ConstraintSystem) -> CompiledSystem {
+        let n = sys.var_count();
+        let m = sys.constraint_count();
+
+        let mut offsets = Vec::with_capacity(m + 1);
+        offsets.push(0u32);
+        let mut weights: Vec<f64> = Vec::new();
+        let mut term_vars: Vec<u32> = Vec::new();
+        let mut term_coeffs: Vec<f64> = Vec::new();
+        // Per-constraint duplicate combining into a scratch row:
+        // `seen_in[v]` holds the last constraint that emitted a term for
+        // `v`, `term_at[v]` its position in `row`. The combined row,
+        // sorted by variable, is the canonical form identical constraints
+        // share — `row_of` maps it to its emitted row index.
+        let mut seen_in: Vec<u32> = vec![u32::MAX; n];
+        let mut term_at: Vec<u32> = vec![0; n];
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        let mut row_of: HashMap<Vec<(u32, u64)>, u32> = HashMap::new();
+        for (ci, c) in sys.constraints.iter().enumerate() {
+            row.clear();
+            let signed = c
+                .lhs
+                .iter()
+                .map(|t| (t.var.index(), t.coeff))
+                .chain(c.rhs.iter().map(|t| (t.var.index(), -t.coeff)));
+            for (vi, coeff) in signed {
+                if seen_in[vi] == ci as u32 {
+                    row[term_at[vi] as usize].1 += coeff;
+                } else {
+                    seen_in[vi] = ci as u32;
+                    term_at[vi] = row.len() as u32;
+                    row.push((vi as u32, coeff));
+                }
+            }
+            row.sort_unstable_by_key(|&(v, _)| v);
+            let key: Vec<(u32, u64)> = row.iter().map(|&(v, c)| (v, c.to_bits())).collect();
+            match row_of.get(&key) {
+                Some(&ri) => weights[ri as usize] += 1.0,
+                None => {
+                    row_of.insert(key, weights.len() as u32);
+                    weights.push(1.0);
+                    for &(v, coeff) in &row {
+                        term_vars.push(v);
+                        term_coeffs.push(coeff);
+                    }
+                    offsets.push(term_vars.len() as u32);
+                }
+            }
+        }
+        let rows = weights.len();
+        let mut term_wcoeffs = vec![0.0f64; term_coeffs.len()];
+        for ri in 0..rows {
+            let (t0, t1) = (offsets[ri] as usize, offsets[ri + 1] as usize);
+            for t in t0..t1 {
+                term_wcoeffs[t] = weights[ri] * term_coeffs[t];
+            }
+        }
+
+        let lane_count = rows.div_ceil(LANE_TARGET).clamp(1, MAX_LANES);
+        let per_lane = rows.div_ceil(lane_count).max(1);
+
+        // Lane slot assignment: first appearance of a variable in a lane
+        // claims the next slot; `touch` records every (var, lane, slot)
+        // in ascending lane order.
+        let mut term_slots = vec![0u32; term_vars.len()];
+        let mut lanes = Vec::with_capacity(lane_count);
+        let mut seen_lane: Vec<u32> = vec![u32::MAX; n];
+        let mut slot_of: Vec<u32> = vec![0; n];
+        let mut touch: Vec<(u32, u32, u32)> = Vec::new();
+        for l in 0..lane_count {
+            let start = (l * per_lane).min(rows);
+            let end = ((l + 1) * per_lane).min(rows);
+            let mut slots = 0u32;
+            let t0 = offsets[start] as usize;
+            let t1 = offsets[end] as usize;
+            for (slot, &var) in term_slots[t0..t1].iter_mut().zip(&term_vars[t0..t1]) {
+                let vi = var as usize;
+                if seen_lane[vi] != l as u32 {
+                    seen_lane[vi] = l as u32;
+                    slot_of[vi] = slots;
+                    touch.push((var, l as u32, slots));
+                    slots += 1;
+                }
+                *slot = slot_of[vi];
+            }
+            lanes.push(Lane { start: start as u32, end: end as u32, slots });
+        }
+
+        // Variable-major transpose via a stable counting sort: `touch` is
+        // lane-ascending, so each variable's entries stay lane-ascending.
+        let mut var_offsets = vec![0u32; n + 1];
+        for &(v, _, _) in &touch {
+            var_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            var_offsets[i + 1] += var_offsets[i];
+        }
+        let mut cursor: Vec<u32> = var_offsets[..n].to_vec();
+        let mut var_entries = vec![(0u32, 0u32); touch.len()];
+        for &(v, l, s) in &touch {
+            var_entries[cursor[v as usize] as usize] = (l, s);
+            cursor[v as usize] += 1;
+        }
+
+        let var_chunks = n.div_ceil(VAR_CHUNK_TARGET).clamp(1, MAX_LANES);
+        let var_chunk = n.div_ceil(var_chunks).max(1);
+
+        CompiledSystem {
+            n_vars: n,
+            n_constraints: m,
+            c: sys.c,
+            pins: sys.pinned_sorted(),
+            offsets,
+            weights,
+            term_vars,
+            term_coeffs,
+            term_wcoeffs,
+            term_slots,
+            lanes,
+            var_offsets,
+            var_entries,
+            var_chunk,
+        }
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of original constraints (before identical rows combined).
+    pub fn constraint_count(&self) -> usize {
+        self.n_constraints
+    }
+
+    /// Number of distinct weighted rows the hot loop actually iterates.
+    pub fn row_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (combined) terms across all distinct rows.
+    pub fn term_count(&self) -> usize {
+        self.term_vars.len()
+    }
+
+    /// Number of lanes in the fixed row partition.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The implication-strength constant `C`.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Pinned `(var index, value)` pairs, sorted by variable index.
+    pub fn pins(&self) -> &[(u32, f64)] {
+        &self.pins
+    }
+
+    /// Fixed variable-chunk width of the update partition (≥ 1); depends
+    /// only on the variable count, never on the thread count.
+    pub fn var_chunk(&self) -> usize {
+        self.var_chunk
+    }
+
+    /// Number of chunks in the fixed update partition.
+    pub fn var_chunk_count(&self) -> usize {
+        self.n_vars.div_ceil(self.var_chunk)
+    }
+
+    /// Restores pinned variables to their pinned values.
+    pub fn apply_pins(&self, x: &mut [f64]) {
+        for &(i, val) in &self.pins {
+            x[i as usize] = val;
+        }
+    }
+
+    /// Allocates one zeroed gradient buffer per lane, each sized to the
+    /// lane's distinct-variable count.
+    pub fn new_lane_buffers(&self) -> Vec<Vec<f64>> {
+        self.lanes.iter().map(|l| vec![0.0; l.slots as usize]).collect()
+    }
+
+    /// Runs the gap pass over one lane: accumulates the hinge-gradient
+    /// contributions of violated rows into `buf` (zeroed first) and
+    /// returns the lane's `(violation, violated count)`. Violation and
+    /// gradient are weight-scaled; the violated count is in original
+    /// constraints (the row's multiplicity).
+    pub fn lane_gap_pass(&self, lane: usize, x: &[f64], buf: &mut [f64]) -> (f64, usize) {
+        let l = &self.lanes[lane];
+        buf.fill(0.0);
+        let mut violation = 0.0;
+        let mut violated = 0usize;
+        for ri in l.start as usize..l.end as usize {
+            let t0 = self.offsets[ri] as usize;
+            let t1 = self.offsets[ri + 1] as usize;
+            let mut acc = 0.0;
+            for (&coeff, &var) in self.term_coeffs[t0..t1].iter().zip(&self.term_vars[t0..t1]) {
+                acc += coeff * x[var as usize];
+            }
+            let gap = acc - self.c;
+            if gap > 0.0 {
+                let w = self.weights[ri];
+                violation += w * gap;
+                violated += w as usize;
+                for (&wcoeff, &slot) in
+                    self.term_wcoeffs[t0..t1].iter().zip(&self.term_slots[t0..t1])
+                {
+                    buf[slot as usize] += wcoeff;
+                }
+            }
+        }
+        (violation, violated)
+    }
+
+    /// Runs the gap pass over every lane, parallelized across up to
+    /// `threads` scoped workers. Each worker owns a contiguous block of
+    /// lanes (disjoint `&mut` buffer slices — no locks), and because the
+    /// lane partition is a function of the row count alone, the per-lane
+    /// results in `stats`/`bufs` are identical for any `threads`.
+    pub fn gap_pass(
+        &self,
+        x: &[f64],
+        threads: usize,
+        bufs: &mut [Vec<f64>],
+        stats: &mut [(f64, usize)],
+    ) {
+        let lanes = self.lanes.len();
+        debug_assert_eq!(bufs.len(), lanes);
+        debug_assert_eq!(stats.len(), lanes);
+        let workers = threads.max(1).min(lanes);
+        if workers <= 1 {
+            for (lane, (buf, stat)) in bufs.iter_mut().zip(stats.iter_mut()).enumerate() {
+                *stat = self.lane_gap_pass(lane, x, buf);
+            }
+            return;
+        }
+        let per = lanes.div_ceil(workers);
+        std::thread::scope(|s| {
+            for (w, (bufs_chunk, stats_chunk)) in
+                bufs.chunks_mut(per).zip(stats.chunks_mut(per)).enumerate()
+            {
+                s.spawn(move || {
+                    for (off, (buf, stat)) in
+                        bufs_chunk.iter_mut().zip(stats_chunk.iter_mut()).enumerate()
+                    {
+                        *stat = self.lane_gap_pass(w * per + off, x, buf);
+                    }
+                });
+            }
+        });
+    }
+
+    /// The full objective gradient component for variable `i`: λ plus the
+    /// per-lane hinge partials from `bufs`, reduced in ascending lane
+    /// order (the fixed, thread-independent order).
+    #[inline]
+    pub fn grad_var(&self, i: usize, lambda: f64, bufs: &[Vec<f64>]) -> f64 {
+        let e0 = self.var_offsets[i] as usize;
+        let e1 = self.var_offsets[i + 1] as usize;
+        let mut g = lambda;
+        for &(lane, slot) in &self.var_entries[e0..e1] {
+            g += bufs[lane as usize][slot as usize];
+        }
+        g
+    }
+
+    /// Computes `(violation, objective)` of `x` with a flat scan over the
+    /// compiled terms — the single evaluation path both [`crate::solve`]
+    /// and [`crate::evaluate`] share.
+    pub fn objective(&self, x: &[f64], lambda: f64) -> (f64, f64) {
+        let mut violation = 0.0;
+        for ri in 0..self.row_count() {
+            let t0 = self.offsets[ri] as usize;
+            let t1 = self.offsets[ri + 1] as usize;
+            let mut acc = 0.0;
+            for (&coeff, &var) in self.term_coeffs[t0..t1].iter().zip(&self.term_vars[t0..t1]) {
+                acc += coeff * x[var as usize];
+            }
+            let gap = acc - self.c;
+            if gap > 0.0 {
+                violation += self.weights[ri] * gap;
+            }
+        }
+        let l1: f64 = x.iter().sum();
+        (violation, violation + lambda * l1)
+    }
+
+    /// Computes the full gradient plus `(violation, violated)` through the
+    /// lane machinery — the reference entry point parity tests compare
+    /// against the naive per-constraint walk.
+    pub fn gradient(&self, x: &[f64], lambda: f64) -> (Vec<f64>, f64, usize) {
+        let mut bufs = self.new_lane_buffers();
+        let mut stats = vec![(0.0, 0usize); self.lane_count()];
+        self.gap_pass(x, 1, &mut bufs, &mut stats);
+        let violation = stats.iter().map(|s| s.0).sum();
+        let violated = stats.iter().map(|s| s.1).sum();
+        let grad =
+            (0..self.n_vars).map(|i| self.grad_var(i, lambda, &bufs)).collect();
+        (grad, violation, violated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldon_constraints::{ConstraintSystem, FlowConstraint, Term, VarId};
+    use seldon_specs::Role;
+
+    fn two_sided_system() -> (ConstraintSystem, VarId, VarId, VarId) {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let b = sys.rep("b()");
+        let c = sys.rep("c()");
+        let va = sys.var(a, Role::Source);
+        let vb = sys.var(b, Role::Sanitizer);
+        let vc = sys.var(c, Role::Sink);
+        sys.pin(va, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: va, coeff: 1.0 }, Term { var: vc, coeff: 1.0 }],
+            rhs: vec![Term { var: vb, coeff: 0.5 }],
+            ..Default::default()
+        });
+        (sys, va, vb, vc)
+    }
+
+    #[test]
+    fn signed_coefficients_and_offsets() {
+        let (sys, va, vb, vc) = two_sided_system();
+        let cs = CompiledSystem::compile(&sys);
+        assert_eq!(cs.constraint_count(), 1);
+        assert_eq!(cs.row_count(), 1);
+        assert_eq!(cs.term_count(), 3);
+        assert_eq!(cs.offsets, vec![0, 3]);
+        // Rows store terms in ascending variable order (the canonical
+        // form identical constraints are matched on).
+        assert_eq!(cs.term_vars, vec![va.0, vb.0, vc.0]);
+        assert_eq!(cs.term_coeffs, vec![1.0, -0.5, 1.0]);
+        assert_eq!(cs.weights, vec![1.0]);
+        assert_eq!(cs.pins(), &[(va.0, 1.0)]);
+    }
+
+    #[test]
+    fn duplicate_terms_are_combined() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let va = sys.var(a, Role::Source);
+        // a appears twice on the lhs and once on the rhs: 0.5 + 0.25 − 0.1.
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: va, coeff: 0.5 }, Term { var: va, coeff: 0.25 }],
+            rhs: vec![Term { var: va, coeff: 0.1 }],
+            ..Default::default()
+        });
+        let cs = CompiledSystem::compile(&sys);
+        assert_eq!(cs.term_count(), 1);
+        assert!((cs.term_coeffs[0] - 0.65).abs() < 1e-15);
+    }
+
+    #[test]
+    fn identical_constraints_combine_into_one_weighted_row() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let b = sys.rep("b()");
+        let va = sys.var(a, Role::Source);
+        let vb = sys.var(b, Role::Sink);
+        // The same constraint three times — and once with the term order
+        // flipped, which must still canonicalize to the same row.
+        for _ in 0..3 {
+            sys.add_constraint(FlowConstraint {
+                lhs: vec![Term { var: va, coeff: 1.0 }, Term { var: vb, coeff: 0.5 }],
+                rhs: vec![],
+                ..Default::default()
+            });
+        }
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vb, coeff: 0.5 }, Term { var: va, coeff: 1.0 }],
+            rhs: vec![],
+            ..Default::default()
+        });
+        // A genuinely different constraint stays its own row.
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: va, coeff: 1.0 }],
+            rhs: vec![],
+            ..Default::default()
+        });
+        let cs = CompiledSystem::compile(&sys);
+        assert_eq!(cs.constraint_count(), 5);
+        assert_eq!(cs.row_count(), 2);
+        assert_eq!(cs.weights, vec![4.0, 1.0]);
+
+        // gap per duplicate row at x = (1, 1): 1.5 − 0.75 = 0.75, counted
+        // four times; the singleton adds 1 − 0.75 = 0.25.
+        let x = vec![1.0, 1.0];
+        let (viol, _) = cs.objective(&x, 0.0);
+        assert!((viol - (4.0 * 0.75 + 0.25)).abs() < 1e-12);
+        let (grad, gviol, violated) = cs.gradient(&x, 0.0);
+        assert!((gviol - viol).abs() < 1e-12);
+        assert_eq!(violated, 5, "violated counts original constraints");
+        assert!((grad[0] - (4.0 * 1.0 + 1.0)).abs() < 1e-12);
+        assert!((grad[1] - 4.0 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_partition_depends_only_on_constraint_count() {
+        let (sys, ..) = two_sided_system();
+        let cs = CompiledSystem::compile(&sys);
+        assert_eq!(cs.lane_count(), 1, "tiny systems compile to one lane");
+        // The parallel gap pass with any thread count must match the
+        // sequential one lane-for-lane.
+        let x = vec![0.9, 0.1, 0.8];
+        let mut bufs1 = cs.new_lane_buffers();
+        let mut stats1 = vec![(0.0, 0usize); cs.lane_count()];
+        cs.gap_pass(&x, 1, &mut bufs1, &mut stats1);
+        let mut bufs8 = cs.new_lane_buffers();
+        let mut stats8 = vec![(0.0, 0usize); cs.lane_count()];
+        cs.gap_pass(&x, 8, &mut bufs8, &mut stats8);
+        assert_eq!(stats1, stats8);
+        assert_eq!(bufs1, bufs8);
+    }
+
+    #[test]
+    fn objective_matches_gradient_violation() {
+        let (sys, ..) = two_sided_system();
+        let cs = CompiledSystem::compile(&sys);
+        let x = vec![1.0, 0.0, 1.0];
+        let (viol, obj) = cs.objective(&x, 0.1);
+        let (grad, gviol, violated) = cs.gradient(&x, 0.1);
+        assert!((viol - gviol).abs() < 1e-15);
+        assert_eq!(violated, 1);
+        assert!((viol - 1.25).abs() < 1e-12);
+        assert!((obj - (1.25 + 0.1 * 2.0)).abs() < 1e-12);
+        // Violated constraint contributes +1 to va/vc, −0.5 to vb, on top
+        // of λ.
+        assert!((grad[0] - 1.1).abs() < 1e-12);
+        assert!((grad[1] - (0.1 - 0.5)).abs() < 1e-12);
+        assert!((grad[2] - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_system_compiles() {
+        let sys = ConstraintSystem::new(0.75);
+        let cs = CompiledSystem::compile(&sys);
+        assert_eq!(cs.var_count(), 0);
+        assert_eq!(cs.constraint_count(), 0);
+        assert_eq!(cs.lane_count(), 1);
+        assert_eq!(cs.objective(&[], 0.1), (0.0, 0.0));
+        let (grad, viol, violated) = cs.gradient(&[], 0.1);
+        assert!(grad.is_empty());
+        assert_eq!((viol, violated), (0.0, 0));
+    }
+}

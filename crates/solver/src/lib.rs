@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 
 pub mod adam;
+pub mod compiled;
 pub mod extract;
 pub mod simplex;
 pub mod solve;
 
-pub use adam::{Adam, AdamConfig};
+pub use adam::{step_element, Adam, AdamConfig};
+pub use compiled::CompiledSystem;
 pub use extract::{extract, rep_score, ExtractOptions, Extraction};
 pub use simplex::{simplex, solve_exact, ExactSolution, LpOutcome, LpProblem};
-pub use solve::{evaluate, solve, Solution, SolveOptions};
+pub use solve::{evaluate, solve, solve_compiled, Solution, SolveOptions};

@@ -10,8 +10,15 @@
 //! minimized with projected Adam. Pinned (seed) variables are restored to
 //! their values after every step, which is exactly projection onto the
 //! affine subspace of `C_known`.
+//!
+//! The hot loop iterates a [`CompiledSystem`] — the CSR lowering in
+//! [`crate::compiled`] — and parallelizes each epoch across
+//! [`SolveOptions::threads`] scoped workers. The lane/chunk partitions the
+//! workers split on depend only on the compiled system, so scores are
+//! byte-identical for `threads = 1` and `threads = N`.
 
-use crate::adam::{Adam, AdamConfig};
+use crate::adam::{step_element, AdamConfig};
+use crate::compiled::CompiledSystem;
 use seldon_constraints::ConstraintSystem;
 use seldon_telemetry::EpochSample;
 
@@ -31,6 +38,11 @@ pub struct SolveOptions {
     /// [`EpochSample`]. `0` (the default) disables tracing entirely and
     /// keeps the Adam hot loop free of any telemetry work.
     pub trace_stride: usize,
+    /// Worker threads per epoch (clamped to ≥ 1). The gap pass splits
+    /// over gradient lanes and the Adam update over fixed variable
+    /// chunks; both partitions are functions of the compiled system
+    /// alone, so scores are byte-identical for any thread count.
+    pub threads: usize,
 }
 
 impl Default for SolveOptions {
@@ -41,7 +53,21 @@ impl Default for SolveOptions {
             tol: 1e-6,
             adam: AdamConfig::default(),
             trace_stride: 0,
+            threads: 1,
         }
+    }
+}
+
+impl SolveOptions {
+    /// Rejects hyperparameters that would poison every iterate (NaN λ, a
+    /// bad Adam configuration — see [`AdamConfig::validate`]) so
+    /// [`solve`] can short-circuit to a diverged [`Solution`] instead of
+    /// burning `max_iters` twice.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.lambda.is_finite() {
+            return Err(format!("lambda must be finite, got {}", self.lambda));
+        }
+        self.adam.validate()
     }
 }
 
@@ -58,9 +84,11 @@ pub struct Solution {
     pub iterations: usize,
     /// Objective value per iteration (for convergence plots).
     pub history: Vec<f64>,
-    /// Whether the optimizer produced non-finite values. The solver
-    /// restarts once with a reduced learning rate and sanitizes the final
-    /// scores, so `scores` is finite and in `[0,1]` even when this is set.
+    /// Whether the optimizer produced non-finite values (or the options
+    /// failed [`SolveOptions::validate`] and the run was short-circuited).
+    /// The solver restarts once with a reduced learning rate and
+    /// sanitizes the final scores, so `scores` is finite and in `[0,1]`
+    /// even when this is set.
     pub diverged: bool,
     /// Divergence-guard restarts taken (0 or 1). Surfaced so callers can
     /// report restarts instead of silently continuing on the rescaled run.
@@ -82,19 +110,11 @@ impl Solution {
     }
 }
 
-/// Computes the hinge violation and objective of `scores` under `sys`.
+/// Computes the hinge violation and objective of `scores` under `sys`
+/// through the compiled kernel — the same code path the solver iterates,
+/// so the two can never drift.
 pub fn evaluate(sys: &ConstraintSystem, scores: &[f64], lambda: f64) -> (f64, f64) {
-    let mut violation = 0.0;
-    for c in &sys.constraints {
-        let lhs: f64 = c.lhs.iter().map(|t| t.coeff * scores[t.var.index()]).sum();
-        let rhs: f64 = c.rhs.iter().map(|t| t.coeff * scores[t.var.index()]).sum();
-        let gap = lhs - rhs - sys.c;
-        if gap > 0.0 {
-            violation += gap;
-        }
-    }
-    let l1: f64 = scores.iter().sum();
-    (violation, violation + lambda * l1)
+    CompiledSystem::compile(sys).objective(scores, lambda)
 }
 
 /// Everything one [`run_adam`] pass produces.
@@ -106,28 +126,119 @@ struct AdamRun {
     diverged: bool,
 }
 
-/// One projected-Adam run; aborts early if the objective or any score
-/// turns non-finite and reports it in [`AdamRun::diverged`].
+/// Applies one Adam step to a contiguous block of variables starting at
+/// `start`, reading gradients from the per-lane hinge partials in `bufs`
+/// (reduced in fixed lane order) and writing per-fixed-chunk squared
+/// gradient norms into `norms`. Element-wise, so any worker partition
+/// along chunk boundaries produces bit-identical results.
+#[allow(clippy::too_many_arguments)]
+fn update_block(
+    cs: &CompiledSystem,
+    cfg: &AdamConfig,
+    lambda: f64,
+    b1t: f64,
+    b2t: f64,
+    bufs: &[Vec<f64>],
+    start: usize,
+    xs: &mut [f64],
+    ms: &mut [f64],
+    vs: &mut [f64],
+    norms: &mut [f64],
+    want_norm: bool,
+) {
+    let chunk = cs.var_chunk();
+    for (ci, ((xc, mc), vc)) in
+        xs.chunks_mut(chunk).zip(ms.chunks_mut(chunk)).zip(vs.chunks_mut(chunk)).enumerate()
+    {
+        let base = start + ci * chunk;
+        let mut sq = 0.0;
+        for (off, ((xi, mi), vi)) in
+            xc.iter_mut().zip(mc.iter_mut()).zip(vc.iter_mut()).enumerate()
+        {
+            let g = cs.grad_var(base + off, lambda, bufs);
+            if want_norm {
+                sq += g * g;
+            }
+            step_element(cfg, b1t, b2t, mi, vi, xi, g, 0.0, 1.0);
+        }
+        if want_norm {
+            norms[ci] = sq;
+        }
+    }
+}
+
+/// One epoch's Adam update + box projection, chunked across up to
+/// `threads` scoped workers along the fixed variable partition.
+#[allow(clippy::too_many_arguments)]
+fn update_pass(
+    cs: &CompiledSystem,
+    cfg: &AdamConfig,
+    lambda: f64,
+    step: u64,
+    threads: usize,
+    bufs: &[Vec<f64>],
+    x: &mut [f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    norms: &mut [f64],
+    want_norm: bool,
+) {
+    let b1t = 1.0 - cfg.beta1.powi(step as i32);
+    let b2t = 1.0 - cfg.beta2.powi(step as i32);
+    let n_chunks = cs.var_chunk_count();
+    let workers = threads.max(1).min(n_chunks.max(1));
+    if workers <= 1 {
+        update_block(cs, cfg, lambda, b1t, b2t, bufs, 0, x, m, v, norms, want_norm);
+        return;
+    }
+    let per = n_chunks.div_ceil(workers);
+    let stride = per * cs.var_chunk();
+    std::thread::scope(|s| {
+        for (w, (((xs, ms), vs), ns)) in x
+            .chunks_mut(stride)
+            .zip(m.chunks_mut(stride))
+            .zip(v.chunks_mut(stride))
+            .zip(norms.chunks_mut(per))
+            .enumerate()
+        {
+            s.spawn(move || {
+                update_block(cs, cfg, lambda, b1t, b2t, bufs, w * stride, xs, ms, vs, ns, want_norm);
+            });
+        }
+    });
+}
+
+/// The gradient norm alone, for tracing epochs that never reach the
+/// update phase (non-finite objective).
+fn grad_norm_only(cs: &CompiledSystem, lambda: f64, bufs: &[Vec<f64>]) -> f64 {
+    let mut sq = 0.0;
+    for i in 0..cs.var_count() {
+        let g = cs.grad_var(i, lambda, bufs);
+        sq += g * g;
+    }
+    sq.sqrt()
+}
+
+/// One projected-Adam run over the compiled system; aborts early if the
+/// objective or any score turns non-finite and reports it in
+/// [`AdamRun::diverged`].
 ///
 /// With `opts.trace_stride > 0`, every stride-th epoch (and the final
 /// epoch) is recorded as an [`EpochSample`]; with a stride of 0 the loop
 /// does no telemetry work at all.
-fn run_adam(sys: &ConstraintSystem, opts: &SolveOptions, lr_scale: f64) -> AdamRun {
-    let n = sys.var_count();
+fn run_adam(cs: &CompiledSystem, opts: &SolveOptions, lr_scale: f64) -> AdamRun {
+    let n = cs.var_count();
+    let threads = opts.threads.max(1);
     let mut x = vec![0.0f64; n];
-    let pinned: Vec<(usize, f64)> =
-        sys.pinned_vars().map(|(v, val)| (v.index(), val)).collect();
-    let apply_pins = |x: &mut [f64]| {
-        for &(i, val) in &pinned {
-            x[i] = val;
-        }
-    };
-    apply_pins(&mut x);
+    cs.apply_pins(&mut x);
 
     let lr = opts.adam.lr * lr_scale;
-    let adam_cfg = AdamConfig { lr, ..opts.adam.clone() };
-    let mut adam = Adam::new(n, adam_cfg);
-    let mut grad = vec![0.0f64; n];
+    let cfg = AdamConfig { lr, ..opts.adam.clone() };
+    let mut m = vec![0.0f64; n];
+    let mut v = vec![0.0f64; n];
+    let mut bufs = cs.new_lane_buffers();
+    let mut lane_stats = vec![(0.0f64, 0usize); cs.lane_count()];
+    let mut norm_parts = vec![0.0f64; cs.var_chunk_count()];
     let mut history = Vec::with_capacity(opts.max_iters.min(4096));
     let stride = opts.trace_stride;
     let mut trace: Vec<EpochSample> = Vec::new();
@@ -136,36 +247,61 @@ fn run_adam(sys: &ConstraintSystem, opts: &SolveOptions, lr_scale: f64) -> AdamR
     let mut stall = 0usize;
     let mut iterations = 0usize;
     let mut diverged = false;
+    let mut step = 0u64;
 
     for iter in 0..opts.max_iters {
         iterations = iter + 1;
-        // Gradient of hinge + L1.
-        grad.iter_mut().for_each(|g| *g = opts.lambda);
+        cs.gap_pass(&x, threads, &mut bufs, &mut lane_stats);
         let mut violation = 0.0;
         let mut violated = 0usize;
-        for c in &sys.constraints {
-            let lhs: f64 = c.lhs.iter().map(|t| t.coeff * x[t.var.index()]).sum();
-            let rhs: f64 = c.rhs.iter().map(|t| t.coeff * x[t.var.index()]).sum();
-            let gap = lhs - rhs - sys.c;
-            if gap > 0.0 {
-                violation += gap;
-                violated += 1;
-                for t in &c.lhs {
-                    grad[t.var.index()] += t.coeff;
-                }
-                for t in &c.rhs {
-                    grad[t.var.index()] -= t.coeff;
-                }
-            }
+        for &(lane_violation, lane_violated) in &lane_stats {
+            violation += lane_violation;
+            violated += lane_violated;
         }
         let objective = violation + opts.lambda * x.iter().sum::<f64>();
+        if !objective.is_finite() {
+            if stride != 0 {
+                let sample = EpochSample {
+                    epoch: iter as u64,
+                    objective,
+                    hinge_loss: violation,
+                    violated: violated as u64,
+                    grad_norm: grad_norm_only(cs, opts.lambda, &bufs),
+                    lr,
+                };
+                if iter % stride == 0 {
+                    trace.push(sample);
+                }
+                last_sample = Some(sample);
+            }
+            diverged = true;
+            break;
+        }
+        history.push(objective);
+
+        step += 1;
+        update_pass(
+            cs,
+            &cfg,
+            opts.lambda,
+            step,
+            threads,
+            &bufs,
+            &mut x,
+            &mut m,
+            &mut v,
+            &mut norm_parts,
+            stride != 0,
+        );
+        cs.apply_pins(&mut x);
+
         if stride != 0 {
             let sample = EpochSample {
                 epoch: iter as u64,
                 objective,
                 hinge_loss: violation,
                 violated: violated as u64,
-                grad_norm: grad.iter().map(|g| g * g).sum::<f64>().sqrt(),
+                grad_norm: norm_parts.iter().sum::<f64>().sqrt(),
                 lr,
             };
             if iter % stride == 0 {
@@ -173,14 +309,7 @@ fn run_adam(sys: &ConstraintSystem, opts: &SolveOptions, lr_scale: f64) -> AdamR
             }
             last_sample = Some(sample);
         }
-        if !objective.is_finite() {
-            diverged = true;
-            break;
-        }
-        history.push(objective);
 
-        adam.step_projected(&mut x, &grad, 0.0, 1.0);
-        apply_pins(&mut x);
         if x.iter().any(|s| !s.is_finite()) {
             diverged = true;
             break;
@@ -213,25 +342,53 @@ const RESTART_LR_SCALE: f64 = 0.25;
 
 /// Minimizes the relaxed objective with projected Adam.
 ///
-/// Numerically guarded: if the run produces non-finite scores or
-/// objective, it restarts once with the learning rate scaled by
-/// [`RESTART_LR_SCALE`], sanitizes whatever remains non-finite to `0`,
-/// and sets [`Solution::diverged`]. Scores are always finite and in
-/// `[0,1]` with pinned variables at their pinned values.
+/// Compiles `sys` into a [`CompiledSystem`] and delegates to
+/// [`solve_compiled`]; callers iterating the same system repeatedly can
+/// compile once and reuse it.
 pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
-    let mut run = run_adam(sys, opts, 1.0);
+    solve_compiled(&CompiledSystem::compile(sys), opts)
+}
+
+/// Minimizes the relaxed objective of a pre-compiled system.
+///
+/// Numerically guarded twice over: options failing
+/// [`SolveOptions::validate`] short-circuit to a diverged solution with
+/// zeroed (pinned) scores before any epoch runs, and a run that produces
+/// non-finite scores or objective restarts once with the learning rate
+/// scaled by [`RESTART_LR_SCALE`], sanitizes whatever remains non-finite
+/// to `0`, and sets [`Solution::diverged`]. Scores are always finite and
+/// in `[0,1]` with pinned variables at their pinned values.
+pub fn solve_compiled(cs: &CompiledSystem, opts: &SolveOptions) -> Solution {
+    if opts.validate().is_err() {
+        let mut x = vec![0.0f64; cs.var_count()];
+        cs.apply_pins(&mut x);
+        let (violation, objective) = cs.objective(&x, opts.lambda);
+        return Solution {
+            scores: x,
+            objective,
+            violation,
+            iterations: 0,
+            history: Vec::new(),
+            diverged: true,
+            restarts: 0,
+            final_lr: opts.adam.lr,
+            trace: Vec::new(),
+        };
+    }
+
+    let mut run = run_adam(cs, opts, 1.0);
     let diverged = run.diverged;
     let mut restarts = 0usize;
     let mut final_lr = opts.adam.lr;
     if diverged {
-        run = run_adam(sys, opts, RESTART_LR_SCALE);
+        run = run_adam(cs, opts, RESTART_LR_SCALE);
         restarts = 1;
         final_lr = opts.adam.lr * RESTART_LR_SCALE;
     }
     let AdamRun { mut x, iterations, history, trace, .. } = run;
 
-    // Final sanitization: a diverged restart can still be non-finite (e.g.
-    // NaN hyperparameters); downstream extraction must never see it.
+    // Final sanitization: a diverged restart can still be non-finite;
+    // downstream extraction must never see it.
     for s in &mut x {
         if !s.is_finite() {
             *s = 0.0;
@@ -239,11 +396,9 @@ pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
             *s = s.clamp(0.0, 1.0);
         }
     }
-    for (v, val) in sys.pinned_vars() {
-        x[v.index()] = val;
-    }
+    cs.apply_pins(&mut x);
 
-    let (violation, objective) = evaluate(sys, &x, opts.lambda);
+    let (violation, objective) = cs.objective(&x, opts.lambda);
     Solution {
         scores: x,
         objective,
@@ -376,8 +531,9 @@ mod tests {
         assert!(sol.score(vsh) > 0.8, "vsh = {}", sol.score(vsh));
     }
 
-    /// NaN hyperparameters poison every iterate: the guard must detect it,
-    /// restart, and still hand back finite sanitized scores.
+    /// NaN hyperparameters poison every iterate: validation must catch the
+    /// config up front, short-circuit to diverged, and still hand back
+    /// finite sanitized scores — without burning `max_iters` twice.
     #[test]
     fn nan_lambda_is_detected_and_sanitized() {
         let mut sys = ConstraintSystem::new(0.75);
@@ -393,8 +549,49 @@ mod tests {
         });
         let sol = solve(&sys, &SolveOptions { lambda: f64::NAN, ..Default::default() });
         assert!(sol.diverged, "NaN λ must be reported as divergence");
+        assert_eq!(sol.iterations, 0, "short-circuits before any epoch");
+        assert_eq!(sol.restarts, 0, "no doomed restart is attempted");
         assert!(sol.scores.iter().all(|s| s.is_finite() && (0.0..=1.0).contains(s)));
         assert_eq!(sol.score(va), 1.0, "pins survive sanitization");
+    }
+
+    /// Every invalid hyperparameter short-circuits before the first epoch.
+    #[test]
+    fn invalid_hyperparameters_short_circuit() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let va = sys.var(a, Role::Source);
+        sys.pin(va, 1.0);
+        let bad_opts = [
+            SolveOptions { lambda: f64::NAN, ..Default::default() },
+            SolveOptions { lambda: f64::INFINITY, ..Default::default() },
+            SolveOptions {
+                adam: AdamConfig { lr: f64::NAN, ..Default::default() },
+                ..Default::default()
+            },
+            SolveOptions {
+                adam: AdamConfig { lr: 0.0, ..Default::default() },
+                ..Default::default()
+            },
+            SolveOptions {
+                adam: AdamConfig { beta1: 1.5, ..Default::default() },
+                ..Default::default()
+            },
+            SolveOptions {
+                adam: AdamConfig { beta2: f64::NAN, ..Default::default() },
+                ..Default::default()
+            },
+        ];
+        for opts in bad_opts {
+            assert!(opts.validate().is_err());
+            let sol = solve(&sys, &opts);
+            assert!(sol.diverged);
+            assert_eq!(sol.iterations, 0);
+            assert_eq!(sol.restarts, 0);
+            assert!(sol.history.is_empty() && sol.trace.is_empty());
+            assert_eq!(sol.final_lr.to_bits(), opts.adam.lr.to_bits());
+            assert_eq!(sol.score(va), 1.0, "pins survive the short-circuit");
+        }
     }
 
     #[test]
@@ -447,19 +644,27 @@ mod tests {
         }
     }
 
+    /// Runtime divergence (as opposed to an invalid config): ε = 0 and
+    /// λ = 0 on a free variable make the first step compute 0/√0 = NaN,
+    /// which the guard catches and retries once at a scaled rate.
     #[test]
     fn restart_is_surfaced_with_scaled_lr() {
         let mut sys = ConstraintSystem::new(0.75);
         let a = sys.rep("a()");
         let va = sys.var(a, Role::Source);
-        sys.pin(va, 1.0);
-        let opts =
-            SolveOptions { lambda: f64::NAN, trace_stride: 1, ..Default::default() };
+        let opts = SolveOptions {
+            lambda: 0.0,
+            adam: AdamConfig { eps: 0.0, ..Default::default() },
+            trace_stride: 1,
+            ..Default::default()
+        };
+        assert!(opts.validate().is_ok(), "ε = 0 is a legal (if sharp) config");
         let sol = solve(&sys, &opts);
         assert!(sol.diverged);
         assert_eq!(sol.restarts, 1, "restart count surfaced");
         assert_eq!(sol.final_lr, opts.adam.lr * RESTART_LR_SCALE);
         assert!(!sol.trace.is_empty(), "diverged runs still trace their epochs");
+        assert!(sol.score(va).is_finite(), "sanitization holds after restart");
     }
 
     #[test]
@@ -472,5 +677,44 @@ mod tests {
         let (viol, obj) = evaluate(&sys, &sol.scores, 0.1);
         assert!((viol - sol.violation).abs() < 1e-12);
         assert!((obj - sol.objective).abs() < 1e-12);
+    }
+
+    /// Thread count must not change a single bit of the result.
+    #[test]
+    fn thread_count_is_bitwise_invisible() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let s = sys.rep("src()");
+        let m = sys.rep("san()");
+        let t = sys.rep("snk()");
+        let vsrc = sys.var(s, Role::Source);
+        let vsan = sys.var(m, Role::Sanitizer);
+        let vsnk = sys.var(t, Role::Sink);
+        sys.pin(vsrc, 1.0);
+        sys.pin(vsnk, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vsrc, coeff: 1.0 }, Term { var: vsnk, coeff: 1.0 }],
+            rhs: vec![Term { var: vsan, coeff: 1.0 }],
+            ..Default::default()
+        });
+        let base = solve(&sys, &SolveOptions { trace_stride: 3, ..Default::default() });
+        for threads in [2, 4, 8] {
+            let sol = solve(
+                &sys,
+                &SolveOptions { trace_stride: 3, threads, ..Default::default() },
+            );
+            let same = base
+                .scores
+                .iter()
+                .zip(&sol.scores)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads} changed the scores");
+            assert_eq!(base.history, sol.history);
+            assert_eq!(base.iterations, sol.iterations);
+            assert_eq!(base.objective.to_bits(), sol.objective.to_bits());
+            assert_eq!(base.trace.len(), sol.trace.len());
+            for (a, b) in base.trace.iter().zip(&sol.trace) {
+                assert_eq!(a.grad_norm.to_bits(), b.grad_norm.to_bits());
+            }
+        }
     }
 }

@@ -1,0 +1,209 @@
+//! Shared emitter for the `BENCH_*.json` bench history.
+//!
+//! Bench binaries used to hand-format their JSON with `println!`, which
+//! meant every bin had its own ad-hoc schema. A [`BenchRecord`] routes
+//! bench output through the same [`crate::json`] writer the
+//! [`crate::RunManifest`] uses and stamps it with the shared
+//! [`SCHEMA_VERSION`], so bench history entries and run manifests are
+//! produced by one serializer and validated the same way.
+//!
+//! A record is a small header (`benchmark`, `binary`, `method`) plus
+//! named sections of scalar key/value pairs, kept in insertion order:
+//!
+//! ```
+//! use seldon_telemetry::BenchRecord;
+//!
+//! let mut r = BenchRecord::new("solver", "solver_bench", "medians of 5");
+//! r.num("corpus", "files", 607.0).num("after", "solve_ms", 123.4);
+//! let back = BenchRecord::from_json(&r.to_json()).unwrap();
+//! assert_eq!(back, r);
+//! ```
+
+use crate::json::{self, Json};
+use crate::manifest::{ManifestError, SCHEMA_VERSION};
+
+/// One bench-history entry: a header plus ordered sections of scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// What is being measured (e.g. `"solver"`).
+    pub benchmark: String,
+    /// The emitting bench binary (e.g. `"solver_bench"`).
+    pub binary: String,
+    /// How the numbers were taken (rounds, statistic, build flags).
+    pub method: String,
+    sections: Vec<(String, Vec<(String, Json)>)>,
+}
+
+impl BenchRecord {
+    /// Creates an empty record with the given header.
+    pub fn new(
+        benchmark: impl Into<String>,
+        binary: impl Into<String>,
+        method: impl Into<String>,
+    ) -> BenchRecord {
+        BenchRecord {
+            benchmark: benchmark.into(),
+            binary: binary.into(),
+            method: method.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    fn slot(&mut self, section: &str) -> &mut Vec<(String, Json)> {
+        if let Some(i) = self.sections.iter().position(|(name, _)| name == section) {
+            return &mut self.sections[i].1;
+        }
+        self.sections.push((section.to_string(), Vec::new()));
+        &mut self.sections.last_mut().unwrap().1
+    }
+
+    fn put(&mut self, section: &str, key: &str, value: Json) -> &mut BenchRecord {
+        let slot = self.slot(section);
+        match slot.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => slot.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Sets a numeric value under `section.key` (creating the section on
+    /// first use; overwriting the key if already set).
+    pub fn num(&mut self, section: &str, key: &str, value: f64) -> &mut BenchRecord {
+        self.put(section, key, Json::num(value))
+    }
+
+    /// Sets a string value under `section.key`.
+    pub fn text(&mut self, section: &str, key: &str, value: &str) -> &mut BenchRecord {
+        self.put(section, key, Json::str(value))
+    }
+
+    /// Sets a boolean value under `section.key`.
+    pub fn flag(&mut self, section: &str, key: &str, value: bool) -> &mut BenchRecord {
+        self.put(section, key, Json::Bool(value))
+    }
+
+    /// Reads back a value set earlier, as raw [`Json`].
+    pub fn get(&self, section: &str, key: &str) -> Option<&Json> {
+        self.sections
+            .iter()
+            .find(|(name, _)| name == section)
+            .and_then(|(_, kv)| kv.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// Serializes to pretty JSON — the `BENCH_*.json` file format.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("bench_schema_version".to_string(), Json::num(SCHEMA_VERSION as f64)),
+            ("benchmark".to_string(), Json::str(&self.benchmark)),
+            ("binary".to_string(), Json::str(&self.binary)),
+            ("method".to_string(), Json::str(&self.method)),
+        ];
+        for (name, kv) in &self.sections {
+            fields.push((name.clone(), Json::Obj(kv.clone())));
+        }
+        Json::Obj(fields).pretty()
+    }
+
+    /// Parses and schema-validates a record from its JSON form. Every
+    /// top-level key beyond the header becomes a section; section values
+    /// must be scalars (number, string, or bool).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError::Json`] on malformed JSON and
+    /// [`ManifestError::Schema`] on a missing header field, a version
+    /// mismatch, or a non-scalar section value.
+    pub fn from_json(text: &str) -> Result<BenchRecord, ManifestError> {
+        let v = json::parse(text)?;
+        let Json::Obj(fields) = &v else {
+            return Err(ManifestError::Schema("bench record must be an object".into()));
+        };
+        let version = v
+            .get("bench_schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ManifestError::Schema("missing bench_schema_version".into()))?;
+        if version != SCHEMA_VERSION {
+            return Err(ManifestError::Schema(format!(
+                "bench_schema_version {version} != supported {SCHEMA_VERSION}"
+            )));
+        }
+        let header = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ManifestError::Schema(format!("missing header field `{key}`")))
+        };
+        let mut record =
+            BenchRecord::new(header("benchmark")?, header("binary")?, header("method")?);
+        for (name, value) in fields {
+            if matches!(
+                name.as_str(),
+                "bench_schema_version" | "benchmark" | "binary" | "method"
+            ) {
+                continue;
+            }
+            let Json::Obj(kv) = value else {
+                return Err(ManifestError::Schema(format!("section `{name}` must be an object")));
+            };
+            for (k, scalar) in kv {
+                if !matches!(scalar, Json::Num(_) | Json::Str(_) | Json::Bool(_)) {
+                    return Err(ManifestError::Schema(format!(
+                        "section value `{name}.{k}` must be a scalar"
+                    )));
+                }
+                record.put(name, k, scalar.clone());
+            }
+        }
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_order_and_values() {
+        let mut r = BenchRecord::new("solver", "solver_bench", "medians of 5, release");
+        r.num("corpus", "files", 607.0)
+            .num("corpus", "constraints", 26145.0)
+            .num("before", "solve_ms", 812.5)
+            .num("after", "solve_ms", 301.25)
+            .text("after", "kernel", "csr")
+            .flag("identity", "spec_identical", true);
+        let text = r.to_json();
+        let back = BenchRecord::from_json(&text).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.get("after", "kernel").and_then(Json::as_str), Some("csr"));
+        assert_eq!(back.get("identity", "spec_identical").and_then(Json::as_bool), Some(true));
+        assert_eq!(back.get("missing", "key"), None);
+    }
+
+    #[test]
+    fn version_and_header_are_validated() {
+        let r = BenchRecord::new("x", "y", "z");
+        let text = r.to_json();
+        let wrong_version = text.replace(
+            &format!("\"bench_schema_version\": {SCHEMA_VERSION}"),
+            "\"bench_schema_version\": 9999",
+        );
+        assert!(matches!(
+            BenchRecord::from_json(&wrong_version),
+            Err(ManifestError::Schema(_))
+        ));
+        let no_binary = text.replace("\"binary\"", "\"binaryyy\"");
+        assert!(matches!(BenchRecord::from_json(&no_binary), Err(ManifestError::Schema(_))));
+        assert!(matches!(BenchRecord::from_json("[1]"), Err(ManifestError::Schema(_))));
+        assert!(matches!(BenchRecord::from_json("{nope"), Err(ManifestError::Json(_))));
+    }
+
+    #[test]
+    fn overwriting_a_key_keeps_one_entry() {
+        let mut r = BenchRecord::new("a", "b", "c");
+        r.num("s", "k", 1.0).num("s", "k", 2.0);
+        assert_eq!(r.get("s", "k").and_then(Json::as_f64), Some(2.0));
+        let back = BenchRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+}

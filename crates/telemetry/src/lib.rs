@@ -27,10 +27,12 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod json;
 pub mod manifest;
 pub mod span;
 
+pub use bench::BenchRecord;
 pub use manifest::{
     stage, ConstraintSummary, CorpusShape, EpochSample, ExtractionSummary, ManifestError,
     OutcomeCounts, RunManifest, SolverSummary, StageSpan, TaintSummary, SCHEMA_VERSION,

@@ -18,7 +18,10 @@ use crate::span::SpanRecord;
 use std::fmt;
 
 /// Version tag of the manifest schema emitted by this build.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version 2 added [`SolverSummary::threads`] and the `compile` child
+/// span under `solve`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Canonical stage names of the end-to-end pipeline, in pipeline order.
 pub mod stage {
@@ -38,6 +41,9 @@ pub mod stage {
     pub const EXTRACT: &str = "extract";
     /// Taint analysis with the learned specification.
     pub const TAINT: &str = "taint";
+    /// CSR lowering of the constraint system — a child span of
+    /// [`SOLVE`], not one of the eight top-level stages in [`ALL`].
+    pub const COMPILE: &str = "compile";
     /// All eight stages in pipeline order.
     pub const ALL: [&str; 8] = [
         PARSE,
@@ -156,6 +162,10 @@ pub struct SolverSummary {
     pub objective: f64,
     /// Final total hinge violation.
     pub violation: f64,
+    /// Worker threads the epoch passes ran on (≥ 1). Scores are
+    /// byte-identical across thread counts; this records cost, not
+    /// result shape.
+    pub threads: u64,
     /// Sampled convergence curve (stride-spaced epochs).
     pub curve: Vec<EpochSample>,
 }
@@ -333,6 +343,7 @@ impl RunManifest {
                     ("final_lr".into(), Json::num(self.solver.final_lr)),
                     ("objective".into(), Json::num(self.solver.objective)),
                     ("violation".into(), Json::num(self.solver.violation)),
+                    ("threads".into(), Json::num(self.solver.threads as f64)),
                     (
                         "curve".into(),
                         Json::Arr(
@@ -444,6 +455,7 @@ impl RunManifest {
                 final_lr: req_f64(solver, "final_lr")?,
                 objective: req_f64(solver, "objective")?,
                 violation: req_f64(solver, "violation")?,
+                threads: req_u64(solver, "threads")?,
                 curve: req_arr(solver, "curve")?
                     .iter()
                     .map(parse_epoch)
@@ -643,6 +655,7 @@ mod tests {
             final_lr: 0.0125,
             objective: 1.25,
             violation: 0.5,
+            threads: 4,
             curve: vec![
                 EpochSample {
                     epoch: 0,

@@ -90,6 +90,45 @@ fn learn_writes_spec_file() {
 }
 
 #[test]
+fn learn_solver_threads_is_output_invariant() {
+    // The same learn run at 1 and 4 solver threads must write identical
+    // spec files (the compiled kernel's summation order is fixed), and a
+    // malformed thread count is a usage error.
+    let dir = temp_dir("threads");
+    for i in 0..6 {
+        std::fs::write(
+            dir.join(format!("m{i}.py")),
+            "from flask import request\nimport webresp, htmlutils\n\ndef page():\n    q = request.args.get('x')\n    return webresp.render_page(htmlutils.sanitize(q))\n",
+        )
+        .unwrap();
+    }
+    let spec_at = |threads: &str| {
+        let out_path = dir.join(format!("learned-{threads}.txt"));
+        let out = seldon()
+            .arg("learn")
+            .arg(&dir)
+            .arg("--solver-threads")
+            .arg(threads)
+            .arg("--out")
+            .arg(&out_path)
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        std::fs::read_to_string(&out_path).expect("spec written")
+    };
+    assert_eq!(spec_at("1"), spec_at("4"), "spec must not depend on --solver-threads");
+
+    let out = seldon()
+        .arg("learn")
+        .arg(&dir)
+        .arg("--solver-threads")
+        .arg("lots")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "bad thread count is a usage error");
+}
+
+#[test]
 fn check_with_custom_spec_and_param_sensitivity() {
     let dir = temp_dir("custom");
     std::fs::write(

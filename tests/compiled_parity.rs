@@ -1,0 +1,157 @@
+//! Property tests for the compiled solver kernel: on random constraint
+//! systems — fractional coefficients, duplicate variables within a
+//! constraint, duplicate constraints across the system, pinned variables
+//! — the CSR lowering must agree with a naive per-constraint walk on the
+//! objective and the gradient, and a full solve must be bitwise
+//! identical at 1 and 4 worker threads.
+//!
+//! The offline proptest stand-in only generates scalars, so each case
+//! draws a `u64` seed and expands it into a full system with the rand
+//! compat RNG — same depth of coverage, deterministic per seed.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use seldon_constraints::{ConstraintSystem, FlowConstraint, Term, VarId};
+use seldon_solver::{solve, solve_compiled, CompiledSystem, SolveOptions};
+use seldon_specs::Role;
+
+const COEFFS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
+
+/// Expands a seed into a random system: 2–11 vars, 1–20 constraints of
+/// 1–5 terms each (either side, palette coefficients, repeated vars),
+/// up to two pins, and every third constraint duplicated verbatim so the
+/// compiler's cross-row combining is always exercised.
+fn random_system(seed: u64) -> ConstraintSystem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_vars = rng.gen_range(2usize..12);
+    let c = COEFFS[rng.gen_range(0usize..COEFFS.len())] * 0.9 + 0.05;
+    let mut sys = ConstraintSystem::new(c);
+    let vars: Vec<VarId> = (0..n_vars)
+        .map(|i| {
+            let rep = sys.rep(&format!("api{i}()"));
+            sys.var(rep, Role::Source)
+        })
+        .collect();
+    for _ in 0..rng.gen_range(0usize..3) {
+        let v = vars[rng.gen_range(0..n_vars)];
+        sys.pin(v, 1.0);
+    }
+    for ci in 0..rng.gen_range(1usize..21) {
+        let mut con = FlowConstraint::default();
+        for _ in 0..rng.gen_range(1usize..6) {
+            let t = Term {
+                var: vars[rng.gen_range(0..n_vars)],
+                coeff: COEFFS[rng.gen_range(0usize..COEFFS.len())],
+            };
+            if rng.gen_bool(0.6) {
+                con.lhs.push(t);
+            } else {
+                con.rhs.push(t);
+            }
+        }
+        sys.add_constraint(con);
+        if ci % 3 == 2 {
+            let again = sys.constraints.last().unwrap().clone();
+            sys.add_constraint(again);
+        }
+    }
+    sys
+}
+
+fn random_point(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// The reference the kernel is checked against: the objective and
+/// gradient computed the way the pre-compilation solver did, one
+/// constraint at a time with separate lhs/rhs sums.
+fn naive_objective_gradient(
+    sys: &ConstraintSystem,
+    x: &[f64],
+    lambda: f64,
+) -> (f64, Vec<f64>) {
+    let mut violation = 0.0;
+    let mut grad = vec![lambda; sys.var_count()];
+    for c in &sys.constraints {
+        let lhs: f64 = c.lhs.iter().map(|t| t.coeff * x[t.var.index()]).sum();
+        let rhs: f64 = c.rhs.iter().map(|t| t.coeff * x[t.var.index()]).sum();
+        let gap = lhs - rhs - sys.c;
+        if gap > 0.0 {
+            violation += gap;
+            for t in &c.lhs {
+                grad[t.var.index()] += t.coeff;
+            }
+            for t in &c.rhs {
+                grad[t.var.index()] -= t.coeff;
+            }
+        }
+    }
+    let objective = violation + lambda * x.iter().sum::<f64>();
+    (objective, grad)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled objective and gradient agree with the naive walk to
+    /// 1e-12 on arbitrary systems and points.
+    #[test]
+    fn compiled_matches_naive_walk(seed in any::<u64>(), li in 0usize..5) {
+        let sys = random_system(seed);
+        let lambda = [0.0, 0.05, 0.1, 0.25, 0.5][li];
+        let cs = CompiledSystem::compile(&sys);
+        prop_assert_eq!(cs.constraint_count(), sys.constraint_count());
+        prop_assert!(cs.row_count() <= cs.constraint_count());
+        let x = random_point(seed, sys.var_count());
+        let (naive_obj, naive_grad) = naive_objective_gradient(&sys, &x, lambda);
+        let (violation, obj) = cs.objective(&x, lambda);
+        prop_assert!(violation >= 0.0);
+        prop_assert!(close(obj, naive_obj), "objective {} vs naive {}", obj, naive_obj);
+        let (grad, gviol, _) = cs.gradient(&x, lambda);
+        prop_assert!(close(gviol, violation));
+        for (i, (g, ng)) in grad.iter().zip(&naive_grad).enumerate() {
+            prop_assert!(close(*g, *ng), "grad[{}] {} vs naive {}", i, g, ng);
+        }
+    }
+
+    /// A full solve is bitwise identical at 1 and 4 worker threads —
+    /// scores, objective, and convergence history.
+    #[test]
+    fn solve_is_bitwise_thread_invariant(seed in any::<u64>()) {
+        let sys = random_system(seed);
+        let opts1 = SolveOptions { max_iters: 120, ..Default::default() };
+        let opts4 = SolveOptions { threads: 4, ..opts1.clone() };
+        let s1 = solve(&sys, &opts1);
+        let s4 = solve(&sys, &opts4);
+        prop_assert_eq!(s1.iterations, s4.iterations);
+        prop_assert_eq!(s1.objective.to_bits(), s4.objective.to_bits());
+        for (a, b) in s1.scores.iter().zip(&s4.scores) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in s1.history.iter().zip(&s4.history) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// `solve` and `solve_compiled` are the same computation: compiling
+    /// once and solving the compiled form matches the convenience entry
+    /// point bit-for-bit.
+    #[test]
+    fn solve_compiled_matches_solve(seed in any::<u64>()) {
+        let sys = random_system(seed);
+        let opts = SolveOptions { max_iters: 60, ..Default::default() };
+        let direct = solve(&sys, &opts);
+        let cs = CompiledSystem::compile(&sys);
+        let via_compiled = solve_compiled(&cs, &opts);
+        prop_assert_eq!(direct.objective.to_bits(), via_compiled.objective.to_bits());
+        for (a, b) in direct.scores.iter().zip(&via_compiled.scores) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -33,16 +33,27 @@ fn learned_spec_matches_golden_output() {
     // this test proves the interned pipeline (Symbol-keyed constraint
     // system, memoized blacklist matcher, sharded union) is byte-identical
     // to the original String-keyed implementation — not merely similar.
+    // It is also the thread-determinism gate: the compiled solver kernel
+    // must reproduce the golden byte-for-byte at 1 and at 4 worker
+    // threads, since its lane partition (the floating-point summation
+    // order) is a function of the system alone, never the thread count.
     let universe = Universe::new();
     let corpus = generate_corpus(&universe, &small_corpus_opts());
     let analyzed = analyze_corpus(&corpus, 4).unwrap();
-    let run = run_seldon(&analyzed.graph, &universe.seed_spec(), &SeldonOptions::default());
     let golden = include_str!("golden/end_to_end_spec.txt");
-    assert_eq!(
-        run.extraction.spec.to_text(),
-        golden,
-        "learned spec diverged from tests/golden/end_to_end_spec.txt"
-    );
+    for threads in [1, 4] {
+        let opts = SeldonOptions {
+            solve: seldon_solver::SolveOptions { threads, ..Default::default() },
+            ..Default::default()
+        };
+        let run = run_seldon(&analyzed.graph, &universe.seed_spec(), &opts);
+        assert_eq!(
+            run.extraction.spec.to_text(),
+            golden,
+            "learned spec diverged from tests/golden/end_to_end_spec.txt \
+             at {threads} solver threads"
+        );
+    }
 }
 
 #[test]

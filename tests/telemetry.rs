@@ -38,12 +38,35 @@ fn run_manifest(corpus: &Corpus, seed: &TaintSpec) -> RunManifest {
 fn stages_appear_exactly_once_in_pipeline_order() {
     let (corpus, seed) = fixture();
     let m = run_manifest(&corpus, &seed);
-    let names: Vec<&str> = m.stages.iter().map(|s| s.name.as_str()).collect();
-    assert_eq!(names, stage::ALL, "one span per stage, in pipeline order");
-    for s in &m.stages {
-        assert_eq!(s.depth, 0, "driver stages are top-level: {}", s.name);
-        assert_eq!(s.parent, None);
+    let top_level: Vec<&str> = m
+        .stages
+        .iter()
+        .filter(|s| s.depth == 0)
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(top_level, stage::ALL, "one span per stage, in pipeline order");
+    for s in m.stages.iter().filter(|s| s.depth == 0) {
+        assert_eq!(s.parent, None, "driver stages are top-level: {}", s.name);
     }
+    // The CSR lowering is the single nested span, a child of `solve`.
+    let nested: Vec<&seldon_telemetry::StageSpan> =
+        m.stages.iter().filter(|s| s.depth > 0).collect();
+    assert_eq!(nested.len(), 1, "exactly one child span");
+    let compile = nested[0];
+    assert_eq!(compile.name, stage::COMPILE);
+    assert_eq!(compile.depth, 1);
+    let solve_idx =
+        m.stages.iter().position(|s| s.name == stage::SOLVE).expect("solve span") as u32;
+    assert_eq!(compile.parent, Some(solve_idx), "compile nests under solve");
+    let counters: Vec<&str> = compile.counters.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(counters, ["constraints", "rows", "terms", "lanes"]);
+    // The solve span records the worker-thread count alongside outcome.
+    let solve = m.stage(stage::SOLVE).unwrap();
+    assert!(
+        solve.counters.iter().any(|(k, v)| k == "threads" && *v >= 1.0),
+        "solve span carries the thread count: {:?}",
+        solve.counters
+    );
 }
 
 #[test]
