@@ -1,0 +1,44 @@
+//! Crash-safe incremental artifact cache for the Seldon pipeline.
+//!
+//! The paper's inference loop (and every system built on it — continuous
+//! re-inference over evolving corpora, active-learning re-solves) re-runs
+//! far more often than its inputs change. This crate makes warm re-runs
+//! cheap without ever letting persistence compromise correctness:
+//!
+//! * **Per-file artifacts** ([`FileArtifact`], [`ArtifactCache`]): the
+//!   parse → propagation-graph → constraint-fragment work for one source
+//!   file, keyed by [`file_key`] (a hash of the file bytes, the entry
+//!   format version, and an analysis-option salt). Artifacts serialize
+//!   representations by *string* and re-intern on load — raw
+//!   `Symbol(u32)` values are process-local and never reach disk.
+//! * **Solver checkpoint** ([`Checkpoint`]): the previous score vector and
+//!   extracted spec, keyed by exact input/system fingerprints
+//!   ([`input_fingerprint`], [`system_fingerprint`]). Reuse is
+//!   all-or-nothing so warm results stay byte-identical to cold ones.
+//! * **Crash safety** ([`entry`]): every file is a checksummed frame
+//!   written via temp-file + atomic rename. Corrupt, truncated,
+//!   bit-flipped, version-skewed, or torn entries are detected before
+//!   use, quarantined, and recomputed — a cache fault can cost time,
+//!   never correctness.
+//! * **Fault injection** ([`inject_cache_faults`]): deterministic damage
+//!   (torn write, truncation, bit flip, stale schema stamp, missing
+//!   index) for the robustness suite and the CI determinism gate.
+
+pub mod artifact;
+pub mod checkpoint;
+pub mod entry;
+pub mod hash;
+pub mod inject;
+pub mod store;
+
+pub use artifact::FileArtifact;
+pub use checkpoint::{
+    graph_fingerprint, input_fingerprint, system_fingerprint, Checkpoint, SystemSummary,
+};
+pub use entry::{decode_entry, encode_entry, write_atomic, EntryError, ENTRY_VERSION};
+pub use hash::{hash_bytes, Fnv64};
+pub use inject::{inject_cache_faults, CacheFaultKind, InjectedCacheFault};
+pub use store::{
+    file_key, ArtifactCache, ArtifactLookup, CacheFault, CacheStats, CheckpointLookup,
+    FaultClass, CHECKPOINT_NAME, INDEX_NAME,
+};

@@ -5,6 +5,7 @@
 //! seldon graph  <file.py> [--dot]
 //! seldon check  <path...> [--spec <spec.txt>] [--param-sensitive]
 //! seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>]
+//!                         [--cache-dir <dir>] [--no-cache]
 //!                         [--telemetry <out.json>] [--trace <out.trace.json>]
 //! ```
 //!
@@ -18,14 +19,25 @@
 //! additionally accepts `--telemetry <file>` to write the machine-readable
 //! run manifest and `--trace <file>` for a Chrome trace-event file
 //! (loadable in `chrome://tracing` or Perfetto).
-//! Exit codes: `0` — clean run, nothing found; `1` — violations found or
+//!
+//! `learn --cache-dir <dir>` attaches the crash-safe artifact cache: warm
+//! re-runs serve unchanged files (and, when nothing relevant changed, the
+//! whole solve) from validated on-disk entries, with byte-identical
+//! output. Damaged entries are quarantined and recomputed — cache faults
+//! warn but never change the exit code. `--no-cache` force-disables
+//! caching and conflicts with `--cache-dir`.
+//!
+//! Exit codes: `0` — clean run, nothing found (including an empty input
+//! set, which learns the empty specification); `1` — violations found or
 //! the analysis degraded (recovered/quarantined files, runtime failures);
-//! `2` — usage errors (bad arguments, unreadable spec, no input files).
+//! `2` — usage errors (bad arguments, unreadable spec, no input files for
+//! `graph`/`check`).
 
+use seldon_cache::ArtifactCache;
 use seldon_constraints::GenOptions;
 use seldon_core::{
-    analyze_corpus_with, run_full, AnalysisReport, AnalyzeOptions, AnalyzedCorpus, FaultPolicy,
-    FileOutcome, SeldonOptions,
+    analyze_corpus_with, run_full, AnalysisReport, AnalyzeOptions, AnalyzedCorpus,
+    CacheFaultReport, CheckpointOutcome, FaultPolicy, FileOutcome, SeldonOptions,
 };
 use seldon_corpus::{Corpus, Project, SourceFile};
 use seldon_propgraph::{to_dot, Budget, FileId};
@@ -36,6 +48,7 @@ use seldon_telemetry::{Level, Telemetry};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// How a successfully completed command ends.
 enum Outcome {
@@ -93,7 +106,8 @@ const USAGE: &str = "usage:
   seldon graph  <file.py> [--dot] [--strict|--lenient] [--log-level off|info|debug]
   seldon check  <path...> [--spec <spec.txt>] [--param-sensitive] [--format json] [--strict|--lenient] [--log-level off|info|debug]
   seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>] [--strict|--lenient]
-                [--solver-threads <n>] [--telemetry <manifest.json>] [--trace <out.trace.json>]
+                [--cache-dir <dir>] [--no-cache] [--solver-threads <n>]
+                [--telemetry <manifest.json>] [--trace <out.trace.json>]
                 [--log-level off|info|debug]
 
 exit codes: 0 clean; 1 violations found or degraded analysis; 2 usage error";
@@ -103,7 +117,9 @@ const MAX_WALK_DEPTH: usize = 64;
 
 /// Recursively collects `.py` files under each path. Unreadable entries
 /// are skipped with a warning; symlink cycles are broken by a visited set
-/// of canonical directory paths.
+/// of canonical directory paths. An empty result is not an error here —
+/// `graph`/`check` reject it ([`require_files`]) while `learn` treats it
+/// as the empty corpus.
 fn collect_py_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, CliError> {
     let mut out = Vec::new();
     let mut visited = HashSet::new();
@@ -115,10 +131,15 @@ fn collect_py_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, CliError> {
     }
     out.sort();
     out.dedup();
-    if out.is_empty() {
+    Ok(out)
+}
+
+/// Usage error when a command needs at least one input file.
+fn require_files(files: Vec<PathBuf>) -> Result<Vec<PathBuf>, CliError> {
+    if files.is_empty() {
         return Err(CliError::usage("no .py files found"));
     }
-    Ok(out)
+    Ok(files)
 }
 
 fn walk(p: &Path, out: &mut Vec<PathBuf>, visited: &mut HashSet<PathBuf>, depth: usize) {
@@ -306,6 +327,11 @@ fn print_degradation(analysis: &Analysis) {
             }
         }
     }
+    // Cache faults were contained (the artifact was recomputed), so they
+    // warn without degrading the run.
+    for cf in &analysis.report.cache_faults {
+        eprintln!("warning: cache fault ({}): {}", cf.path, cf.fault);
+    }
     if analysis.is_degraded() {
         eprintln!("degraded analysis: {}", analysis.report.summary());
     }
@@ -316,7 +342,7 @@ fn cmd_graph(rest: &[String]) -> Result<Outcome, CliError> {
         split_args(rest, &["--dot", "--strict", "--lenient"], &["--log-level"])?;
     let policy = policy_from_flags(&flags)?;
     let tele = Telemetry::disabled().with_log_level(level_from_opts(&opts)?);
-    let files = collect_py_files(&paths)?;
+    let files = require_files(collect_py_files(&paths)?)?;
     let analysis = analyze_files(&files, policy, &tele)?;
     print_degradation(&analysis);
     let graph = &analysis.analyzed.graph;
@@ -343,7 +369,7 @@ fn cmd_check(rest: &[String]) -> Result<Outcome, CliError> {
     let policy = policy_from_flags(&flags)?;
     let tele = Telemetry::disabled().with_log_level(level_from_opts(&opts)?);
     let spec = load_spec(opts.get("--spec").copied())?;
-    let files = collect_py_files(&paths)?;
+    let files = require_files(collect_py_files(&paths)?)?;
     let analysis = analyze_files(&files, policy, &tele)?;
     print_degradation(&analysis);
     let graph = &analysis.analyzed.graph;
@@ -386,11 +412,12 @@ fn cmd_check(rest: &[String]) -> Result<Outcome, CliError> {
 fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     let (paths, opts, flags) = split_args(
         rest,
-        &["--strict", "--lenient"],
+        &["--strict", "--lenient", "--no-cache"],
         &[
             "--seed",
             "--out",
             "--cutoff",
+            "--cache-dir",
             "--solver-threads",
             "--telemetry",
             "--trace",
@@ -398,6 +425,10 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
         ],
     )?;
     let policy = policy_from_flags(&flags)?;
+    let cache_dir = opts.get("--cache-dir").copied();
+    if cache_dir.is_some() && flags.contains(&"--no-cache") {
+        return Err(CliError::usage("--cache-dir and --no-cache are mutually exclusive"));
+    }
     let manifest_path = opts.get("--telemetry").copied();
     let trace_path = opts.get("--trace").copied();
     // Either output file needs the recorder; `--log-level` alone only logs.
@@ -409,7 +440,35 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     .with_log_level(level_from_opts(&opts)?);
     let seed = load_spec(opts.get("--seed").copied())?;
     let files = collect_py_files(&paths)?;
+    if files.is_empty() {
+        // An empty corpus is a legitimate (if vacuous) input: learn the
+        // empty specification and exit clean.
+        eprintln!("warning: no .py files found; learned the empty specification");
+        if let Some(path) = opts.get("--out") {
+            std::fs::write(path, "")
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote 0 learned entries to {path}");
+        }
+        return Ok(Outcome::Clean);
+    }
     let (corpus, names, io_skipped) = read_corpus(&files)?;
+    // A failed cache open degrades loudly to an uncached (but correct) run;
+    // faults found while validating the cache directory are warned and
+    // folded into the report below.
+    let mut open_faults = Vec::new();
+    let cache = match cache_dir {
+        None => None,
+        Some(dir) => match ArtifactCache::open(Path::new(dir)) {
+            Ok((cache, faults)) => {
+                open_faults = faults;
+                Some(Arc::new(cache))
+            }
+            Err(e) => {
+                eprintln!("warning: cannot open cache at {dir}: {e}; running uncached");
+                None
+            }
+        },
+    };
     let cutoff: usize = opts
         .get("--cutoff")
         .and_then(|v| v.parse().ok())
@@ -434,10 +493,17 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
         solve: SolveOptions { threads: solver_threads, ..Default::default() },
         ..Default::default()
     };
-    let full = run_full(&corpus, &seed, "learn", &cli_analyze_opts(policy, &tele), &options)
+    let mut analyze_opts = cli_analyze_opts(policy, &tele);
+    analyze_opts.cache = cache.clone();
+    let full = run_full(&corpus, &seed, "learn", &analyze_opts, &options)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
-    let analysis =
-        Analysis { analyzed: full.analyzed, report: full.report, names, io_skipped };
+    let mut report = full.report;
+    for fault in open_faults {
+        report
+            .cache_faults
+            .insert(0, CacheFaultReport { path: "<index>".to_string(), fault });
+    }
+    let analysis = Analysis { analyzed: full.analyzed, report, names, io_skipped };
     print_degradation(&analysis);
     let graph = &analysis.analyzed.graph;
     eprintln!(
@@ -447,13 +513,39 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
         graph.edge_count()
     );
     let run = &full.run;
-    eprintln!(
-        "{} constraints over {} variables solved in {:?} ({} iterations)",
-        run.system.constraint_count(),
-        run.system.var_count(),
-        run.solve_time,
-        run.solution.iterations
-    );
+    match full.checkpoint.outcome {
+        CheckpointOutcome::HitFull => {
+            let s = full.checkpoint.summary.unwrap_or_default();
+            eprintln!(
+                "checkpoint full hit: replayed {} constraints over {} variables ({} iterations, solve skipped)",
+                s.constraints, s.vars, run.solution.iterations
+            );
+        }
+        CheckpointOutcome::HitScores => eprintln!(
+            "{} constraints over {} variables; scores reused from checkpoint ({} iterations, solve skipped)",
+            run.system.constraint_count(),
+            run.system.var_count(),
+            run.solution.iterations
+        ),
+        CheckpointOutcome::Disabled | CheckpointOutcome::MissCold => eprintln!(
+            "{} constraints over {} variables solved in {:?} ({} iterations)",
+            run.system.constraint_count(),
+            run.system.var_count(),
+            run.solve_time,
+            run.solution.iterations
+        ),
+    }
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        eprintln!(
+            "cache: {} hit(s), {} miss(es), {} store(s), {} fault(s) contained (checkpoint: {})",
+            s.hits,
+            s.misses,
+            s.stores,
+            analysis.report.cache_faults.len(),
+            full.checkpoint.outcome.label()
+        );
+    }
     if run.solution.diverged {
         eprintln!("warning: solver diverged and restarted with a reduced learning rate");
     }

@@ -40,8 +40,8 @@ pub use eval::{
 };
 pub use manifest::{run_full, FullRun};
 pub use pipeline::{
-    analyze_corpus, analyze_corpus_with, analyze_project, run_seldon, run_seldon_traced,
-    AnalyzeOptions, AnalyzedCorpus, FaultPolicy, FileMeta, SeldonOptions, SeldonRun,
-    DEFAULT_TRACE_STRIDE,
+    analyze_corpus, analyze_corpus_with, analyze_project, run_seldon, run_seldon_cached,
+    run_seldon_traced, AnalyzeOptions, AnalyzedCorpus, CheckpointOutcome, CheckpointUse,
+    FaultPolicy, FileMeta, SeldonOptions, SeldonRun, DEFAULT_TRACE_STRIDE,
 };
-pub use report::{AnalysisReport, FileOutcome, FileReport};
+pub use report::{AnalysisReport, CacheFaultReport, FileOutcome, FileReport};

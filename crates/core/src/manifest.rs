@@ -14,16 +14,16 @@
 
 use crate::error::PipelineError;
 use crate::pipeline::{
-    analyze_corpus_with, run_seldon_traced, AnalyzeOptions, AnalyzedCorpus, SeldonOptions,
-    SeldonRun,
+    analyze_corpus_with, run_seldon_cached, AnalyzeOptions, AnalyzedCorpus, CheckpointUse,
+    SeldonOptions, SeldonRun,
 };
-use crate::report::AnalysisReport;
+use crate::report::{AnalysisReport, CacheFaultReport};
 use seldon_corpus::Corpus;
 use seldon_specs::{Role, TaintSpec};
 use seldon_taint::{TaintAnalyzer, Violation};
 use seldon_telemetry::{
-    stage, ConstraintSummary, CorpusShape, ExtractionSummary, OutcomeCounts, RunManifest,
-    SolverSummary, TaintSummary, Telemetry,
+    stage, CacheSummary, ConstraintSummary, CorpusShape, ExtractionSummary, OutcomeCounts,
+    RunManifest, SolverSummary, TaintSummary, Telemetry,
 };
 
 /// Everything one full pipeline run produces.
@@ -37,6 +37,9 @@ pub struct FullRun {
     pub run: SeldonRun,
     /// Unsanitized source→sink flows found with the seed + learned spec.
     pub violations: Vec<Violation>,
+    /// How the solver warm-start checkpoint was used (outcome
+    /// `Disabled` when no cache was attached).
+    pub checkpoint: CheckpointUse,
     /// The assembled manifest; `None` unless the telemetry handle in
     /// [`AnalyzeOptions`] was recording.
     pub manifest: Option<RunManifest>,
@@ -61,8 +64,13 @@ pub fn run_full(
     seldon: &SeldonOptions,
 ) -> Result<FullRun, PipelineError> {
     let tele = analyze.telemetry.clone();
-    let (analyzed, report) = analyze_corpus_with(corpus, analyze)?;
-    let run = run_seldon_traced(&analyzed.graph, seed, seldon, &tele);
+    let (analyzed, mut report) = analyze_corpus_with(corpus, analyze)?;
+    let (run, checkpoint) =
+        run_seldon_cached(&analyzed.graph, seed, seldon, &tele, analyze.cache.as_deref());
+    report.cache_faults.extend(checkpoint.faults.iter().map(|fault| CacheFaultReport {
+        path: "<checkpoint>".to_string(),
+        fault: fault.clone(),
+    }));
 
     let mut full_spec = seed.clone();
     full_spec.merge(&run.extraction.spec);
@@ -74,9 +82,20 @@ pub fn run_full(
     drop(taint_span);
 
     let manifest = tele.is_recording().then(|| {
-        assemble_manifest(command, corpus, &analyzed, &report, &run, seldon, &violations, &tele)
+        assemble_manifest(
+            command,
+            corpus,
+            &analyzed,
+            &report,
+            &run,
+            seldon,
+            &violations,
+            &tele,
+            analyze,
+            &checkpoint,
+        )
     });
-    Ok(FullRun { analyzed, report, run, violations, manifest })
+    Ok(FullRun { analyzed, report, run, violations, checkpoint, manifest })
 }
 
 /// Folds the recorded spans and pipeline artifacts into a [`RunManifest`].
@@ -91,6 +110,8 @@ fn assemble_manifest(
     seldon: &SeldonOptions,
     violations: &[Violation],
     tele: &Telemetry,
+    analyze: &AnalyzeOptions,
+    checkpoint: &CheckpointUse,
 ) -> RunManifest {
     let mut m = RunManifest::new(command);
     m.corpus = CorpusShape {
@@ -108,16 +129,44 @@ fn assemble_manifest(
         panicked: report.panicked() as u64,
     };
     m.stages = tele.take_spans().into_iter().map(Into::into).collect();
-    let by_template = run.system.template_counts();
-    m.constraints = ConstraintSummary {
-        total: run.system.constraint_count() as u64,
-        vars: run.system.var_count() as u64,
-        pinned: run.system.pinned_count() as u64,
-        by_template: [
-            by_template[0] as u64,
-            by_template[1] as u64,
-            by_template[2] as u64,
-        ],
+    m.constraints = match &checkpoint.summary {
+        // Full checkpoint reuse: the in-memory system is empty, so the
+        // shape comes from the checkpoint's replay summary.
+        Some(s) => ConstraintSummary {
+            total: s.constraints,
+            vars: s.vars,
+            pinned: s.pinned,
+            by_template: s.by_template,
+        },
+        None => {
+            let by_template = run.system.template_counts();
+            ConstraintSummary {
+                total: run.system.constraint_count() as u64,
+                vars: run.system.var_count() as u64,
+                pinned: run.system.pinned_count() as u64,
+                by_template: [
+                    by_template[0] as u64,
+                    by_template[1] as u64,
+                    by_template[2] as u64,
+                ],
+            }
+        }
+    };
+    m.cache = match analyze.cache.as_deref() {
+        None => CacheSummary::default(),
+        Some(cache) => {
+            let s = cache.stats();
+            CacheSummary {
+                enabled: true,
+                hits: s.hits,
+                misses: s.misses,
+                stores: s.stores,
+                corrupt: s.corrupt,
+                stale: s.stale,
+                evicted: s.evicted,
+                checkpoint: checkpoint.outcome.label().to_string(),
+            }
+        }
     };
     m.solver = SolverSummary {
         iterations: run.solution.iterations as u64,

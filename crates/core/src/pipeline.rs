@@ -15,7 +15,12 @@
 //! [`AnalysisReport`](crate::AnalysisReport).
 
 use crate::error::PipelineError;
-use crate::report::{AnalysisReport, FileOutcome, FileReport};
+use crate::report::{AnalysisReport, CacheFaultReport, FileOutcome, FileReport};
+use seldon_cache::{
+    file_key, graph_fingerprint, input_fingerprint, system_fingerprint, ArtifactCache,
+    ArtifactLookup, CacheFault, Checkpoint, CheckpointLookup, FaultClass, Fnv64, SystemSummary,
+    CHECKPOINT_NAME,
+};
 use seldon_constraints::{generate_with_stats, ConstraintSystem, GenOptions, GenStats};
 use seldon_corpus::Corpus;
 use seldon_propgraph::{
@@ -29,7 +34,7 @@ use seldon_solver::{
 use seldon_specs::TaintSpec;
 use seldon_telemetry::{stage, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Metadata for one analyzed file.
@@ -93,6 +98,46 @@ pub struct AnalyzeOptions {
     /// (disabled) handle keeps the per-file path on the untimed builders —
     /// no clock reads, no allocations.
     pub telemetry: Telemetry,
+    /// On-disk artifact cache. When attached, per-file analysis is served
+    /// from validated cache entries where possible and recomputed (then
+    /// stored) otherwise; every detected cache fault is contained,
+    /// quarantined, and reported in
+    /// [`AnalysisReport::cache_faults`](crate::AnalysisReport). `None`
+    /// analyzes everything from source.
+    pub cache: Option<Arc<ArtifactCache>>,
+}
+
+/// Folds every analysis option that changes what a file's cached artifact
+/// *is* — the fault policy decides strict-vs-lenient graphs, the budget
+/// decides quarantine outcomes, and fault markers decide injected panics —
+/// into the [`file_key`] salt, so entries from different configurations
+/// can never satisfy each other.
+fn option_salt(opts: &AnalyzeOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(match opts.policy {
+        FaultPolicy::FailFast => 0,
+        FaultPolicy::Recover => 1,
+        FaultPolicy::Skip => 2,
+    });
+    match &opts.budget {
+        None => {
+            h.write_u64(0);
+        }
+        Some(b) => {
+            h.write_u64(1)
+                .write_u64(b.max_source_bytes as u64)
+                .write_u64(b.max_statements as u64)
+                .write_u64(b.max_depth as u64);
+            // The wall deadline makes outcomes timing-dependent; fold it in
+            // so runs with different deadlines never share entries.
+            match b.max_wall {
+                None => h.write_u64(0),
+                Some(d) => h.write_u64(1).write_u64(d.as_nanos() as u64),
+            };
+        }
+    }
+    h.write_u64(u64::from(opts.fault_markers));
+    h.finish()
 }
 
 /// Analyzes one file under the options' budget and policy. Never panics:
@@ -184,6 +229,81 @@ fn analyze_one(
     }
 }
 
+/// Everything one file's (possibly cached) analysis produced.
+struct FileSlot {
+    graph: Option<PropagationGraph>,
+    outcome: FileOutcome,
+    timings: BuildTimings,
+    /// Wall-clock spent on cache lookup + store for this file.
+    cache_time: Duration,
+    /// Cache faults hit while serving this file (lookup and/or store).
+    faults: Vec<CacheFault>,
+    /// Whether the graph came from a validated cache entry (no parse ran).
+    from_cache: bool,
+}
+
+/// [`analyze_one`] behind the artifact cache: a validated entry skips the
+/// front end entirely; a miss (or any contained fault) recomputes and
+/// stores the fresh artifact. Only analyzed outcomes are cached —
+/// quarantine verdicts are cheap to re-derive and keeping them out of the
+/// store means a fixed budget or policy never serves a stale verdict.
+fn analyze_one_cached(
+    path: &str,
+    content: &str,
+    id: FileId,
+    opts: &AnalyzeOptions,
+    salt: u64,
+) -> FileSlot {
+    let Some(cache) = opts.cache.as_deref() else {
+        let (graph, outcome, timings) = analyze_one(path, content, id, opts);
+        return FileSlot {
+            graph,
+            outcome,
+            timings,
+            cache_time: Duration::ZERO,
+            faults: Vec::new(),
+            from_cache: false,
+        };
+    };
+    let key = file_key(content, salt);
+    let mut faults = Vec::new();
+    let t0 = Instant::now();
+    let looked = cache.load_artifact(key, id);
+    let mut cache_time = t0.elapsed();
+    match looked {
+        ArtifactLookup::Hit(graph, recovered) => {
+            let outcome = if recovered == 0 {
+                FileOutcome::Ok
+            } else {
+                FileOutcome::Recovered { errors: recovered }
+            };
+            return FileSlot {
+                graph: Some(graph),
+                outcome,
+                timings: BuildTimings::default(),
+                cache_time,
+                faults,
+                from_cache: true,
+            };
+        }
+        ArtifactLookup::Miss => {}
+        ArtifactLookup::Fault(f) => faults.push(f),
+    }
+    let (graph, outcome, timings) = analyze_one(path, content, id, opts);
+    if let Some(g) = &graph {
+        let recovered = match &outcome {
+            FileOutcome::Recovered { errors } => *errors,
+            _ => 0,
+        };
+        let t1 = Instant::now();
+        if let Some(f) = cache.store_artifact(key, g, recovered) {
+            faults.push(f);
+        }
+        cache_time += t1.elapsed();
+    }
+    FileSlot { graph, outcome, timings, cache_time, faults, from_cache: false }
+}
+
 /// Parses every file of `corpus` under `opts`, unions the graphs of
 /// successfully analyzed files, and reports a per-file verdict for each.
 ///
@@ -207,12 +327,12 @@ pub fn analyze_corpus_with(
         .collect();
     let n = inputs.len();
     let threads = opts.threads.max(1).min(n.max(1));
+    let salt = if opts.cache.is_some() { option_salt(opts) } else { 0 };
 
-    type FileSlot = (Option<PropagationGraph>, FileOutcome, BuildTimings);
     let mut slots: Vec<Option<FileSlot>> = (0..n).map(|_| None).collect();
     if threads <= 1 {
         for (i, (_, path, content)) in inputs.iter().enumerate() {
-            slots[i] = Some(analyze_one(path, content, FileId(i as u32), opts));
+            slots[i] = Some(analyze_one_cached(path, content, FileId(i as u32), opts, salt));
         }
     } else {
         let chunk = n.div_ceil(threads);
@@ -227,7 +347,10 @@ pub fn analyze_corpus_with(
                     // files behind it of analysis.
                     for (off, (_, path, content)) in chunk_inputs.iter().enumerate() {
                         let i = base + off;
-                        local.push((i, analyze_one(path, content, FileId(i as u32), opts)));
+                        local.push((
+                            i,
+                            analyze_one_cached(path, content, FileId(i as u32), opts, salt),
+                        ));
                     }
                     results
                         .lock()
@@ -245,45 +368,103 @@ pub fn analyze_corpus_with(
     let mut graphs: Vec<Option<PropagationGraph>> = Vec::with_capacity(n);
     let mut files = Vec::with_capacity(n);
     let mut reports = Vec::with_capacity(n);
+    let mut cache_faults = Vec::new();
     let mut timings = BuildTimings::default();
+    let mut cache_time = Duration::ZERO;
+    // Per-project (parse time, files parsed) for the parse.project child
+    // spans; cache-served files skip the front end and contribute nothing.
+    let mut project_parse: Vec<(Duration, usize)> =
+        vec![(Duration::ZERO, 0); corpus.projects.len()];
     for (i, (project, path, _)) in inputs.iter().enumerate() {
-        let (g, outcome, t) =
-            slots[i].take().expect("every index 0..n is written exactly once above");
+        let slot = slots[i].take().expect("every index 0..n is written exactly once above");
         if opts.policy == FaultPolicy::FailFast {
             // Deterministic: the lowest-index bad file wins regardless of
             // which worker finished first.
-            match &outcome {
+            match &slot.outcome {
                 FileOutcome::Ok | FileOutcome::Recovered { .. } => {}
                 FileOutcome::Skipped { error }
                 | FileOutcome::OverBudget { error }
                 | FileOutcome::Panicked { error } => return Err(error.clone()),
             }
         }
-        timings.add(t);
-        graphs.push(g);
+        timings.add(slot.timings);
+        if !slot.from_cache {
+            let slot_project = &mut project_parse[*project];
+            slot_project.0 += slot.timings.parse;
+            slot_project.1 += 1;
+        }
+        cache_time += slot.cache_time;
+        for fault in slot.faults {
+            cache_faults.push(CacheFaultReport { path: path.to_string(), fault });
+        }
+        graphs.push(slot.graph);
         files.push(FileMeta { project: *project, path: path.to_string() });
-        reports.push(FileReport { project: *project, path: path.to_string(), outcome });
+        reports.push(FileReport {
+            project: *project,
+            path: path.to_string(),
+            outcome: slot.outcome,
+        });
     }
     let tele = &opts.telemetry;
     // Parse and graph construction run per file across workers, so their
     // cost is the summed per-file time (aggregate spans), not a driver
-    // wall-clock interval.
-    tele.aggregate_span(stage::PARSE, timings.parse, &[("files", n as f64)]);
+    // wall-clock interval. Per-project parse shares nest as children of
+    // the parse stage span.
+    let parse_idx = tele.aggregate_span(stage::PARSE, timings.parse, &[("files", n as f64)]);
+    if parse_idx.is_some() {
+        for (project, (dur, parsed)) in project_parse.iter().enumerate() {
+            if *parsed == 0 {
+                continue;
+            }
+            tele.aggregate_child(
+                parse_idx,
+                stage::PARSE_PROJECT,
+                *dur,
+                &[("project", project as f64), ("files", *parsed as f64)],
+            );
+        }
+    }
     let analyzed_files = reports.iter().filter(|r| r.outcome.is_analyzed()).count();
     tele.aggregate_span(
         stage::PROPGRAPH,
         timings.build,
         &[("files_analyzed", analyzed_files as f64)],
     );
+    if let Some(cache) = opts.cache.as_deref() {
+        let s = cache.stats();
+        tele.aggregate_span(
+            stage::CACHE,
+            cache_time,
+            &[
+                ("hits", s.hits as f64),
+                ("misses", s.misses as f64),
+                ("stores", s.stores as f64),
+                ("corrupt", s.corrupt as f64),
+                ("stale", s.stale as f64),
+                ("evicted", s.evicted as f64),
+            ],
+        );
+    }
     let union_span = tele.span(stage::UNION);
-    let graph = union_all(&mut graphs, threads);
+    let union_idx = union_span.index();
+    let (graph, shards) = union_all(&mut graphs, threads);
     union_span.counter("events", graph.event_count() as f64);
     union_span.counter("edges", graph.edge_count() as f64);
     union_span.counter("symbols", seldon_intern::len() as f64);
     drop(union_span);
+    // Per-shard union timings nest under the union span (empty when the
+    // union ran sequentially).
+    for (shard, (dur, events)) in shards.iter().enumerate() {
+        tele.aggregate_child(
+            union_idx,
+            stage::UNION_SHARD,
+            *dur,
+            &[("shard", shard as f64), ("events", *events as f64)],
+        );
+    }
     Ok((
         AnalyzedCorpus { graph, files, build_time: started.elapsed() },
-        AnalysisReport { files: reports },
+        AnalysisReport { files: reports, cache_faults },
     ))
 }
 
@@ -295,7 +476,13 @@ pub fn analyze_corpus_with(
 /// produces byte-identical event identity to the sequential left fold.
 /// Each worker touches only its own chunk; the final shard merge is
 /// `threads − 1` cheap bulk copies.
-fn union_all(graphs: &mut [Option<PropagationGraph>], threads: usize) -> PropagationGraph {
+///
+/// Also returns each shard's `(fold time, event count)` in shard order for
+/// the `union.shard` child spans — empty for the sequential path.
+fn union_all(
+    graphs: &mut [Option<PropagationGraph>],
+    threads: usize,
+) -> (PropagationGraph, Vec<(Duration, usize)>) {
     let total_events: usize =
         graphs.iter().map(|g| g.as_ref().map_or(0, PropagationGraph::event_count)).sum();
     let mut graph = PropagationGraph::new();
@@ -306,14 +493,15 @@ fn union_all(graphs: &mut [Option<PropagationGraph>], threads: usize) -> Propaga
                 graph.union(&g);
             }
         }
-        return graph;
+        return (graph, Vec::new());
     }
     let chunk = graphs.len().div_ceil(threads);
-    let shards: Vec<PropagationGraph> = std::thread::scope(|scope| {
+    let shards: Vec<(PropagationGraph, Duration)> = std::thread::scope(|scope| {
         let handles: Vec<_> = graphs
             .chunks_mut(chunk)
             .map(|slots| {
                 scope.spawn(move || {
+                    let shard_started = Instant::now();
                     let mut shard = PropagationGraph::new();
                     shard.reserve_events(
                         slots
@@ -326,7 +514,7 @@ fn union_all(graphs: &mut [Option<PropagationGraph>], threads: usize) -> Propaga
                             shard.union(&g);
                         }
                     }
-                    shard
+                    (shard, shard_started.elapsed())
                 })
             })
             .collect();
@@ -337,10 +525,12 @@ fn union_all(graphs: &mut [Option<PropagationGraph>], threads: usize) -> Propaga
             .map(|h| h.join().expect("shard union worker panicked"))
             .collect()
     });
-    for shard in &shards {
+    let mut shard_timings = Vec::with_capacity(shards.len());
+    for (shard, dur) in &shards {
         graph.union(shard);
+        shard_timings.push((*dur, shard.event_count()));
     }
-    graph
+    (graph, shard_timings)
 }
 
 /// Parses every file of `corpus` and unions the per-file graphs.
@@ -441,6 +631,19 @@ pub fn run_seldon_traced(
     opts: &SeldonOptions,
     tele: &Telemetry,
 ) -> SeldonRun {
+    let (system, gen_stats, gen_time) = gen_stage(graph, seed, opts, tele);
+    let (solution, solve_time) = solve_stage(&system, opts, tele);
+    let extraction = extract_stage(&system, &solution, opts, tele);
+    SeldonRun { system, solution, extraction, gen_time, solve_time, gen_stats }
+}
+
+/// Constraint generation with its `representation` + `constraints` spans.
+fn gen_stage(
+    graph: &PropagationGraph,
+    seed: &TaintSpec,
+    opts: &SeldonOptions,
+    tele: &Telemetry,
+) -> (ConstraintSystem, GenStats, Duration) {
     let t0 = Instant::now();
     let (system, gen_stats) = generate_with_stats(graph, seed, &opts.gen);
     let gen_time = t0.elapsed();
@@ -467,7 +670,16 @@ pub fn run_seldon_traced(
             ("template_c", by_template[2] as f64),
         ],
     );
+    (system, gen_stats, gen_time)
+}
 
+/// CSR compilation + projected Adam with the `solve` span (and its nested
+/// `compile` child).
+fn solve_stage(
+    system: &ConstraintSystem,
+    opts: &SeldonOptions,
+    tele: &Telemetry,
+) -> (Solution, Duration) {
     let mut solve_opts = opts.solve.clone();
     if tele.is_recording() && solve_opts.trace_stride == 0 {
         solve_opts.trace_stride = DEFAULT_TRACE_STRIDE;
@@ -475,7 +687,7 @@ pub fn run_seldon_traced(
     let t1 = Instant::now();
     let solve_span = tele.span(stage::SOLVE);
     let compile_span = tele.span(stage::COMPILE);
-    let compiled = CompiledSystem::compile(&system);
+    let compiled = CompiledSystem::compile(system);
     compile_span.counter("constraints", compiled.constraint_count() as f64);
     compile_span.counter("rows", compiled.row_count() as f64);
     compile_span.counter("terms", compiled.term_count() as f64);
@@ -488,14 +700,301 @@ pub fn run_seldon_traced(
     solve_span.counter("objective", solution.objective);
     solve_span.counter("violation", solution.violation);
     drop(solve_span);
-    let solve_time = t1.elapsed();
+    (solution, t1.elapsed())
+}
 
+/// Specification extraction with its `extract` span.
+fn extract_stage(
+    system: &ConstraintSystem,
+    solution: &Solution,
+    opts: &SeldonOptions,
+    tele: &Telemetry,
+) -> Extraction {
     let extract_span = tele.span(stage::EXTRACT);
-    let extraction = extract(&system, &solution, &opts.extract);
+    let extraction = extract(system, solution, &opts.extract);
     extract_span.counter("learned_entries", extraction.spec.role_count() as f64);
     extract_span.counter("events_with_roles", extraction.event_roles.len() as f64);
     drop(extract_span);
-    SeldonRun { system, solution, extraction, gen_time, solve_time, gen_stats }
+    extraction
+}
+
+/// How [`run_seldon_cached`] used the solver warm-start checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointOutcome {
+    /// No cache attached; the run was fully cold.
+    #[default]
+    Disabled,
+    /// Checkpoint absent, damaged, or fingerprint-mismatched; solved from
+    /// zero and stored a fresh checkpoint.
+    MissCold,
+    /// The system fingerprint matched: the stored score vector was reused
+    /// bit-for-bit and the solve was skipped.
+    HitScores,
+    /// The input fingerprint matched: generation, solving, and extraction
+    /// were all skipped and the stored outputs replayed.
+    HitFull,
+}
+
+impl CheckpointOutcome {
+    /// The manifest's `cache.checkpoint` string.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckpointOutcome::Disabled => "off",
+            CheckpointOutcome::MissCold => "cold",
+            CheckpointOutcome::HitScores => "scores",
+            CheckpointOutcome::HitFull => "full",
+        }
+    }
+}
+
+/// What the checkpoint path of one run did, for reports and the manifest.
+#[derive(Debug, Default)]
+pub struct CheckpointUse {
+    /// How the checkpoint was used.
+    pub outcome: CheckpointOutcome,
+    /// Contained faults hit loading or storing the checkpoint.
+    pub faults: Vec<CacheFault>,
+    /// System shape replayed from the checkpoint on a full hit (the
+    /// in-memory [`SeldonRun::system`] is empty then).
+    pub summary: Option<SystemSummary>,
+}
+
+/// Rebuilds a [`SeldonRun`] from a full-hit checkpoint without touching
+/// the solver, replaying the skipped stages as zero-duration aggregate
+/// spans so the manifest keeps its full stage set. Returns `None` when the
+/// stored spec text fails to parse (the entry checksummed clean but its
+/// content is unusable — the caller treats that as a corrupt entry).
+fn replay_full(
+    ckpt: &Checkpoint,
+    opts: &SeldonOptions,
+    tele: &Telemetry,
+    load_time: Duration,
+) -> Option<SeldonRun> {
+    let spec = TaintSpec::parse(&ckpt.spec_text).ok()?;
+    let s = &ckpt.summary;
+    tele.aggregate_span(
+        stage::REPRESENTATION,
+        Duration::ZERO,
+        &[
+            ("candidate_events", s.candidates as f64),
+            ("surviving_reps", s.surviving_reps as f64),
+            ("dropped_by_cutoff", s.dropped_by_cutoff as f64),
+            ("dropped_by_blacklist", s.dropped_by_blacklist as f64),
+            ("replayed", 1.0),
+        ],
+    );
+    tele.aggregate_span(
+        stage::CONSTRAINTS,
+        Duration::ZERO,
+        &[
+            ("constraints", s.constraints as f64),
+            ("vars", s.vars as f64),
+            ("pinned", s.pinned as f64),
+            ("template_a", s.by_template[0] as f64),
+            ("template_b", s.by_template[1] as f64),
+            ("template_c", s.by_template[2] as f64),
+            ("replayed", 1.0),
+        ],
+    );
+    tele.aggregate_span(
+        stage::SOLVE,
+        load_time,
+        &[
+            ("threads", opts.solve.threads.max(1) as f64),
+            ("iterations", ckpt.iterations as f64),
+            ("restarts", ckpt.restarts as f64),
+            ("objective", ckpt.objective),
+            ("violation", ckpt.violation),
+            ("replayed", 1.0),
+        ],
+    );
+    tele.aggregate_span(
+        stage::EXTRACT,
+        Duration::ZERO,
+        &[
+            ("learned_entries", spec.role_count() as f64),
+            ("events_with_roles", ckpt.event_roles.len() as f64),
+            ("replayed", 1.0),
+        ],
+    );
+    Some(SeldonRun {
+        system: ConstraintSystem::new(opts.gen.c),
+        solution: Solution {
+            scores: ckpt.scores.clone(),
+            objective: ckpt.objective,
+            violation: ckpt.violation,
+            iterations: ckpt.iterations,
+            history: Vec::new(),
+            diverged: ckpt.diverged,
+            restarts: ckpt.restarts,
+            final_lr: ckpt.final_lr,
+            trace: ckpt.curve.clone(),
+        },
+        extraction: Extraction {
+            spec,
+            event_roles: ckpt.event_role_map(),
+            backoff_hits: ckpt.backoff_hits.clone(),
+            ..Extraction::default()
+        },
+        gen_time: Duration::ZERO,
+        solve_time: load_time,
+        gen_stats: GenStats {
+            select_time: Duration::ZERO,
+            collect_time: Duration::ZERO,
+            candidate_events: s.candidates as usize,
+            surviving_reps: s.surviving_reps as usize,
+            dropped_by_cutoff: s.dropped_by_cutoff as usize,
+            dropped_by_blacklist: s.dropped_by_blacklist as usize,
+        },
+    })
+}
+
+/// Packs one finished run into the checkpoint the next run warm-starts
+/// from.
+fn checkpoint_of(
+    input_fp: u64,
+    system_fp: u64,
+    system: &ConstraintSystem,
+    gen_stats: &GenStats,
+    solution: &Solution,
+    extraction: &Extraction,
+) -> Checkpoint {
+    let by_template = system.template_counts();
+    let mut event_roles: Vec<(u32, u8)> = extraction
+        .event_roles
+        .iter()
+        .map(|(&id, &roles)| (id.0, Checkpoint::role_bits(roles)))
+        .collect();
+    event_roles.sort_unstable();
+    Checkpoint {
+        input_fp,
+        system_fp,
+        scores: solution.scores.clone(),
+        objective: solution.objective,
+        violation: solution.violation,
+        iterations: solution.iterations,
+        restarts: solution.restarts,
+        final_lr: solution.final_lr,
+        diverged: solution.diverged,
+        curve: solution.trace.clone(),
+        spec_text: extraction.spec.to_text(),
+        event_roles,
+        backoff_hits: extraction.backoff_hits.clone(),
+        summary: SystemSummary {
+            constraints: system.constraint_count() as u64,
+            vars: system.var_count() as u64,
+            pinned: system.pinned_count() as u64,
+            by_template: [
+                by_template[0] as u64,
+                by_template[1] as u64,
+                by_template[2] as u64,
+            ],
+            candidates: gen_stats.candidate_events as u64,
+            surviving_reps: gen_stats.surviving_reps as u64,
+            dropped_by_cutoff: gen_stats.dropped_by_cutoff as u64,
+            dropped_by_blacklist: gen_stats.dropped_by_blacklist as u64,
+        },
+    }
+}
+
+/// [`run_seldon_traced`] behind the solver warm-start checkpoint.
+///
+/// With a cache attached, the run is keyed by two exact fingerprints
+/// (see [`seldon_cache::checkpoint`]): a full input-fingerprint match
+/// replays the stored scores, spec, and roles without generating or
+/// solving anything; a system-fingerprint match reuses the score vector
+/// and skips only the solve; anything else runs cold and stores a fresh
+/// checkpoint. Reuse is all-or-nothing, so the returned spec and scores
+/// are byte-identical to what the cold run would produce — a damaged or
+/// mismatched checkpoint costs time, never output fidelity.
+pub fn run_seldon_cached(
+    graph: &PropagationGraph,
+    seed: &TaintSpec,
+    opts: &SeldonOptions,
+    tele: &Telemetry,
+    cache: Option<&ArtifactCache>,
+) -> (SeldonRun, CheckpointUse) {
+    let Some(cache) = cache else {
+        return (run_seldon_traced(graph, seed, opts, tele), CheckpointUse::default());
+    };
+    let mut usage = CheckpointUse { outcome: CheckpointOutcome::MissCold, ..Default::default() };
+    let input_fp =
+        input_fingerprint(graph_fingerprint(graph), seed, &opts.gen, &opts.solve, &opts.extract);
+    let t0 = Instant::now();
+    let stored = match cache.load_checkpoint() {
+        CheckpointLookup::Hit(ckpt) => Some(ckpt),
+        CheckpointLookup::Miss => None,
+        CheckpointLookup::Fault(f) => {
+            usage.faults.push(f);
+            None
+        }
+    };
+    let load_time = t0.elapsed();
+
+    if let Some(ckpt) = &stored {
+        if ckpt.input_fp == input_fp {
+            match replay_full(ckpt, opts, tele, load_time) {
+                Some(run) => {
+                    usage.outcome = CheckpointOutcome::HitFull;
+                    usage.summary = Some(ckpt.summary);
+                    return (run, usage);
+                }
+                None => usage.faults.push(CacheFault {
+                    entry: CHECKPOINT_NAME.to_string(),
+                    class: FaultClass::Corrupt,
+                    detail: "stored spec text failed to parse".to_string(),
+                }),
+            }
+        }
+    }
+
+    let (system, gen_stats, gen_time) = gen_stage(graph, seed, opts, tele);
+    let system_fp = system_fingerprint(&system, &opts.solve);
+    let (solution, solve_time) = match &stored {
+        Some(ckpt) if ckpt.system_fp == system_fp => {
+            usage.outcome = CheckpointOutcome::HitScores;
+            // Replay the solve span with the stored outcome; no compile
+            // child because nothing was compiled.
+            tele.aggregate_span(
+                stage::SOLVE,
+                load_time,
+                &[
+                    ("threads", opts.solve.threads.max(1) as f64),
+                    ("iterations", ckpt.iterations as f64),
+                    ("restarts", ckpt.restarts as f64),
+                    ("objective", ckpt.objective),
+                    ("violation", ckpt.violation),
+                    ("replayed", 1.0),
+                ],
+            );
+            (
+                Solution {
+                    scores: ckpt.scores.clone(),
+                    objective: ckpt.objective,
+                    violation: ckpt.violation,
+                    iterations: ckpt.iterations,
+                    history: Vec::new(),
+                    diverged: ckpt.diverged,
+                    restarts: ckpt.restarts,
+                    final_lr: ckpt.final_lr,
+                    trace: ckpt.curve.clone(),
+                },
+                load_time,
+            )
+        }
+        _ => solve_stage(&system, opts, tele),
+    };
+    let extraction = extract_stage(&system, &solution, opts, tele);
+    // Store (or re-key) the checkpoint so the next identical run takes the
+    // full-reuse path.
+    let ckpt = checkpoint_of(input_fp, system_fp, &system, &gen_stats, &solution, &extraction);
+    if let Some(f) = cache.store_checkpoint(&ckpt) {
+        usage.faults.push(f);
+    }
+    (
+        SeldonRun { system, solution, extraction, gen_time, solve_time, gen_stats },
+        usage,
+    )
 }
 
 #[cfg(test)]

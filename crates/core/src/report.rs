@@ -8,6 +8,7 @@
 //! print degradation summaries.
 
 use crate::error::PipelineError;
+use seldon_cache::CacheFault;
 use std::fmt;
 
 /// What happened to one corpus file during analysis.
@@ -63,11 +64,30 @@ pub struct FileReport {
     pub outcome: FileOutcome,
 }
 
+/// One detected-and-contained artifact-cache fault, attributed to the
+/// pipeline item whose lookup hit it.
+///
+/// Cache faults ride in the same report as per-file analysis faults, but
+/// they do **not** degrade a run: a quarantined entry costs a recompute
+/// that produces the exact result a cold run would have, so
+/// [`AnalysisReport::is_degraded`] ignores them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheFaultReport {
+    /// What the lookup was serving: a corpus file path, or a pseudo-item
+    /// like `<checkpoint>` / `<index>` for run-level cache files.
+    pub path: String,
+    /// The contained fault, as classified by the cache.
+    pub fault: CacheFault,
+}
+
 /// Aggregate per-file outcomes of one corpus analysis.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AnalysisReport {
     /// One entry per corpus file, in corpus order.
     pub files: Vec<FileReport>,
+    /// Artifact-cache faults detected (and recovered from) during the
+    /// run; empty when no cache is attached or the cache is healthy.
+    pub cache_faults: Vec<CacheFaultReport>,
 }
 
 impl AnalysisReport {
@@ -120,7 +140,7 @@ impl AnalysisReport {
 
     /// One-line degradation summary, e.g. for CLI stderr.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} file(s): {} ok, {} recovered, {} skipped, {} over budget, {} panicked",
             self.files.len(),
             self.ok(),
@@ -128,7 +148,14 @@ impl AnalysisReport {
             self.skipped(),
             self.over_budget(),
             self.panicked(),
-        )
+        );
+        if !self.cache_faults.is_empty() {
+            line.push_str(&format!(
+                "; {} cache fault(s) contained",
+                self.cache_faults.len()
+            ));
+        }
+        line
     }
 }
 
@@ -147,6 +174,9 @@ impl fmt::Display for AnalysisReport {
                     writeln!(f, "  quarantined {}: {error}", file.path)?
                 }
             }
+        }
+        for cf in &self.cache_faults {
+            writeln!(f, "  cache fault ({}): {}", cf.path, cf.fault)?;
         }
         Ok(())
     }
@@ -186,6 +216,7 @@ mod tests {
                     },
                 },
             ],
+            cache_faults: Vec::new(),
         }
     }
 
@@ -209,9 +240,36 @@ mod tests {
                 path: "a.py".into(),
                 outcome: FileOutcome::Ok,
             }],
+            cache_faults: Vec::new(),
         };
         assert!(!r.is_degraded());
         assert_eq!(r.quarantined().count(), 0);
+    }
+
+    #[test]
+    fn cache_faults_do_not_degrade() {
+        use seldon_cache::FaultClass;
+        let mut r = AnalysisReport {
+            files: vec![FileReport {
+                project: 0,
+                path: "a.py".into(),
+                outcome: FileOutcome::Ok,
+            }],
+            cache_faults: Vec::new(),
+        };
+        r.cache_faults.push(CacheFaultReport {
+            path: "a.py".into(),
+            fault: CacheFault {
+                entry: "0123456789abcdef.entry".into(),
+                class: FaultClass::Corrupt,
+                detail: "checksum mismatch".into(),
+            },
+        });
+        assert!(!r.is_degraded(), "cache faults recompute, never degrade");
+        assert!(r.summary().contains("1 cache fault(s) contained"));
+        let text = r.to_string();
+        assert!(text.contains("cache fault (a.py)"));
+        assert!(text.contains("checksum mismatch"));
     }
 
     #[test]

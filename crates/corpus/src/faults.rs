@@ -6,6 +6,12 @@
 //! assert that the pipeline quarantines *exactly* the faulty files. The
 //! fault RNG is separate from the generation RNG, so a `fault_rate` of `0`
 //! produces byte-identical corpora to builds that predate fault injection.
+//!
+//! This module damages *source files* before they enter the pipeline; its
+//! sibling `seldon_cache::inject_cache_faults` damages *on-disk cache
+//! entries* (torn writes, truncations, bit flips, stale stamps) after a
+//! run has stored them. Together they cover both persistence boundaries
+//! the robustness suite asserts over.
 
 use crate::generator::Corpus;
 use rand::rngs::SmallRng;

@@ -34,7 +34,8 @@ pub mod span;
 
 pub use bench::BenchRecord;
 pub use manifest::{
-    stage, ConstraintSummary, CorpusShape, EpochSample, ExtractionSummary, ManifestError,
-    OutcomeCounts, RunManifest, SolverSummary, StageSpan, TaintSummary, SCHEMA_VERSION,
+    stage, CacheSummary, ConstraintSummary, CorpusShape, EpochSample, ExtractionSummary,
+    ManifestError, OutcomeCounts, RunManifest, SolverSummary, StageSpan, TaintSummary,
+    SCHEMA_VERSION,
 };
 pub use span::{Level, SpanGuard, SpanRecord, Telemetry};

@@ -20,8 +20,10 @@ use std::fmt;
 /// Version tag of the manifest schema emitted by this build.
 ///
 /// Version 2 added [`SolverSummary::threads`] and the `compile` child
-/// span under `solve`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// span under `solve`. Version 3 added the `cache` section
+/// ([`CacheSummary`]), the optional `cache` stage span, and the
+/// `parse.project` / `union.shard` child spans.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Canonical stage names of the end-to-end pipeline, in pipeline order.
 pub mod stage {
@@ -44,6 +46,14 @@ pub mod stage {
     /// CSR lowering of the constraint system — a child span of
     /// [`SOLVE`], not one of the eight top-level stages in [`ALL`].
     pub const COMPILE: &str = "compile";
+    /// Artifact-cache lookups/stores. Only present when a run has a cache
+    /// attached, so not part of [`ALL`].
+    pub const CACHE: &str = "cache";
+    /// Per-project parse time — child spans of [`PARSE`], one per project.
+    pub const PARSE_PROJECT: &str = "parse.project";
+    /// Per-shard union time — child spans of [`UNION`], one per shard of a
+    /// multi-threaded union.
+    pub const UNION_SHARD: &str = "union.shard";
     /// All eight stages in pipeline order.
     pub const ALL: [&str; 8] = [
         PARSE,
@@ -195,6 +205,44 @@ impl Default for ExtractionSummary {
     }
 }
 
+/// Artifact-cache usage of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSummary {
+    /// Whether a cache directory was attached to the run.
+    pub enabled: bool,
+    /// Per-file artifacts served from disk.
+    pub hits: u64,
+    /// Per-file lookups that found no entry.
+    pub misses: u64,
+    /// Entries written (artifacts and checkpoints).
+    pub stores: u64,
+    /// Entries rejected as corrupt.
+    pub corrupt: u64,
+    /// Entries rejected as version-stale.
+    pub stale: u64,
+    /// Entries evicted (quarantined or cleared).
+    pub evicted: u64,
+    /// Solver-checkpoint outcome: `"off"` (no cache), `"cold"` (miss),
+    /// `"scores"` (system fingerprint hit, solve skipped), or `"full"`
+    /// (input fingerprint hit, generation through extraction skipped).
+    pub checkpoint: String,
+}
+
+impl Default for CacheSummary {
+    fn default() -> Self {
+        CacheSummary {
+            enabled: false,
+            hits: 0,
+            misses: 0,
+            stores: 0,
+            corrupt: 0,
+            stale: 0,
+            evicted: 0,
+            checkpoint: "off".to_string(),
+        }
+    }
+}
+
 /// Taint-analysis outcome with the learned specification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TaintSummary {
@@ -225,6 +273,8 @@ pub struct RunManifest {
     pub extraction: ExtractionSummary,
     /// Taint outcome.
     pub taint: TaintSummary,
+    /// Artifact-cache usage.
+    pub cache: CacheSummary,
 }
 
 impl RunManifest {
@@ -400,6 +450,19 @@ impl RunManifest {
                     Json::num(self.taint.violations as f64),
                 )]),
             ),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("enabled".into(), Json::Bool(self.cache.enabled)),
+                    ("hits".into(), Json::num(self.cache.hits as f64)),
+                    ("misses".into(), Json::num(self.cache.misses as f64)),
+                    ("stores".into(), Json::num(self.cache.stores as f64)),
+                    ("corrupt".into(), Json::num(self.cache.corrupt as f64)),
+                    ("stale".into(), Json::num(self.cache.stale as f64)),
+                    ("evicted".into(), Json::num(self.cache.evicted as f64)),
+                    ("checkpoint".into(), Json::str(&self.cache.checkpoint)),
+                ]),
+            ),
         ])
     }
 
@@ -418,6 +481,7 @@ impl RunManifest {
         let solver = req(&v, "solver")?;
         let extraction = req(&v, "extraction")?;
         let taint = req(&v, "taint")?;
+        let cache = req(&v, "cache")?;
         Ok(RunManifest {
             schema_version: req_u64(&v, "schema_version")?,
             tool: req_str(&v, "tool")?,
@@ -471,6 +535,18 @@ impl RunManifest {
                 learned: req_u64_triple(extraction, "learned")?,
             },
             taint: TaintSummary { violations: req_u64(taint, "violations")? },
+            cache: CacheSummary {
+                enabled: req(cache, "enabled")?
+                    .as_bool()
+                    .ok_or_else(|| schema_err("cache.enabled", "bool"))?,
+                hits: req_u64(cache, "hits")?,
+                misses: req_u64(cache, "misses")?,
+                stores: req_u64(cache, "stores")?,
+                corrupt: req_u64(cache, "corrupt")?,
+                stale: req_u64(cache, "stale")?,
+                evicted: req_u64(cache, "evicted")?,
+                checkpoint: req_str(cache, "checkpoint")?,
+            },
         })
     }
 
@@ -682,6 +758,16 @@ mod tests {
             learned: [3, 1, 2],
         };
         m.taint = TaintSummary { violations: 7 };
+        m.cache = CacheSummary {
+            enabled: true,
+            hits: 5,
+            misses: 2,
+            stores: 3,
+            corrupt: 1,
+            stale: 0,
+            evicted: 1,
+            checkpoint: "full".into(),
+        };
         m
     }
 
@@ -703,6 +789,8 @@ mod tests {
         ));
         let bad_bool = text.replace("\"diverged\": false", "\"diverged\": 0");
         assert!(matches!(RunManifest::from_json(&bad_bool), Err(ManifestError::Schema(_))));
+        let no_cache = text.replace("\"cache\"", "\"cache_x\"");
+        assert!(matches!(RunManifest::from_json(&no_cache), Err(ManifestError::Schema(_))));
         assert!(matches!(RunManifest::from_json("{oops"), Err(ManifestError::Json(_))));
     }
 

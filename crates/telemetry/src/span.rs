@@ -137,16 +137,21 @@ impl Telemetry {
     /// duration and counters. Used for phases whose time is accumulated
     /// across worker threads (per-file parse/build), where a live guard
     /// would measure the driver's wall-clock instead of the work done.
+    ///
+    /// Returns the record index of the new span (for attaching children
+    /// via [`Telemetry::aggregate_child`]); `None` on a non-recording
+    /// handle.
     pub fn aggregate_span(
         &self,
         name: &'static str,
         dur: Duration,
         counters: &[(&'static str, f64)],
-    ) {
+    ) -> Option<u32> {
         if !self.is_active() {
-            return;
+            return None;
         }
-        if let Some((epoch, mut rec)) = self.lock() {
+        let index = self.lock().map(|(epoch, mut rec)| {
+            let index = rec.spans.len() as u32;
             let parent = rec.stack.last().copied();
             let depth = rec.stack.len() as u32;
             let now_us = epoch.elapsed().as_micros() as u64;
@@ -159,13 +164,56 @@ impl Telemetry {
                 dur_us,
                 counters: counters.to_vec(),
             });
-        }
+            index
+        });
         if self.log >= Level::Info {
             eprintln!("[seldon] {name}: {dur:?} (aggregate)");
         }
         if self.log >= Level::Debug {
             for (k, v) in counters {
                 eprintln!("[seldon]   {name}.{k} = {v}");
+            }
+        }
+        index
+    }
+
+    /// Records an already-measured closed span as a **child** of the span
+    /// at `parent` (an index returned by [`Telemetry::aggregate_span`] or
+    /// [`SpanGuard::index`]), regardless of what is currently on the open
+    /// stack. This lets the driver attach per-project / per-shard
+    /// breakdowns to stage spans that were themselves recorded as
+    /// aggregates. With `parent == None` the call is a no-op beyond debug
+    /// logging — there is nothing to attach to on a non-recording handle.
+    pub fn aggregate_child(
+        &self,
+        parent: Option<u32>,
+        name: &'static str,
+        dur: Duration,
+        counters: &[(&'static str, f64)],
+    ) {
+        if !self.is_active() {
+            return;
+        }
+        if let (Some(parent), Some((epoch, mut rec))) = (parent, self.lock()) {
+            let depth = rec
+                .spans
+                .get(parent as usize)
+                .map_or(0, |span| span.depth + 1);
+            let now_us = epoch.elapsed().as_micros() as u64;
+            let dur_us = dur.as_micros() as u64;
+            rec.spans.push(SpanRecord {
+                name,
+                parent: Some(parent),
+                depth,
+                start_us: now_us.saturating_sub(dur_us),
+                dur_us,
+                counters: counters.to_vec(),
+            });
+        }
+        if self.log >= Level::Debug {
+            eprintln!("[seldon]   {name}: {dur:?} (aggregate child)");
+            for (k, v) in counters {
+                eprintln!("[seldon]     {name}.{k} = {v}");
             }
         }
     }
@@ -215,6 +263,12 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
+    /// The record index of this span, for attaching aggregate children;
+    /// `None` on a non-recording handle.
+    pub fn index(&self) -> Option<u32> {
+        self.index
+    }
+
     /// Attaches a counter to this span (no-op on a disabled handle).
     pub fn counter(&self, name: &'static str, value: f64) {
         let Some(tele) = &self.tele else { return };
@@ -286,6 +340,33 @@ mod tests {
         assert_eq!(spans[2].dur_us, 123);
         // The recorder drains on take.
         assert!(tele.take_spans().is_empty());
+    }
+
+    #[test]
+    fn aggregate_children_attach_to_closed_aggregates() {
+        let tele = Telemetry::recording();
+        let parse = tele.aggregate_span("parse", Duration::from_micros(100), &[]);
+        assert!(parse.is_some());
+        tele.aggregate_child(parse, "parse.project", Duration::from_micros(40), &[("project", 0.0)]);
+        tele.aggregate_child(parse, "parse.project", Duration::from_micros(60), &[("project", 1.0)]);
+        let union = tele.span("union");
+        tele.aggregate_child(union.index(), "union.shard", Duration::from_micros(7), &[]);
+        drop(union);
+        let spans = tele.take_spans();
+        assert_eq!(
+            spans.iter().map(|s| s.name).collect::<Vec<_>>(),
+            ["parse", "parse.project", "parse.project", "union", "union.shard"]
+        );
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[2].parent, Some(0));
+        assert_eq!(spans[4].parent, Some(3), "child of a live guard's index");
+        assert_eq!(spans[4].depth, 1);
+        // Disabled handles stay free.
+        let off = Telemetry::disabled();
+        assert_eq!(off.aggregate_span("parse", Duration::ZERO, &[]), None);
+        off.aggregate_child(None, "parse.project", Duration::ZERO, &[]);
+        assert!(off.take_spans().is_empty());
     }
 
     #[test]

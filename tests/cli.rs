@@ -308,6 +308,126 @@ fn log_level_controls_stage_lines() {
 }
 
 #[test]
+fn learn_empty_corpus_is_a_clean_run() {
+    // No .py files is a vacuous but legitimate corpus for `learn`: the
+    // empty specification is learned and the run exits 0 (unlike `check`,
+    // where nothing to check is a usage error).
+    let dir = temp_dir("learnempty");
+    let out_path = dir.join("spec.txt");
+    let out = seldon()
+        .arg("learn")
+        .arg(&dir)
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no .py files found"), "{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&out_path).expect("spec written"),
+        "",
+        "the empty spec is the empty file"
+    );
+}
+
+#[test]
+fn learn_exit_codes_are_pinned() {
+    // 0 = clean (empty corpus, above), 1 = degraded-but-complete analysis,
+    // 1 = strict abort, 2 = usage error. Scripts depend on these.
+    let dir = temp_dir("learncodes");
+    std::fs::write(
+        dir.join("broken.py"),
+        "from flask import request\nimport os\nx = = broken = =\nos.system(request.args.get('c'))\n",
+    )
+    .unwrap();
+    let lenient = seldon().arg("learn").arg(&dir).output().expect("runs");
+    assert_eq!(lenient.status.code(), Some(1), "lenient run over faults is degraded");
+    let stderr = String::from_utf8_lossy(&lenient.stderr);
+    assert!(stderr.contains("degraded analysis"), "{stderr}");
+
+    let strict = seldon().arg("learn").arg(&dir).arg("--strict").output().expect("runs");
+    assert_eq!(strict.status.code(), Some(1), "strict run aborts on the first fault");
+
+    let usage = seldon()
+        .arg("learn")
+        .arg(&dir)
+        .arg("--cache-dir")
+        .arg(dir.join("cache"))
+        .arg("--no-cache")
+        .output()
+        .expect("runs");
+    assert_eq!(usage.status.code(), Some(2), "contradictory cache flags are a usage error");
+    let stderr = String::from_utf8_lossy(&usage.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
+
+#[test]
+fn cache_dir_warms_across_processes() {
+    // Two separate `seldon` processes sharing a cache directory: the
+    // second must reuse the first's artifacts and checkpoint (a true
+    // cross-process re-intern of every stored representation string) and
+    // print a byte-identical specification.
+    let dir = temp_dir("cachewarm");
+    for i in 0..6 {
+        // Distinct contents per file: identical files would share one
+        // content-keyed entry and turn cold misses into same-run hits.
+        std::fs::write(
+            dir.join(format!("m{i}.py")),
+            format!("from flask import request\nimport webresp, htmlutils\n\ndef page{i}():\n    q = request.args.get('x{i}')\n    return webresp.render_page(htmlutils.sanitize(q))\n"),
+        )
+        .unwrap();
+    }
+    let cache = dir.join("cache");
+    let learn = || {
+        seldon()
+            .arg("learn")
+            .arg(&dir)
+            .arg("--cache-dir")
+            .arg(&cache)
+            .output()
+            .expect("runs")
+    };
+    let cold = learn();
+    assert!(cold.status.success(), "stderr: {}", String::from_utf8_lossy(&cold.stderr));
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    assert!(cold_err.contains("6 miss(es)"), "cold run misses everything: {cold_err}");
+    assert!(cold_err.contains("checkpoint: cold"), "{cold_err}");
+
+    let warm = learn();
+    assert!(warm.status.success(), "stderr: {}", String::from_utf8_lossy(&warm.stderr));
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(warm_err.contains("6 hit(s)"), "warm run reuses every artifact: {warm_err}");
+    assert!(warm_err.contains("checkpoint: full"), "{warm_err}");
+    assert!(warm_err.contains("checkpoint full hit"), "{warm_err}");
+    assert_eq!(
+        String::from_utf8_lossy(&warm.stdout),
+        String::from_utf8_lossy(&cold.stdout),
+        "specs from cold and warm processes are byte-identical"
+    );
+
+    // A damaged cache never poisons the output: corrupt every entry and
+    // re-run — faults are warned, contained, and the spec is unchanged.
+    let injected = seldon_cache::inject_cache_faults(&cache, 1.0, 7);
+    assert!(!injected.is_empty());
+    let hurt = learn();
+    assert!(hurt.status.success(), "stderr: {}", String::from_utf8_lossy(&hurt.stderr));
+    let hurt_err = String::from_utf8_lossy(&hurt.stderr);
+    assert!(hurt_err.contains("warning: cache fault"), "{hurt_err}");
+    assert!(hurt_err.contains("fault(s) contained"), "{hurt_err}");
+    assert_eq!(
+        String::from_utf8_lossy(&hurt.stdout),
+        String::from_utf8_lossy(&cold.stdout),
+        "spec survives a fully corrupted cache"
+    );
+}
+
+#[test]
 fn strict_learn_reports_solver_restarts() {
     let dir = temp_dir("strictlearn");
     write_app(&dir);

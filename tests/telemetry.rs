@@ -48,18 +48,47 @@ fn stages_appear_exactly_once_in_pipeline_order() {
     for s in m.stages.iter().filter(|s| s.depth == 0) {
         assert_eq!(s.parent, None, "driver stages are top-level: {}", s.name);
     }
-    // The CSR lowering is the single nested span, a child of `solve`.
+    // Child spans: per-project parse shares under `parse`, per-shard union
+    // folds under `union`, and the CSR lowering under `solve`.
     let nested: Vec<&seldon_telemetry::StageSpan> =
         m.stages.iter().filter(|s| s.depth > 0).collect();
-    assert_eq!(nested.len(), 1, "exactly one child span");
-    let compile = nested[0];
-    assert_eq!(compile.name, stage::COMPILE);
-    assert_eq!(compile.depth, 1);
-    let solve_idx =
-        m.stages.iter().position(|s| s.name == stage::SOLVE).expect("solve span") as u32;
-    assert_eq!(compile.parent, Some(solve_idx), "compile nests under solve");
+    assert!(
+        nested.iter().all(|s| s.depth == 1 && s.parent.is_some()),
+        "every nested span is a direct child of a stage"
+    );
+    let parent_name = |s: &seldon_telemetry::StageSpan| {
+        m.stages[s.parent.unwrap() as usize].name.as_str()
+    };
+    let projects: Vec<&&seldon_telemetry::StageSpan> =
+        nested.iter().filter(|s| s.name == stage::PARSE_PROJECT).collect();
+    assert_eq!(projects.len(), 8, "one parse child per fixture project");
+    for p in &projects {
+        assert_eq!(parent_name(p), stage::PARSE, "parse.project nests under parse");
+        assert!(
+            p.counters.iter().any(|(k, v)| k == "files" && *v >= 1.0),
+            "parse.project carries its file count: {:?}",
+            p.counters
+        );
+    }
+    let shards: Vec<&&seldon_telemetry::StageSpan> =
+        nested.iter().filter(|s| s.name == stage::UNION_SHARD).collect();
+    assert_eq!(shards.len(), 2, "one union child per worker shard (threads=2)");
+    for s in &shards {
+        assert_eq!(parent_name(s), stage::UNION, "union.shard nests under union");
+    }
+    let compiles: Vec<&&seldon_telemetry::StageSpan> =
+        nested.iter().filter(|s| s.name == stage::COMPILE).collect();
+    assert_eq!(compiles.len(), 1, "exactly one compile child");
+    let compile = *compiles[0];
+    assert_eq!(parent_name(compile), stage::SOLVE, "compile nests under solve");
     let counters: Vec<&str> = compile.counters.iter().map(|(k, _)| k.as_str()).collect();
     assert_eq!(counters, ["constraints", "rows", "terms", "lanes"]);
+    assert_eq!(
+        nested.len(),
+        projects.len() + shards.len() + compiles.len(),
+        "no unexpected child spans: {:?}",
+        nested.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+    );
     // The solve span records the worker-thread count alongside outcome.
     let solve = m.stage(stage::SOLVE).unwrap();
     assert!(
