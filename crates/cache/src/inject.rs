@@ -164,7 +164,7 @@ mod tests {
         let (cache, _) = ArtifactCache::open(&dir).unwrap();
         for src in &sources {
             let graph = build_source(src, FileId(0)).unwrap();
-            cache.store_artifact(file_key(src, 0), &graph, 0);
+            cache.store_artifact(file_key(src, 0, 0), &graph, 0);
         }
         let a = inject_cache_faults(&dir, 0.5, 42);
         assert!(!a.is_empty(), "rate 0.5 over 40 entries injects something");
@@ -173,7 +173,7 @@ mod tests {
         let (cache, _) = ArtifactCache::open(&dir).unwrap();
         for src in &sources {
             let graph = build_source(src, FileId(0)).unwrap();
-            cache.store_artifact(file_key(src, 0), &graph, 0);
+            cache.store_artifact(file_key(src, 0, 0), &graph, 0);
         }
         let b = inject_cache_faults(&dir, 0.5, 42);
         assert_eq!(a, b, "same seed, same damage plan");
@@ -182,7 +182,7 @@ mod tests {
         // as a wrong Hit, and never a panic/error.
         let (cache, _) = ArtifactCache::open(&dir).unwrap();
         for (i, src) in sources.iter().enumerate() {
-            let key = file_key(src, 0);
+            let key = file_key(src, 0, 0);
             let damaged = b.iter().any(|f| f.entry == format!("{key:016x}.entry"));
             match cache.load_artifact(key, FileId(0)) {
                 ArtifactLookup::Hit(graph, _) => {

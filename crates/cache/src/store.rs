@@ -129,10 +129,17 @@ pub enum CheckpointLookup {
 
 /// Derives the cache key for a source file: entry-format version, the
 /// caller's option salt (analysis options that change per-file outcomes
-/// must change the key), and the file bytes.
-pub fn file_key(content: &str, salt: u64) -> u64 {
+/// must change the key), the language frontend tag, and the file bytes.
+///
+/// The frontend tag keeps byte-identical sources apart when different
+/// front ends lower them — the same text parsed as Python and as JS
+/// yields different graphs, so the entries must never alias.
+pub fn file_key(content: &str, salt: u64, frontend_tag: u64) -> u64 {
     let mut h = Fnv64::new();
-    h.write_u64(u64::from(ENTRY_VERSION)).write_u64(salt).write(content.as_bytes());
+    h.write_u64(u64::from(ENTRY_VERSION))
+        .write_u64(salt)
+        .write_u64(frontend_tag)
+        .write(content.as_bytes());
     h.finish()
 }
 
@@ -439,7 +446,7 @@ mod tests {
         let (cache, faults) = ArtifactCache::open(&dir).unwrap();
         assert!(faults.is_empty(), "{faults:?}");
         let graph = sample_graph();
-        let key = file_key("import os\nos.system('x')\n", 0);
+        let key = file_key("import os\nos.system('x')\n", 0, 0);
         assert!(cache.store_artifact(key, &graph, 0).is_none());
         match cache.load_artifact(key, FileId(5)) {
             ArtifactLookup::Hit(g, recovered) => {
@@ -529,9 +536,12 @@ mod tests {
     }
 
     #[test]
-    fn key_depends_on_salt_and_content() {
-        assert_ne!(file_key("a", 0), file_key("a", 1));
-        assert_ne!(file_key("a", 0), file_key("b", 0));
-        assert_eq!(file_key("a", 7), file_key("a", 7));
+    fn key_depends_on_salt_content_and_frontend() {
+        assert_ne!(file_key("a", 0, 0), file_key("a", 1, 0));
+        assert_ne!(file_key("a", 0, 0), file_key("b", 0, 0));
+        // Identical bytes under different frontends must never alias: the
+        // same text lowered as Python and as JS yields different graphs.
+        assert_ne!(file_key("a", 0, 0), file_key("a", 0, 1));
+        assert_eq!(file_key("a", 7, 1), file_key("a", 7, 1));
     }
 }

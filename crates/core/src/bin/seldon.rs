@@ -1,13 +1,20 @@
-//! The `seldon` command-line tool: taint-check real Python files and learn
-//! taint specifications from a directory of code, end to end.
+//! The `seldon` command-line tool: taint-check real source files and learn
+//! taint specifications from a directory of code, end to end. Both the
+//! Python frontend (`.py`) and the JS-like frontend (`.js`) feed the same
+//! language-neutral pipeline; a mixed tree analyzes both side by side.
 //!
 //! ```text
-//! seldon graph  <file.py> [--dot]
-//! seldon check  <path...> [--spec <spec.txt>] [--param-sensitive]
-//! seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>]
-//!                         [--cache-dir <dir>] [--no-cache]
-//!                         [--telemetry <out.json>] [--trace <out.trace.json>]
+//! seldon graph   <file.py|file.js> [--dot]
+//! seldon ir-dump <file.py|file.js>
+//! seldon check   <path...> [--spec <spec.txt>] [--param-sensitive]
+//! seldon learn   <path...> [--seed <spec.txt>] [--out <learned.txt>]
+//!                          [--cache-dir <dir>] [--no-cache]
+//!                          [--telemetry <out.json>] [--trace <out.trace.json>]
 //! ```
+//!
+//! `ir-dump` prints the lowered language-neutral IR event/op stream of one
+//! file — the exact trace the graph builder replays — for diffing
+//! frontends and debugging lowering changes.
 //!
 //! `--spec`/`--seed` files use the paper's App. B format (`o:`/`a:`/`i:`/
 //! `b:`/`p:` lines); without one, the paper's embedded seed specification
@@ -37,7 +44,7 @@ use seldon_cache::ArtifactCache;
 use seldon_constraints::GenOptions;
 use seldon_core::{
     analyze_corpus_with, run_full, AnalysisReport, AnalyzeOptions, AnalyzedCorpus,
-    CacheFaultReport, CheckpointOutcome, FaultPolicy, FileOutcome, SeldonOptions,
+    CacheFaultReport, CheckpointOutcome, FaultPolicy, FileOutcome, Frontend, SeldonOptions,
 };
 use seldon_corpus::{Corpus, Project, SourceFile};
 use seldon_propgraph::{to_dot, Budget, FileId};
@@ -80,6 +87,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "graph" => cmd_graph(rest),
+        "ir-dump" => cmd_ir_dump(rest),
         "check" => cmd_check(rest),
         "learn" => cmd_learn(rest),
         "-h" | "--help" | "help" => {
@@ -103,24 +111,26 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  seldon graph  <file.py> [--dot] [--strict|--lenient] [--log-level off|info|debug]
-  seldon check  <path...> [--spec <spec.txt>] [--param-sensitive] [--format json] [--strict|--lenient] [--log-level off|info|debug]
-  seldon learn  <path...> [--seed <spec.txt>] [--out <learned.txt>] [--strict|--lenient]
-                [--cache-dir <dir>] [--no-cache] [--solver-threads <n>]
-                [--telemetry <manifest.json>] [--trace <out.trace.json>]
-                [--log-level off|info|debug]
+  seldon graph   <file.py|file.js> [--dot] [--strict|--lenient] [--log-level off|info|debug]
+  seldon ir-dump <file.py|file.js>
+  seldon check   <path...> [--spec <spec.txt>] [--param-sensitive] [--format json] [--strict|--lenient] [--log-level off|info|debug]
+  seldon learn   <path...> [--seed <spec.txt>] [--out <learned.txt>] [--strict|--lenient]
+                 [--cache-dir <dir>] [--no-cache] [--solver-threads <n>]
+                 [--telemetry <manifest.json>] [--trace <out.trace.json>]
+                 [--log-level off|info|debug]
 
+paths may mix .py (Python frontend) and .js (JS-like frontend) files
 exit codes: 0 clean; 1 violations found or degraded analysis; 2 usage error";
 
 /// Directory recursion bound; also caps how far a symlink chain can lead.
 const MAX_WALK_DEPTH: usize = 64;
 
-/// Recursively collects `.py` files under each path. Unreadable entries
-/// are skipped with a warning; symlink cycles are broken by a visited set
-/// of canonical directory paths. An empty result is not an error here —
-/// `graph`/`check` reject it ([`require_files`]) while `learn` treats it
-/// as the empty corpus.
-fn collect_py_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, CliError> {
+/// Recursively collects `.py` and `.js` files under each path. Unreadable
+/// entries are skipped with a warning; symlink cycles are broken by a
+/// visited set of canonical directory paths. An empty result is not an
+/// error here — `graph`/`check` reject it ([`require_files`]) while
+/// `learn` treats it as the empty corpus.
+fn collect_source_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, CliError> {
     let mut out = Vec::new();
     let mut visited = HashSet::new();
     for p in paths {
@@ -137,7 +147,7 @@ fn collect_py_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, CliError> {
 /// Usage error when a command needs at least one input file.
 fn require_files(files: Vec<PathBuf>) -> Result<Vec<PathBuf>, CliError> {
     if files.is_empty() {
-        return Err(CliError::usage("no .py files found"));
+        return Err(CliError::usage("no .py or .js files found"));
     }
     Ok(files)
 }
@@ -151,7 +161,7 @@ fn walk(p: &Path, out: &mut Vec<PathBuf>, visited: &mut HashSet<PathBuf>, depth:
         return;
     }
     if p.is_file() {
-        if p.extension().is_some_and(|e| e == "py") {
+        if p.extension().is_some_and(|e| e == "py" || e == "js") {
             out.push(p.to_path_buf());
         }
         return;
@@ -278,7 +288,7 @@ fn read_corpus(files: &[PathBuf]) -> Result<(Corpus, Vec<String>, usize), CliErr
         }
     }
     if sources.is_empty() {
-        return Err(CliError::usage("no readable .py files"));
+        return Err(CliError::usage("no readable source files"));
     }
     let corpus = Corpus {
         projects: vec![Project { name: "cli".into(), files: sources }],
@@ -342,7 +352,7 @@ fn cmd_graph(rest: &[String]) -> Result<Outcome, CliError> {
         split_args(rest, &["--dot", "--strict", "--lenient"], &["--log-level"])?;
     let policy = policy_from_flags(&flags)?;
     let tele = Telemetry::disabled().with_log_level(level_from_opts(&opts)?);
-    let files = require_files(collect_py_files(&paths)?)?;
+    let files = require_files(collect_source_files(&paths)?)?;
     let analysis = analyze_files(&files, policy, &tele)?;
     print_degradation(&analysis);
     let graph = &analysis.analyzed.graph;
@@ -360,6 +370,26 @@ fn cmd_graph(rest: &[String]) -> Result<Outcome, CliError> {
     Ok(if analysis.is_degraded() { Outcome::Findings } else { Outcome::Clean })
 }
 
+/// Prints the language-neutral IR trace one file lowers to — the exact
+/// event/op stream the graph builder replays. Dispatches to the frontend
+/// by extension ([`Frontend::of_path`]) and parses strictly: a lowering
+/// dump of a file that does not parse would be misleading.
+fn cmd_ir_dump(rest: &[String]) -> Result<Outcome, CliError> {
+    let (paths, _, _) = split_args(rest, &[], &[])?;
+    let [path] = paths.as_slice() else {
+        return Err(CliError::usage("ir-dump expects exactly one file"));
+    };
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read {}: {e}", path.display())))?;
+    let ir = match Frontend::of_path(&path.display().to_string()) {
+        Frontend::Python => seldon_propgraph::lower_source(&content),
+        Frontend::Js => seldon_jsfront::lower_js_source(&content),
+    }
+    .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))?;
+    print!("{}", ir.dump());
+    Ok(Outcome::Clean)
+}
+
 fn cmd_check(rest: &[String]) -> Result<Outcome, CliError> {
     let (paths, opts, flags) = split_args(
         rest,
@@ -369,7 +399,7 @@ fn cmd_check(rest: &[String]) -> Result<Outcome, CliError> {
     let policy = policy_from_flags(&flags)?;
     let tele = Telemetry::disabled().with_log_level(level_from_opts(&opts)?);
     let spec = load_spec(opts.get("--spec").copied())?;
-    let files = require_files(collect_py_files(&paths)?)?;
+    let files = require_files(collect_source_files(&paths)?)?;
     let analysis = analyze_files(&files, policy, &tele)?;
     print_degradation(&analysis);
     let graph = &analysis.analyzed.graph;
@@ -439,11 +469,11 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     }
     .with_log_level(level_from_opts(&opts)?);
     let seed = load_spec(opts.get("--seed").copied())?;
-    let files = collect_py_files(&paths)?;
+    let files = collect_source_files(&paths)?;
     if files.is_empty() {
         // An empty corpus is a legitimate (if vacuous) input: learn the
         // empty specification and exit clean.
-        eprintln!("warning: no .py files found; learned the empty specification");
+        eprintln!("warning: no .py or .js files found; learned the empty specification");
         if let Some(path) = opts.get("--out") {
             std::fs::write(path, "")
                 .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;

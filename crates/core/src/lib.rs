@@ -42,6 +42,6 @@ pub use manifest::{run_full, FullRun};
 pub use pipeline::{
     analyze_corpus, analyze_corpus_with, analyze_project, run_seldon, run_seldon_cached,
     run_seldon_traced, AnalyzeOptions, AnalyzedCorpus, CheckpointOutcome, CheckpointUse,
-    FaultPolicy, FileMeta, SeldonOptions, SeldonRun, DEFAULT_TRACE_STRIDE,
+    FaultPolicy, FileMeta, Frontend, SeldonOptions, SeldonRun, DEFAULT_TRACE_STRIDE,
 };
 pub use report::{AnalysisReport, CacheFaultReport, FileOutcome, FileReport};

@@ -129,6 +129,7 @@ fn assemble_manifest(
         panicked: report.panicked() as u64,
     };
     m.stages = tele.take_spans().into_iter().map(Into::into).collect();
+    m.parse_histograms = analyzed.parse_histograms.clone();
     m.constraints = match &checkpoint.summary {
         // Full checkpoint reuse: the in-memory system is empty, so the
         // shape comes from the checkpoint's replay summary.
@@ -248,6 +249,11 @@ mod tests {
         );
         assert_eq!(m.corpus.files, corpus.file_count() as u64);
         assert_eq!(m.outcomes.ok, corpus.file_count() as u64);
+        // Every parsed file lands in exactly one parse-time bucket, tagged
+        // by the frontend that parsed it (all Python here).
+        assert_eq!(m.parse_histograms.len(), 1);
+        assert_eq!(m.parse_histograms[0].frontend, "python");
+        assert_eq!(m.parse_histograms[0].total(), corpus.file_count() as u64);
         // The manifest round-trips through its JSON form losslessly.
         let back = RunManifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back, m);

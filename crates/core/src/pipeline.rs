@@ -1,7 +1,9 @@
-//! The end-to-end Seldon pipeline (§7.1): parse a corpus of Python files,
+//! The end-to-end Seldon pipeline (§7.1): parse a corpus of source files
+//! (Python by default, JS-like for `.js` paths — see [`Frontend`]),
 //! extract per-file propagation graphs (in parallel), union them into the
 //! global graph, generate the linear constraint system, solve it with
-//! projected Adam, and extract the learned specification.
+//! projected Adam, and extract the learned specification. Everything past
+//! per-file lowering is language-blind.
 //!
 //! ## Fault tolerance
 //!
@@ -23,6 +25,10 @@ use seldon_cache::{
 };
 use seldon_constraints::{generate_with_stats, ConstraintSystem, GenOptions, GenStats};
 use seldon_corpus::Corpus;
+use seldon_jsfront::{
+    build_js_source, build_js_source_budgeted, build_js_source_lenient,
+    build_js_source_lenient_budgeted, build_js_source_lenient_timed, build_js_source_timed,
+};
 use seldon_propgraph::{
     build_source, build_source_budgeted, build_source_lenient, build_source_lenient_budgeted,
     build_source_lenient_timed, build_source_timed, Budget, BuildError, BuildTimings, FileId,
@@ -32,10 +38,64 @@ use seldon_solver::{
     extract, solve_compiled, CompiledSystem, ExtractOptions, Extraction, SolveOptions, Solution,
 };
 use seldon_specs::TaintSpec;
-use seldon_telemetry::{stage, Telemetry};
+use seldon_telemetry::{stage, ParseHistogram, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Which language frontend analyzes a file, decided by its extension.
+///
+/// Everything past the IR boundary — graph construction, representations,
+/// constraints, solver, extraction, taint — is language-blind; the
+/// frontend choice only selects which lowering pass produces the
+/// [`seldon_ir::IrProgram`](seldon_ir) trace for a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// The Python frontend (`seldon-pyast` lexer/parser + Python
+    /// lowering). The default for every extension other than `.js`.
+    #[default]
+    Python,
+    /// The JS-like frontend (`seldon-jsfront`).
+    Js,
+}
+
+impl Frontend {
+    /// Picks the frontend for a file path: `.js` files go to the JS
+    /// frontend, everything else to Python.
+    pub fn of_path(path: &str) -> Frontend {
+        if Path::new(path).extension().is_some_and(|e| e == "js") {
+            Frontend::Js
+        } else {
+            Frontend::Python
+        }
+    }
+
+    /// Stable tag mixed into [`file_key`] so byte-identical sources
+    /// analyzed by different frontends never alias a cached artifact.
+    pub fn salt_tag(self) -> u64 {
+        match self {
+            Frontend::Python => 0,
+            Frontend::Js => 1,
+        }
+    }
+
+    /// Manifest/telemetry label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Frontend::Python => "python",
+            Frontend::Js => "js",
+        }
+    }
+
+    /// Dense index for per-frontend arrays.
+    fn index(self) -> usize {
+        self.salt_tag() as usize
+    }
+
+    /// All frontends, indexed by [`Frontend::index`].
+    const ALL: [Frontend; 2] = [Frontend::Python, Frontend::Js];
+}
 
 /// Metadata for one analyzed file.
 #[derive(Debug, Clone)]
@@ -57,6 +117,11 @@ pub struct AnalyzedCorpus {
     pub files: Vec<FileMeta>,
     /// Wall-clock time spent parsing and building graphs.
     pub build_time: Duration,
+    /// Per-frontend parse-time buckets. Only populated when the analysis
+    /// ran with active telemetry (the untimed builders read no clocks) and
+    /// only for frontends that parsed at least one file; cache-served
+    /// files skip the front end and are never tallied.
+    pub parse_histograms: Vec<ParseHistogram>,
 }
 
 impl AnalyzedCorpus {
@@ -151,6 +216,7 @@ fn analyze_one(
     path: &str,
     content: &str,
     id: FileId,
+    frontend: Frontend,
     opts: &AnalyzeOptions,
 ) -> (Option<PropagationGraph>, FileOutcome, BuildTimings) {
     let guarded = catch_unwind(AssertUnwindSafe(|| {
@@ -160,14 +226,24 @@ fn analyze_one(
         let timed = opts.telemetry.is_active();
         let mut timings = BuildTimings::default();
         let strict = if timed {
-            build_source_timed(content, id, opts.budget.as_ref()).map(|(g, t)| {
+            match frontend {
+                Frontend::Python => build_source_timed(content, id, opts.budget.as_ref()),
+                Frontend::Js => build_js_source_timed(content, id, opts.budget.as_ref()),
+            }
+            .map(|(g, t)| {
                 timings = t;
                 g
             })
         } else {
-            match &opts.budget {
-                Some(budget) => build_source_budgeted(content, id, budget),
-                None => build_source(content, id).map_err(BuildError::Frontend),
+            match (&opts.budget, frontend) {
+                (Some(budget), Frontend::Python) => build_source_budgeted(content, id, budget),
+                (Some(budget), Frontend::Js) => build_js_source_budgeted(content, id, budget),
+                (None, Frontend::Python) => {
+                    build_source(content, id).map_err(BuildError::Frontend)
+                }
+                (None, Frontend::Js) => {
+                    build_js_source(content, id).map_err(BuildError::Frontend)
+                }
             }
         };
         match strict {
@@ -179,16 +255,28 @@ fn analyze_one(
             Err(BuildError::Frontend(_)) if opts.policy == FaultPolicy::Recover => {
                 // Lenient retry; only a budget trip can still fail.
                 let lenient = if timed {
-                    build_source_lenient_timed(content, id, opts.budget.as_ref()).map(
-                        |(g, errors, t)| {
-                            timings = t;
-                            (g, errors)
-                        },
-                    )
+                    match frontend {
+                        Frontend::Python => {
+                            build_source_lenient_timed(content, id, opts.budget.as_ref())
+                        }
+                        Frontend::Js => {
+                            build_js_source_lenient_timed(content, id, opts.budget.as_ref())
+                        }
+                    }
+                    .map(|(g, errors, t)| {
+                        timings = t;
+                        (g, errors)
+                    })
                 } else {
-                    match &opts.budget {
-                        Some(budget) => build_source_lenient_budgeted(content, id, budget),
-                        None => Ok(build_source_lenient(content, id)),
+                    match (&opts.budget, frontend) {
+                        (Some(budget), Frontend::Python) => {
+                            build_source_lenient_budgeted(content, id, budget)
+                        }
+                        (Some(budget), Frontend::Js) => {
+                            build_js_source_lenient_budgeted(content, id, budget)
+                        }
+                        (None, Frontend::Python) => Ok(build_source_lenient(content, id)),
+                        (None, Frontend::Js) => Ok(build_js_source_lenient(content, id)),
                     }
                 };
                 match lenient {
@@ -234,6 +322,8 @@ struct FileSlot {
     graph: Option<PropagationGraph>,
     outcome: FileOutcome,
     timings: BuildTimings,
+    /// Which frontend (was or would have been) used for this file.
+    frontend: Frontend,
     /// Wall-clock spent on cache lookup + store for this file.
     cache_time: Duration,
     /// Cache faults hit while serving this file (lookup and/or store).
@@ -254,18 +344,20 @@ fn analyze_one_cached(
     opts: &AnalyzeOptions,
     salt: u64,
 ) -> FileSlot {
+    let frontend = Frontend::of_path(path);
     let Some(cache) = opts.cache.as_deref() else {
-        let (graph, outcome, timings) = analyze_one(path, content, id, opts);
+        let (graph, outcome, timings) = analyze_one(path, content, id, frontend, opts);
         return FileSlot {
             graph,
             outcome,
             timings,
+            frontend,
             cache_time: Duration::ZERO,
             faults: Vec::new(),
             from_cache: false,
         };
     };
-    let key = file_key(content, salt);
+    let key = file_key(content, salt, frontend.salt_tag());
     let mut faults = Vec::new();
     let t0 = Instant::now();
     let looked = cache.load_artifact(key, id);
@@ -281,6 +373,7 @@ fn analyze_one_cached(
                 graph: Some(graph),
                 outcome,
                 timings: BuildTimings::default(),
+                frontend,
                 cache_time,
                 faults,
                 from_cache: true,
@@ -289,7 +382,7 @@ fn analyze_one_cached(
         ArtifactLookup::Miss => {}
         ArtifactLookup::Fault(f) => faults.push(f),
     }
-    let (graph, outcome, timings) = analyze_one(path, content, id, opts);
+    let (graph, outcome, timings) = analyze_one(path, content, id, frontend, opts);
     if let Some(g) = &graph {
         let recovered = match &outcome {
             FileOutcome::Recovered { errors } => *errors,
@@ -301,7 +394,7 @@ fn analyze_one_cached(
         }
         cache_time += t1.elapsed();
     }
-    FileSlot { graph, outcome, timings, cache_time, faults, from_cache: false }
+    FileSlot { graph, outcome, timings, frontend, cache_time, faults, from_cache: false }
 }
 
 /// Parses every file of `corpus` under `opts`, unions the graphs of
@@ -375,6 +468,12 @@ pub fn analyze_corpus_with(
     // spans; cache-served files skip the front end and contribute nothing.
     let mut project_parse: Vec<(Duration, usize)> =
         vec![(Duration::ZERO, 0); corpus.projects.len()];
+    // Per-frontend parse-time buckets: only meaningful when the timed
+    // builders ran (an inactive handle reads no clocks, so every duration
+    // would land in the first bucket as noise).
+    let timed = opts.telemetry.is_active();
+    let mut parse_hist: Vec<ParseHistogram> =
+        Frontend::ALL.iter().map(|f| ParseHistogram::new(f.label())).collect();
     for (i, (project, path, _)) in inputs.iter().enumerate() {
         let slot = slots[i].take().expect("every index 0..n is written exactly once above");
         if opts.policy == FaultPolicy::FailFast {
@@ -392,6 +491,10 @@ pub fn analyze_corpus_with(
             let slot_project = &mut project_parse[*project];
             slot_project.0 += slot.timings.parse;
             slot_project.1 += 1;
+            if timed && slot.outcome.is_analyzed() {
+                parse_hist[slot.frontend.index()]
+                    .record(slot.timings.parse.as_micros() as u64);
+            }
         }
         cache_time += slot.cache_time;
         for fault in slot.faults {
@@ -463,7 +566,12 @@ pub fn analyze_corpus_with(
         );
     }
     Ok((
-        AnalyzedCorpus { graph, files, build_time: started.elapsed() },
+        AnalyzedCorpus {
+            graph,
+            files,
+            build_time: started.elapsed(),
+            parse_histograms: parse_hist.into_iter().filter(|h| h.total() > 0).collect(),
+        },
         AnalysisReport { files: reports, cache_faults },
     ))
 }
@@ -563,14 +671,23 @@ pub fn analyze_project(corpus: &Corpus, project: usize) -> Result<AnalyzedCorpus
     let mut files = Vec::new();
     for f in &corpus.projects[project].files {
         let id = FileId(files.len() as u32);
-        let g = build_source(&f.content, id).map_err(|e| PipelineError::Parse {
+        let g = match Frontend::of_path(&f.path) {
+            Frontend::Python => build_source(&f.content, id),
+            Frontend::Js => build_js_source(&f.content, id),
+        }
+        .map_err(|e| PipelineError::Parse {
             path: f.path.clone(),
             message: e.to_string(),
         })?;
         graph.union(&g);
         files.push(FileMeta { project, path: f.path.clone() });
     }
-    Ok(AnalyzedCorpus { graph, files, build_time: started.elapsed() })
+    Ok(AnalyzedCorpus {
+        graph,
+        files,
+        build_time: started.elapsed(),
+        parse_histograms: Vec::new(),
+    })
 }
 
 /// Hyperparameters of a full Seldon run; defaults follow the paper.
@@ -1156,6 +1273,97 @@ mod tests {
         assert_eq!(report.panicked(), 1);
         assert_eq!(report.ok(), 1);
         assert!(analyzed.graph.event_count() > 0);
+    }
+
+    /// A corpus with one Python and one JS file, exercising both frontends.
+    fn mixed_lang_corpus() -> Corpus {
+        Corpus {
+            projects: vec![Project {
+                name: "p0".into(),
+                files: vec![
+                    SourceFile {
+                        path: "a.py".into(),
+                        content: "import flask\nx = flask.request.args.get('q')\n".into(),
+                    },
+                    SourceFile {
+                        path: "b.js".into(),
+                        content: "const db = require('db');\n\
+                                  function handler(req) { return db.query(req); }\n"
+                            .into(),
+                    },
+                ],
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn frontend_dispatches_by_extension() {
+        assert_eq!(Frontend::of_path("app/views.py"), Frontend::Python);
+        assert_eq!(Frontend::of_path("app/views.js"), Frontend::Js);
+        assert_eq!(Frontend::of_path("README"), Frontend::Python);
+        assert_ne!(Frontend::Python.salt_tag(), Frontend::Js.salt_tag());
+    }
+
+    #[test]
+    fn mixed_language_corpus_analyzes_both_frontends() {
+        let analyzed = analyze_corpus(&mixed_lang_corpus(), 1).unwrap();
+        assert_eq!(analyzed.files.len(), 2);
+        // Both files contributed events to the one global graph.
+        let with_events: std::collections::HashSet<u32> =
+            analyzed.graph.events().map(|(_, ev)| ev.file.0).collect();
+        assert_eq!(with_events, [0u32, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn identical_bytes_never_alias_across_frontends() {
+        // Parses under both frontends (JS semicolons are optional), but
+        // must still occupy two distinct cache entries.
+        let content = "x = db.query(req)\n";
+        let c = Corpus {
+            projects: vec![Project {
+                name: "p0".into(),
+                files: vec![
+                    SourceFile { path: "same.py".into(), content: content.into() },
+                    SourceFile { path: "same.js".into(), content: content.into() },
+                ],
+            }],
+            ..Default::default()
+        };
+        let dir = std::env::temp_dir()
+            .join(format!("seldon-frontend-alias-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (cache, _) = seldon_cache::ArtifactCache::open(&dir).unwrap();
+        let opts = AnalyzeOptions { cache: Some(Arc::new(cache)), ..Default::default() };
+        let (_, report) = analyze_corpus_with(&c, &opts).unwrap();
+        assert_eq!(report.ok(), 2);
+        let s = opts.cache.as_deref().unwrap().stats();
+        assert_eq!((s.hits, s.misses, s.stores), (0, 2, 2), "no cross-frontend aliasing");
+        // Warm run: each file is served from its own frontend's entry.
+        let (cache, _) = seldon_cache::ArtifactCache::open(&dir).unwrap();
+        let opts = AnalyzeOptions { cache: Some(Arc::new(cache)), ..Default::default() };
+        analyze_corpus_with(&c, &opts).unwrap();
+        let s = opts.cache.as_deref().unwrap().stats();
+        assert_eq!((s.hits, s.misses), (2, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_histograms_tally_per_frontend_when_timed() {
+        let opts = AnalyzeOptions { telemetry: Telemetry::recording(), ..Default::default() };
+        let (analyzed, _) = analyze_corpus_with(&mixed_lang_corpus(), &opts).unwrap();
+        let mut labels: Vec<&str> =
+            analyzed.parse_histograms.iter().map(|h| h.frontend.as_str()).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, ["js", "python"]);
+        for h in &analyzed.parse_histograms {
+            assert_eq!(h.total(), 1, "one file per frontend");
+        }
+        // Without active telemetry the untimed builders run (no clock
+        // reads), so no histogram is fabricated from zero durations.
+        let (analyzed, _) =
+            analyze_corpus_with(&mixed_lang_corpus(), &AnalyzeOptions::default()).unwrap();
+        assert!(analyzed.parse_histograms.is_empty());
     }
 
     #[test]

@@ -1,15 +1,16 @@
-//! Writes a synthetic corpus to disk as real `.py` trees, so the `seldon`
-//! CLI (and anything else) can run against it like any checkout.
+//! Writes a synthetic corpus to disk as real `.py` (or, with `--lang js`,
+//! `.js`) trees, so the `seldon` CLI (and anything else) can run against
+//! it like any checkout.
 //!
 //! ```text
-//! gen-corpus <out_dir> [--projects N] [--seed S] [--fault-rate R]
+//! gen-corpus <out_dir> [--projects N] [--seed S] [--fault-rate R] [--lang py|js]
 //! ```
 //!
 //! Alongside the project directories it writes `seed_spec.txt` (the corpus
 //! seed in App. B format) and `ground_truth.txt` (one line per known flow)
 //! so downstream evaluation does not need this crate.
 
-use seldon_corpus::{generate_corpus, CorpusOptions, FlowKind, Universe};
+use seldon_corpus::{generate_corpus, CorpusOptions, FlowKind, Lang, Universe};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -47,12 +48,20 @@ fn run() -> Result<(), String> {
                     .filter(|r| (0.0..=1.0).contains(r))
                     .ok_or("--fault-rate needs a number in [0, 1]")?;
             }
+            "--lang" => {
+                opts.lang = match it.next().as_deref() {
+                    Some("py") => Lang::Py,
+                    Some("js") => Lang::Js,
+                    _ => return Err("--lang needs `py` or `js`".to_string()),
+                };
+            }
             other if !other.starts_with('-') => out_dir = Some(PathBuf::from(other)),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    let out_dir =
-        out_dir.ok_or("usage: gen-corpus <out_dir> [--projects N] [--seed S] [--fault-rate R]")?;
+    let out_dir = out_dir.ok_or(
+        "usage: gen-corpus <out_dir> [--projects N] [--seed S] [--fault-rate R] [--lang py|js]",
+    )?;
 
     let universe = Universe::new();
     let corpus = generate_corpus(&universe, &opts);
@@ -69,7 +78,11 @@ fn run() -> Result<(), String> {
             files_written += 1;
         }
     }
-    std::fs::write(out_dir.join("seed_spec.txt"), universe.seed_spec().to_text())
+    let seed_spec = match opts.lang {
+        Lang::Py => universe.seed_spec(),
+        Lang::Js => universe.seed_spec_js(),
+    };
+    std::fs::write(out_dir.join("seed_spec.txt"), seed_spec.to_text())
         .map_err(|e| e.to_string())?;
 
     let mut truth = String::new();

@@ -1,11 +1,18 @@
 //! Deterministic generator of realistic synthetic web applications.
 //!
-//! Each project is a handful of Python files containing Flask/Django-style
+//! Each project is a handful of source files containing Flask/Django-style
 //! route handlers. Every handler implements one *flow pattern* (sanitized
 //! chain, unsanitized vulnerability, wrong-parameter flow, noise, ...);
 //! the generator records the ground truth of every flow so experiments can
 //! measure precision exactly instead of estimating it by manual
 //! inspection.
+//!
+//! The generator emits either Python ([`Lang::Py`], the default) or a
+//! JS-like subset ([`Lang::Js`]) from the *same* RNG draw sequence: the
+//! language only changes how each already-decided flow is rendered to
+//! text, so a seed produces structurally parallel corpora in both
+//! languages and the Python output is byte-identical to what a
+//! JS-unaware build generates.
 
 use crate::universe::{ApiShape, ApiSpec, Category, Universe};
 use rand::rngs::SmallRng;
@@ -53,12 +60,32 @@ pub struct FlowTruth {
     pub sink: Option<&'static str>,
 }
 
+/// Source language of a generated corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lang {
+    /// Python (Flask/Django style), analyzed by `seldon-pyast`.
+    #[default]
+    Py,
+    /// JS-like subset (Express style), analyzed by `seldon-jsfront`.
+    Js,
+}
+
+impl Lang {
+    /// File extension for generated sources.
+    pub fn extension(self) -> &'static str {
+        match self {
+            Lang::Py => "py",
+            Lang::Js => "js",
+        }
+    }
+}
+
 /// One generated source file.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
     /// Path relative to the project root, e.g. `app/views_2.py`.
     pub path: String,
-    /// Python source text.
+    /// Source text (Python or JS, per [`CorpusOptions::lang`]).
     pub content: String,
 }
 
@@ -118,6 +145,9 @@ pub struct CorpusOptions {
     /// (see [`crate::faults::FaultKind`]). `0.0` disables injection and
     /// leaves generation byte-identical to a fault-unaware build.
     pub fault_rate: f64,
+    /// Language the corpus is rendered in. Changing the language does not
+    /// change any RNG draw, only the emitted text.
+    pub lang: Lang,
 }
 
 impl Default for CorpusOptions {
@@ -129,6 +159,7 @@ impl Default for CorpusOptions {
             rng_seed: 0xC0FFEE,
             seed_api_bias: 0.5,
             fault_rate: 0.0,
+            lang: Lang::Py,
         }
     }
 }
@@ -141,10 +172,10 @@ pub fn generate_corpus(universe: &Universe, opts: &CorpusOptions) -> Corpus {
         let nfiles = rng.gen_range(opts.files_per_project.0..=opts.files_per_project.1);
         let mut files = Vec::new();
         for fi in 0..nfiles {
-            let path = format!("app/views_{fi}.py");
+            let path = format!("app/views_{fi}.{}", opts.lang.extension());
             let nhandlers =
                 rng.gen_range(opts.handlers_per_file.0..=opts.handlers_per_file.1);
-            let mut gen = FileGen::new(universe, &mut rng, pi, &path);
+            let mut gen = FileGen::new(universe, &mut rng, pi, &path, opts.lang);
             for hi in 0..nhandlers {
                 gen.emit_handler(hi);
             }
@@ -167,6 +198,7 @@ struct FileGen<'u, 'r> {
     rng: &'r mut SmallRng,
     project: usize,
     path: String,
+    lang: Lang,
     imports: BTreeSet<String>,
     body: String,
     flows: Vec<FlowTruth>,
@@ -176,12 +208,19 @@ struct FileGen<'u, 'r> {
 }
 
 impl<'u, 'r> FileGen<'u, 'r> {
-    fn new(universe: &'u Universe, rng: &'r mut SmallRng, project: usize, path: &str) -> Self {
+    fn new(
+        universe: &'u Universe,
+        rng: &'r mut SmallRng,
+        project: usize,
+        path: &str,
+        lang: Lang,
+    ) -> Self {
         FileGen {
             universe,
             rng,
             project,
             path: path.to_string(),
+            lang,
             imports: BTreeSet::new(),
             body: String::new(),
             flows: Vec::new(),
@@ -197,9 +236,38 @@ impl<'u, 'r> FileGen<'u, 'r> {
         v
     }
 
+    /// Renders one `name = expr` binding in the corpus language.
+    fn assign(&self, v: &str, expr: &str) -> String {
+        match self.lang {
+            Lang::Py => format!("{v} = {expr}"),
+            Lang::Js => format!("const {v} = {expr};"),
+        }
+    }
+
+    /// Renders one `return expr` statement in the corpus language.
+    fn ret(&self, expr: &str) -> String {
+        match self.lang {
+            Lang::Py => format!("return {expr}"),
+            Lang::Js => format!("return {expr};"),
+        }
+    }
+
+    /// Renders an API expression template in the corpus language
+    /// (keyword arguments become a trailing options object in JS).
+    fn tmpl(&self, t: &str) -> String {
+        match self.lang {
+            Lang::Py => t.to_string(),
+            Lang::Js => js_template(t),
+        }
+    }
+
     fn use_api(&mut self, api: &ApiSpec) {
         if !api.import_line.is_empty() {
-            self.imports.insert(api.import_line.to_string());
+            let line = match self.lang {
+                Lang::Py => api.import_line.to_string(),
+                Lang::Js => js_import(api.import_line),
+            };
+            self.imports.insert(line);
         }
     }
 
@@ -267,6 +335,7 @@ impl<'u, 'r> FileGen<'u, 'r> {
         self.path
             .trim_start_matches("app/views_")
             .trim_end_matches(".py")
+            .trim_end_matches(".js")
             .to_string()
     }
 
@@ -302,7 +371,7 @@ impl<'u, 'r> FileGen<'u, 'r> {
         // Source line.
         let v_src = self.fresh_var();
         let lit = format!("'{}'", pick_literal(self.rng));
-        let src_expr = source.template.replace("{L}", &lit);
+        let src_expr = self.tmpl(source.template).replace("{L}", &lit);
         if via_helper {
             // Helper names come from a small realistic pool, so the same
             // wrapper name recurs across projects — exactly the cross-
@@ -313,16 +382,23 @@ impl<'u, 'r> FileGen<'u, 'r> {
             ];
             let helper = HELPER_POOL[self.rng.gen_range(0..HELPER_POOL.len())];
             if self.used_helpers.insert(helper) {
-                self.body.push_str(&format!("def {helper}():\n    return {src_expr}\n\n"));
-                lines.push(format!("{v_src} = {helper}()"));
+                match self.lang {
+                    Lang::Py => self
+                        .body
+                        .push_str(&format!("def {helper}():\n    return {src_expr}\n\n")),
+                    Lang::Js => self.body.push_str(&format!(
+                        "function {helper}() {{\n    return {src_expr};\n}}\n\n"
+                    )),
+                }
+                lines.push(self.assign(&v_src, &format!("{helper}()")));
                 // The wrapper itself is a true source at app level.
                 self.derived.push((format!("{helper}()"), Role::Source));
             } else {
                 // Name already taken in this file: inline instead.
-                lines.push(format!("{v_src} = {src_expr}"));
+                lines.push(self.assign(&v_src, &src_expr));
             }
         } else {
-            lines.push(format!("{v_src} = {src_expr}"));
+            lines.push(self.assign(&v_src, &src_expr));
         }
 
         // Optional noise hop (more common in longer, sanitized code).
@@ -336,14 +412,27 @@ impl<'u, 'r> FileGen<'u, 'r> {
         // when the unsanitized branch does not reach the sink).
         if let Some(san) = sanitizer {
             let v = self.fresh_var();
-            let san_expr = san.template.replace("{V}", &cur);
+            let san_tmpl = self.tmpl(san.template);
+            let san_expr = san_tmpl.replace("{V}", &cur);
             if with_branch {
-                lines.push(format!("if {cur}:"));
-                lines.push(format!("    {v} = {san_expr}"));
-                lines.push("else:".to_string());
-                lines.push(format!("    {v} = {}", san.template.replace("{V}", "''")));
+                match self.lang {
+                    Lang::Py => {
+                        lines.push(format!("if {cur}:"));
+                        lines.push(format!("    {v} = {san_expr}"));
+                        lines.push("else:".to_string());
+                        lines.push(format!("    {v} = {}", san_tmpl.replace("{V}", "''")));
+                    }
+                    Lang::Js => {
+                        lines.push(format!("let {v};"));
+                        lines.push(format!("if ({cur}) {{"));
+                        lines.push(format!("    {v} = {san_expr};"));
+                        lines.push("} else {".to_string());
+                        lines.push(format!("    {v} = {};", san_tmpl.replace("{V}", "''")));
+                        lines.push("}".to_string());
+                    }
+                }
             } else {
-                lines.push(format!("{v} = {san_expr}"));
+                lines.push(self.assign(&v, &san_expr));
             }
             cur = v;
         }
@@ -354,14 +443,14 @@ impl<'u, 'r> FileGen<'u, 'r> {
         }
 
         // Sink line.
+        let sink_tmpl = self.tmpl(sink.template);
         let sink_expr = match sink.shape {
-            ApiShape::SecondArgCall => sink
-                .template
+            ApiShape::SecondArgCall => sink_tmpl
                 .replace("{L}", &format!("'{}'", pick_literal(self.rng)))
                 .replace("{V}", &cur),
-            _ => sink.template.replace("{V}", &cur),
+            _ => sink_tmpl.replace("{V}", &cur),
         };
-        lines.push(format!("return {sink_expr}"));
+        lines.push(self.ret(&sink_expr));
 
         if class_style {
             self.write_class_handler(handler, &lines);
@@ -394,10 +483,9 @@ impl<'u, 'r> FileGen<'u, 'r> {
         let param_style = source.shape == ApiShape::SourceParamRead;
         let v = self.fresh_var();
         let lit = format!("'{}'", pick_literal(self.rng));
-        let lines = vec![
-            format!("{v} = {}", source.template.replace("{L}", &lit)),
-            format!("return {}", wp.template.replace("{V}", &v)),
-        ];
+        let src_expr = self.tmpl(source.template).replace("{L}", &lit);
+        let wp_expr = self.tmpl(wp.template).replace("{V}", &v);
+        let lines = vec![self.assign(&v, &src_expr), self.ret(&wp_expr)];
         let sig_param = if param_style { "request" } else { "" };
         self.write_handler(handler, sig_param, &lines, !param_style);
         self.flows.push(FlowTruth {
@@ -420,14 +508,17 @@ impl<'u, 'r> FileGen<'u, 'r> {
         let param_style = source.shape == ApiShape::SourceParamRead;
         let v = self.fresh_var();
         let lit = format!("'{}'", pick_literal(self.rng));
-        let lines = vec![
-            format!("{v} = {}", source.template.replace("{L}", &lit)),
-            format!("status = len({v}) if {v} else 0"),
-            format!(
-                "return {}",
-                sink.template.replace("{V}", &format!("'{}'", pick_literal(self.rng)))
-            ),
-        ];
+        let src_expr = self.tmpl(source.template).replace("{L}", &lit);
+        let sink_expr = self
+            .tmpl(sink.template)
+            .replace("{V}", &format!("'{}'", pick_literal(self.rng)));
+        let status_line = match self.lang {
+            Lang::Py => format!("status = len({v}) if {v} else 0"),
+            // `.length` is the JS analogue of the blacklisted `len()` use:
+            // the source value is consumed but never reaches the sink.
+            Lang::Js => format!("const status = {v}.length;"),
+        };
+        let lines = vec![self.assign(&v, &src_expr), status_line, self.ret(&sink_expr)];
         let sig_param = if param_style { "request" } else { "" };
         self.write_handler(handler, sig_param, &lines, !param_style);
         self.flows.push(FlowTruth {
@@ -450,10 +541,14 @@ impl<'u, 'r> FileGen<'u, 'r> {
         self.use_api(n2);
         let v0 = self.fresh_var();
         let v1 = self.fresh_var();
+        let n1_expr = self
+            .tmpl(n1.template)
+            .replace("{V}", &format!("'{}'", pick_literal(self.rng)));
+        let n2_expr = self.tmpl(n2.template).replace("{V}", &v0);
         let lines = vec![
-            format!("{v0} = {}", n1.template.replace("{V}", &format!("'{}'", pick_literal(self.rng)))),
-            format!("{v1} = {}", n2.template.replace("{V}", &v0)),
-            format!("return {v1}"),
+            self.assign(&v0, &n1_expr),
+            self.assign(&v1, &n2_expr),
+            self.ret(&v1),
         ];
         self.write_handler(handler, "", &lines, true);
         self.flows.push(FlowTruth {
@@ -476,46 +571,97 @@ impl<'u, 'r> FileGen<'u, 'r> {
                 let pool = self.universe.noise();
                 let api = *pool.choose(self.rng).expect("noise");
                 self.use_api(api);
-                lines.push(format!("{v} = {}", api.template.replace("{V}", cur)));
+                let expr = self.tmpl(api.template).replace("{V}", cur);
+                lines.push(self.assign(&v, &expr));
             }
-            1 => lines.push(format!("{v} = {cur}.strip()")),
-            _ => lines.push(format!("{v} = f\"item: {{{cur}}}\"")),
+            1 => {
+                let expr = match self.lang {
+                    Lang::Py => format!("{cur}.strip()"),
+                    Lang::Js => format!("{cur}.trim()"),
+                };
+                lines.push(self.assign(&v, &expr));
+            }
+            _ => {
+                let line = match self.lang {
+                    Lang::Py => format!("{v} = f\"item: {{{cur}}}\""),
+                    Lang::Js => format!("const {v} = 'item: ' + {cur};"),
+                };
+                lines.push(line);
+            }
         }
         v
     }
 
     /// A Django-style class-based view: the handler becomes a `get`/`post`
-    /// method of a view class deriving from `viewlib.BaseView`.
+    /// method of a view class deriving from `viewlib.BaseView`. The JS
+    /// subset has no classes, so a JS corpus renders the same decision as
+    /// a `{View}_{method}` request-parameter function.
     fn write_class_handler(&mut self, name: &str, lines: &[String]) {
-        self.imports.insert("from viewlib import BaseView".to_string());
         let class_name = format!(
             "View{}",
             name.strip_prefix("handler_").unwrap_or(name).replace('_', "X")
         );
         let method = if self.rng.gen_bool(0.5) { "get" } else { "post" };
-        self.body.push_str(&format!("class {class_name}(BaseView):\n"));
-        self.body.push_str(&format!("    def {method}(self, request):\n"));
-        for line in lines {
-            self.body.push_str("        ");
-            self.body.push_str(line);
-            self.body.push('\n');
+        match self.lang {
+            Lang::Py => {
+                self.imports.insert("from viewlib import BaseView".to_string());
+                self.body.push_str(&format!("class {class_name}(BaseView):\n"));
+                self.body.push_str(&format!("    def {method}(self, request):\n"));
+                for line in lines {
+                    self.body.push_str("        ");
+                    self.body.push_str(line);
+                    self.body.push('\n');
+                }
+                self.body.push('\n');
+            }
+            Lang::Js => {
+                self.body
+                    .push_str(&format!("function {class_name}_{method}(request) {{\n"));
+                for line in lines {
+                    self.body.push_str("    ");
+                    self.body.push_str(line);
+                    self.body.push('\n');
+                }
+                self.body.push_str("}\n\n");
+            }
         }
-        self.body.push('\n');
     }
 
     fn write_handler(&mut self, name: &str, param: &str, lines: &[String], with_route: bool) {
-        if with_route {
-            self.imports.insert("from flask import app".to_string());
-            self.body
-                .push_str(&format!("@app.route('/{name}', methods=['GET', 'POST'])\n"));
+        match self.lang {
+            Lang::Py => {
+                if with_route {
+                    self.imports.insert("from flask import app".to_string());
+                    self.body.push_str(&format!(
+                        "@app.route('/{name}', methods=['GET', 'POST'])\n"
+                    ));
+                }
+                self.body.push_str(&format!("def {name}({param}):\n"));
+                for line in lines {
+                    self.body.push_str("    ");
+                    self.body.push_str(line);
+                    self.body.push('\n');
+                }
+                self.body.push('\n');
+            }
+            Lang::Js => {
+                if with_route {
+                    self.imports.insert("import { app } from 'flask';".to_string());
+                }
+                self.body.push_str(&format!("function {name}({param}) {{\n"));
+                for line in lines {
+                    self.body.push_str("    ");
+                    self.body.push_str(line);
+                    self.body.push('\n');
+                }
+                self.body.push_str("}\n");
+                if with_route {
+                    // Express-style registration replaces the decorator.
+                    self.body.push_str(&format!("app.route('/{name}', {name});\n"));
+                }
+                self.body.push('\n');
+            }
         }
-        self.body.push_str(&format!("def {name}({param}):\n"));
-        for line in lines {
-            self.body.push_str("    ");
-            self.body.push_str(line);
-            self.body.push('\n');
-        }
-        self.body.push('\n');
     }
 
     fn finish(self) -> (String, Vec<FlowTruth>, Vec<(String, Role)>) {
@@ -534,6 +680,38 @@ fn pick_literal(rng: &mut SmallRng) -> &'static str {
     const LITERALS: [&str; 10] =
         ["q", "name", "id", "path", "file", "next", "cmd", "title", "page", "user"];
     LITERALS[rng.gen_range(0..LITERALS.len())]
+}
+
+/// Translates a Python import line to its ES-module equivalent. The JS
+/// binding resolves to the same dotted path, so the canonical API
+/// representations are identical across both corpus languages.
+fn js_import(line: &str) -> String {
+    if let Some(rest) = line.strip_prefix("from ") {
+        if let Some((module, names)) = rest.split_once(" import ") {
+            return format!("import {{ {names} }} from '{module}';");
+        }
+    }
+    if let Some(module) = line.strip_prefix("import ") {
+        return format!("import {module} from '{module}';");
+    }
+    line.to_string()
+}
+
+/// Translates a Python expression template to JS. Call/member/subscript
+/// chains are shared syntax; only trailing keyword arguments differ — they
+/// become an options-object argument (`f(x, meta={V})` → `f(x, { meta: {V} })`).
+fn js_template(t: &str) -> String {
+    if let Some(eq) = t.find("={V})") {
+        if let Some(comma) = t[..eq].rfind(", ") {
+            let name = &t[comma + 2..eq];
+            if !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                return format!("{}, {{ {name}: {{V}} }})", &t[..comma]);
+            }
+        }
+    }
+    t.to_string()
 }
 
 #[cfg(test)]
@@ -694,6 +872,89 @@ mod tests {
             );
             return;
         }
+    }
+
+    fn small_js() -> Corpus {
+        generate_corpus(
+            &Universe::new(),
+            &CorpusOptions { projects: 5, lang: Lang::Js, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn js_corpus_is_deterministic_and_distinct() {
+        let a = small_js();
+        let b = small_js();
+        let fa: Vec<&str> = a.files().map(|(_, f)| f.content.as_str()).collect();
+        let fb: Vec<&str> = b.files().map(|(_, f)| f.content.as_str()).collect();
+        assert_eq!(fa, fb);
+        assert!(a.files().all(|(_, f)| f.path.ends_with(".js")));
+    }
+
+    #[test]
+    fn js_corpus_mirrors_python_structure() {
+        // Same seed, different language: identical project/file/flow
+        // structure, because the RNG draw sequence is shared.
+        let py = small();
+        let js = small_js();
+        assert_eq!(py.file_count(), js.file_count());
+        assert_eq!(py.flows.len(), js.flows.len());
+        for (p, j) in py.flows.iter().zip(&js.flows) {
+            assert_eq!(p.kind, j.kind);
+            assert_eq!(p.source, j.source);
+            assert_eq!(p.sink, j.sink);
+            assert_eq!(p.handler, j.handler);
+        }
+    }
+
+    #[test]
+    fn every_js_file_parses_and_builds() {
+        use seldon_jsfront::build_js_source;
+        let c = small_js();
+        assert!(c.file_count() >= 10);
+        for (i, (_, f)) in c.files().enumerate() {
+            let g = build_js_source(&f.content, FileId(i as u32))
+                .unwrap_or_else(|e| panic!("file {} failed: {e}\n{}", f.path, f.content));
+            assert!(g.event_count() > 0, "no events in {}", f.path);
+        }
+    }
+
+    #[test]
+    fn js_vulnerable_flows_detected_by_oracle_spec() {
+        use seldon_jsfront::build_js_source;
+        use seldon_taint::TaintAnalyzer;
+        let u = Universe::new();
+        let mut oracle = seldon_specs::TaintSpec::new();
+        for a in u.apis() {
+            if let Some(role) = a.role {
+                oracle.add(a.rep, role);
+            }
+        }
+        let c = small_js();
+        let vuln = c
+            .flows
+            .iter()
+            .find(|f| matches!(f.kind, FlowKind::Vulnerable { .. }))
+            .expect("some vulnerable flow");
+        let file = c.projects[vuln.project]
+            .files
+            .iter()
+            .find(|sf| sf.path == vuln.file)
+            .unwrap();
+        let g = build_js_source(&file.content, FileId(0)).unwrap();
+        let analyzer = TaintAnalyzer::new(&g, &oracle);
+        let violations = analyzer.find_violations();
+        assert!(
+            violations.iter().any(|v| {
+                u.apis()
+                    .iter()
+                    .any(|a| a.rep == vuln.sink.unwrap() && a.matches_rep(&v.sink_rep))
+            }),
+            "expected a violation for {} -> {:?} in:\n{}\ngot {violations:?}",
+            vuln.handler,
+            vuln.sink,
+            file.content
+        );
     }
 
     #[test]

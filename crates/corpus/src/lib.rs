@@ -30,6 +30,6 @@ pub mod universe;
 
 pub use faults::{apply_fault, FaultKind, InjectedFault, PANIC_MARKER};
 pub use generator::{
-    generate_corpus, Corpus, CorpusOptions, FlowKind, FlowTruth, Project, SourceFile,
+    generate_corpus, Corpus, CorpusOptions, FlowKind, FlowTruth, Lang, Project, SourceFile,
 };
 pub use universe::{ApiShape, ApiSpec, Category, Universe};

@@ -397,6 +397,19 @@ impl Universe {
         spec
     }
 
+    /// The seed specification for a JS-language corpus: identical API
+    /// roles (canonical representations are shared across languages), the
+    /// shared blacklist, plus patterns for JS-only noise idioms (`.trim()`
+    /// replaces `.strip()`, `.length` replaces `len()`). The Python
+    /// [`Universe::seed_spec`] is untouched by JS support.
+    pub fn seed_spec_js(&self) -> TaintSpec {
+        let mut spec = self.seed_spec();
+        for pattern in ["*.trim()", "*.length", "*.toString()", "*.concat()"] {
+            spec.blacklist(pattern);
+        }
+        spec
+    }
+
     /// Sink signatures for the APIs whose harmless parameters the corpus
     /// exercises (the §3.3 parameter-sensitivity extension).
     pub fn sink_signatures(&self) -> Vec<(&'static str, SinkSignature)> {

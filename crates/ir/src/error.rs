@@ -1,0 +1,152 @@
+//! Frontend error types shared by every language frontend.
+//!
+//! The types were originally Python-specific; they are language-neutral
+//! now: [`ParseError::found`] is the *rendered* offending token (each
+//! frontend formats its own token kind), so the same error surface — and
+//! byte-identical `Display` output — works for any lowered language.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong during lexing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LexErrorKind {
+    /// A string literal that never closes.
+    UnterminatedString,
+    /// A character the lexer cannot start any token with.
+    UnexpectedChar(char),
+    /// A dedent to an indentation width that was never pushed
+    /// (indentation-sensitive frontends only).
+    InconsistentDedent,
+    /// A block comment that never closes (`/* ...`).
+    UnterminatedComment,
+}
+
+/// A lexical error with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// The failure category.
+    pub kind: LexErrorKind,
+    /// Where the failure occurred.
+    pub span: Span,
+}
+
+impl LexError {
+    /// Creates a lex error.
+    pub fn new(kind: LexErrorKind, span: Span) -> Self {
+        LexError { kind, span }
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LexErrorKind::UnterminatedString => {
+                write!(f, "unterminated string literal at {}", self.span)
+            }
+            LexErrorKind::UnexpectedChar(c) => {
+                write!(f, "unexpected character `{c}` at {}", self.span)
+            }
+            LexErrorKind::InconsistentDedent => {
+                write!(f, "inconsistent dedent at {}", self.span)
+            }
+            LexErrorKind::UnterminatedComment => {
+                write!(f, "unterminated block comment at {}", self.span)
+            }
+        }
+    }
+}
+
+impl Error for LexError {}
+
+/// A parse error with its location and a human-readable expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description of what the parser expected.
+    pub expected: String,
+    /// The token actually found, rendered by the frontend's token display.
+    pub found: String,
+    /// Where the offending token sits.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates a parse error. `found` is any displayable token kind; it is
+    /// rendered eagerly so the error type stays frontend-neutral.
+    pub fn new(expected: impl Into<String>, found: impl fmt::Display, span: Span) -> Self {
+        ParseError { expected: expected.into(), found: found.to_string(), span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected {} but found {} at {}", self.expected, self.found, self.span)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Either kind of frontend failure, as returned by the strict parse entry
+/// point of every frontend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Parsing failed.
+    Parse(ParseError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Lex(e) => e.fmt(f),
+            FrontendError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for FrontendError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrontendError::Lex(e) => Some(e),
+            FrontendError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<LexError> for FrontendError {
+    fn from(e: LexError) -> Self {
+        FrontendError::Lex(e)
+    }
+}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LexError::new(LexErrorKind::UnexpectedChar('$'), Span::new(0, 1, 3, 7));
+        assert_eq!(e.to_string(), "unexpected character `$` at 3:7");
+        let p = ParseError::new("`:`", "newline", Span::new(0, 1, 1, 5));
+        assert_eq!(p.to_string(), "expected `:` but found newline at 1:5");
+        let c = LexError::new(LexErrorKind::UnterminatedComment, Span::new(0, 1, 2, 1));
+        assert_eq!(c.to_string(), "unterminated block comment at 2:1");
+    }
+
+    #[test]
+    fn frontend_error_sources() {
+        let e: FrontendError =
+            LexError::new(LexErrorKind::UnterminatedString, Span::dummy()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let p: FrontendError = ParseError::new("x", "end of file", Span::dummy()).into();
+        assert!(p.to_string().contains("expected"));
+    }
+}

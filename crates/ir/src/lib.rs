@@ -1,0 +1,25 @@
+//! Language-neutral frontend IR for the Seldon pipeline.
+//!
+//! Every language frontend (Python in `seldon-pyast`/`seldon-propgraph`,
+//! the JS-like subset in `seldon-jsfront`) lowers source text into one
+//! shared [`IrProgram`]: an ordered stream of propagation-graph events
+//! plus the construction ops that connect them. A single language-blind
+//! builder (`seldon_propgraph::build_ir`) then turns any `IrProgram` into
+//! a `PropagationGraph`, so representations, constraints, the solver, and
+//! taint extraction never see a language-specific node.
+//!
+//! This crate also hosts the frontend-neutral [`Span`] and
+//! [`FrontendError`] types that used to live in `seldon-pyast`; that crate
+//! re-exports them for compatibility.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod program;
+pub mod span;
+
+pub use error::{FrontendError, LexError, LexErrorKind, ParseError};
+pub use program::{
+    IrArgPos, IrEdgeKind, IrEvent, IrEventKind, IrFunc, IrOp, IrParam, IrPendingCall, IrProgram,
+};
+pub use span::Span;

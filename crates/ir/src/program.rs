@@ -1,0 +1,378 @@
+//! The language-neutral lowered program: an ordered event/op stream.
+//!
+//! A frontend walks its own AST and records two ordered streams:
+//!
+//! * **events** — the propagation-graph nodes (calls, object reads, param
+//!   bindings), each carrying its interned representation strings and a
+//!   source span. The index of an event in [`IrProgram::events`] *is* its
+//!   graph `EventId` after construction: graph building creates events in
+//!   stream order, so event identity is fixed at lowering time.
+//! * **ops** — everything else the walk did, in the exact order it did it:
+//!   direct flow edges, argument-position tags, and points-to constraints
+//!   (alloc/copy/load/store) over a flat variable space `0..var_count`.
+//!
+//! Cross-function linking state (function summaries and unresolved calls)
+//! is carried as data so the language-blind builder can replay the same
+//! deferred-linking pass the Python builder used to run inline.
+//!
+//! The contract with the graph builder is strict replay: creating events in
+//! order and applying ops in order must reproduce the original builder's
+//! event identity and adjacency order byte-for-byte.
+
+use crate::span::Span;
+use seldon_intern::Symbol;
+
+/// The kind of a lowered event, mirroring the graph's event taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrEventKind {
+    /// A call site.
+    Call,
+    /// A field / attribute / subscript read.
+    ObjectRead,
+    /// A function parameter binding.
+    ParamRead,
+}
+
+impl IrEventKind {
+    /// Short lowercase label used by [`IrProgram::dump`].
+    pub fn label(self) -> &'static str {
+        match self {
+            IrEventKind::Call => "call",
+            IrEventKind::ObjectRead => "read",
+            IrEventKind::ParamRead => "param",
+        }
+    }
+}
+
+/// One propagation-graph node, in creation order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrEvent {
+    /// What kind of event this is.
+    pub kind: IrEventKind,
+    /// Interned representation strings, most specific first.
+    pub reps: Vec<Symbol>,
+    /// Source location of the originating expression.
+    pub span: Span,
+}
+
+/// Kind of a direct flow edge between two events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrEdgeKind {
+    /// Ordinary data-flow (argument) edge.
+    Argument,
+    /// Receiver edge (flow into a method call through its receiver).
+    Receiver,
+}
+
+/// Where an argument sits at a call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrArgPos {
+    /// The call receiver (`recv.m(...)`).
+    Receiver,
+    /// A positional argument (0-based, saturated at 255).
+    Positional(u8),
+    /// A keyword / named argument.
+    Keyword(String),
+}
+
+/// One replayable step of graph construction, in the exact order the
+/// frontend's walk performed it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrOp {
+    /// Add a flow edge between two events (indices into the event stream).
+    Edge {
+        /// Source event index.
+        from: u32,
+        /// Target event index.
+        to: u32,
+        /// Edge kind.
+        kind: IrEdgeKind,
+    },
+    /// Record the argument position of `from` at call event `to`.
+    ArgPos {
+        /// Source event index.
+        from: u32,
+        /// Call event index.
+        to: u32,
+        /// The position tag.
+        pos: IrArgPos,
+    },
+    /// Points-to: variable `var` may point to allocation site `site`
+    /// (an event index used as the abstract object identity).
+    Alloc {
+        /// Points-to variable (index into `0..var_count`).
+        var: u32,
+        /// Allocation-site event index.
+        site: u32,
+    },
+    /// Points-to: everything `from` points to, `to` may point to.
+    Copy {
+        /// Source variable.
+        from: u32,
+        /// Target variable.
+        to: u32,
+    },
+    /// Points-to: `target` receives `base.field` for every object `base`
+    /// may point to.
+    Load {
+        /// Base variable.
+        base: u32,
+        /// Field name (frontend-rendered, e.g. `name` or `['key']`).
+        field: String,
+        /// Target variable.
+        target: u32,
+    },
+    /// Points-to: `base.field` receives everything `value` points to.
+    Store {
+        /// Base variable.
+        base: u32,
+        /// Field name.
+        field: String,
+        /// Value variable.
+        value: u32,
+    },
+    /// After solving, add an edge from every allocation site `var` points
+    /// to into `event` (field-sensitive alias flow).
+    PtLoad {
+        /// Target event index.
+        event: u32,
+        /// Solved points-to variable.
+        var: u32,
+    },
+}
+
+/// A parameter of a lowered function summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrParam {
+    /// Parameter name as written in source.
+    pub name: String,
+    /// The `ParamRead` event bound to this parameter.
+    pub event: u32,
+    /// Whether the parameter is an implicit receiver (`self` / `cls`) that
+    /// positional arguments must not bind to. Language-specific: the
+    /// frontend decides, the builder only filters.
+    pub implicit: bool,
+}
+
+/// A function summary used for deferred call linking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunc {
+    /// Qualified name (`func` or `Class::method`).
+    pub qualified: String,
+    /// Declared parameters in order.
+    pub params: Vec<IrParam>,
+    /// Events flowing out of `return` statements.
+    pub returns: Vec<u32>,
+}
+
+/// A call to a (possibly) locally-defined function, resolved after the
+/// whole file has been lowered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrPendingCall {
+    /// Qualified callee name to look up in the function summaries.
+    pub qualified: String,
+    /// Flow sets of each positional argument, in order.
+    pub arg_flows: Vec<Vec<u32>>,
+    /// Flow sets of keyword arguments, as (name, flows).
+    pub kwarg_flows: Vec<(String, Vec<u32>)>,
+    /// The call event itself, if one was created.
+    pub call_event: Option<u32>,
+}
+
+/// A fully lowered file, ready for language-blind graph construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IrProgram {
+    /// Graph nodes in creation order (index = future `EventId`).
+    pub events: Vec<IrEvent>,
+    /// Construction steps in execution order.
+    pub ops: Vec<IrOp>,
+    /// Number of points-to variables referenced by ops (`0..var_count`).
+    pub var_count: u32,
+    /// Function summaries in first-definition order.
+    pub funcs: Vec<IrFunc>,
+    /// Calls deferred until all summaries are known, in call order.
+    pub pending: Vec<IrPendingCall>,
+}
+
+impl IrProgram {
+    /// Renders the program as a stable, human-readable listing — the
+    /// backend of `seldon ir-dump`, for diffing frontends and bug reports.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "ir: {} events, {} ops, {} vars, {} funcs, {} pending calls",
+            self.events.len(),
+            self.ops.len(),
+            self.var_count,
+            self.funcs.len(),
+            self.pending.len()
+        );
+        for (i, ev) in self.events.iter().enumerate() {
+            let reps: Vec<&str> = ev.reps.iter().map(|s| s.as_str()).collect();
+            let _ = writeln!(
+                out,
+                "e{i} {} @{} [{}]",
+                ev.kind.label(),
+                ev.span,
+                reps.join(", ")
+            );
+        }
+        for op in &self.ops {
+            match op {
+                IrOp::Edge { from, to, kind } => {
+                    let k = match kind {
+                        IrEdgeKind::Argument => "arg",
+                        IrEdgeKind::Receiver => "recv",
+                    };
+                    let _ = writeln!(out, "edge e{from} -> e{to} ({k})");
+                }
+                IrOp::ArgPos { from, to, pos } => {
+                    let p = match pos {
+                        IrArgPos::Receiver => "receiver".to_string(),
+                        IrArgPos::Positional(i) => format!("pos {i}"),
+                        IrArgPos::Keyword(k) => format!("kw {k}"),
+                    };
+                    let _ = writeln!(out, "argpos e{from} @ e{to}: {p}");
+                }
+                IrOp::Alloc { var, site } => {
+                    let _ = writeln!(out, "pt alloc v{var} <- site e{site}");
+                }
+                IrOp::Copy { from, to } => {
+                    let _ = writeln!(out, "pt copy v{from} -> v{to}");
+                }
+                IrOp::Load { base, field, target } => {
+                    let _ = writeln!(out, "pt load v{target} = v{base}.{field}");
+                }
+                IrOp::Store { base, field, value } => {
+                    let _ = writeln!(out, "pt store v{base}.{field} = v{value}");
+                }
+                IrOp::PtLoad { event, var } => {
+                    let _ = writeln!(out, "pt-load e{event} <- pts(v{var})");
+                }
+            }
+        }
+        for f in &self.funcs {
+            let params: Vec<String> = f
+                .params
+                .iter()
+                .map(|p| {
+                    if p.implicit {
+                        format!("{}*=e{}", p.name, p.event)
+                    } else {
+                        format!("{}=e{}", p.name, p.event)
+                    }
+                })
+                .collect();
+            let rets: Vec<String> = f.returns.iter().map(|r| format!("e{r}")).collect();
+            let _ = writeln!(
+                out,
+                "func {}({}) returns [{}]",
+                f.qualified,
+                params.join(", "),
+                rets.join(", ")
+            );
+        }
+        for p in &self.pending {
+            let args: Vec<String> = p
+                .arg_flows
+                .iter()
+                .map(|fs| {
+                    let es: Vec<String> = fs.iter().map(|e| format!("e{e}")).collect();
+                    format!("[{}]", es.join(", "))
+                })
+                .collect();
+            let kwargs: Vec<String> = p
+                .kwarg_flows
+                .iter()
+                .map(|(k, fs)| {
+                    let es: Vec<String> = fs.iter().map(|e| format!("e{e}")).collect();
+                    format!("{k}=[{}]", es.join(", "))
+                })
+                .collect();
+            let ev = match p.call_event {
+                Some(e) => format!("e{e}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "pending {}({}{}{}) event {}",
+                p.qualified,
+                args.join(", "),
+                if args.is_empty() || kwargs.is_empty() { "" } else { ", " },
+                kwargs.join(", "),
+                ev
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldon_intern::intern;
+
+    #[test]
+    fn dump_is_stable_and_complete() {
+        let prog = IrProgram {
+            events: vec![
+                IrEvent {
+                    kind: IrEventKind::ParamRead,
+                    reps: vec![intern("f(param x)")],
+                    span: Span::new(0, 1, 1, 7),
+                },
+                IrEvent {
+                    kind: IrEventKind::Call,
+                    reps: vec![intern("g()")],
+                    span: Span::new(10, 14, 2, 5),
+                },
+            ],
+            ops: vec![
+                IrOp::Edge { from: 0, to: 1, kind: IrEdgeKind::Argument },
+                IrOp::ArgPos { from: 0, to: 1, pos: IrArgPos::Positional(0) },
+                IrOp::Alloc { var: 0, site: 1 },
+                IrOp::Copy { from: 0, to: 1 },
+                IrOp::Load { base: 1, field: "name".into(), target: 2 },
+                IrOp::Store { base: 1, field: "name".into(), value: 0 },
+                IrOp::PtLoad { event: 1, var: 2 },
+            ],
+            var_count: 3,
+            funcs: vec![IrFunc {
+                qualified: "C::m".into(),
+                params: vec![
+                    IrParam { name: "self".into(), event: 0, implicit: true },
+                    IrParam { name: "x".into(), event: 0, implicit: false },
+                ],
+                returns: vec![1],
+            }],
+            pending: vec![IrPendingCall {
+                qualified: "g".into(),
+                arg_flows: vec![vec![0]],
+                kwarg_flows: vec![("k".into(), vec![1])],
+                call_event: Some(1),
+            }],
+        };
+        let d = prog.dump();
+        assert!(d.starts_with("ir: 2 events, 7 ops, 3 vars, 1 funcs, 1 pending calls\n"));
+        assert!(d.contains("e0 param @1:7 [f(param x)]"));
+        assert!(d.contains("e1 call @2:5 [g()]"));
+        assert!(d.contains("edge e0 -> e1 (arg)"));
+        assert!(d.contains("argpos e0 @ e1: pos 0"));
+        assert!(d.contains("pt alloc v0 <- site e1"));
+        assert!(d.contains("pt load v2 = v1.name"));
+        assert!(d.contains("pt-load e1 <- pts(v2)"));
+        assert!(d.contains("func C::m(self*=e0, x=e0) returns [e1]"));
+        assert!(d.contains("pending g([e0], k=[e1]) event e1"));
+        // stable: identical program, identical bytes
+        assert_eq!(d, prog.clone().dump());
+    }
+
+    #[test]
+    fn default_program_is_empty() {
+        let p = IrProgram::default();
+        assert!(p.events.is_empty());
+        assert!(p.dump().starts_with("ir: 0 events"));
+    }
+}

@@ -1,0 +1,156 @@
+//! AST of the JS-like subset.
+//!
+//! Deliberately small: the subset covers what the corpus generator emits
+//! and what the lowering needs — functions, calls, member chains,
+//! assignments, `var`/`let`/`const`, `if`/`else`, object and array
+//! literals, and both ES (`import ... from`) and CommonJS (`require`)
+//! imports.
+
+use seldon_ir::Span;
+
+/// A parsed file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Top-level statements in source order.
+    pub body: Vec<Stmt>,
+}
+
+/// One binding introduced by an ES import statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportBinding {
+    /// `import name from 'mod'` — the default export.
+    Default(String),
+    /// `import * as name from 'mod'` — the whole namespace.
+    Namespace(String),
+    /// `import { exported as local } from 'mod'` (`local == exported`
+    /// without `as`).
+    Named {
+        /// Exported name in the module.
+        exported: String,
+        /// Name bound locally.
+        local: String,
+    },
+}
+
+/// A statement with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement variant.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `import ... from 'module'`.
+    Import {
+        /// The bindings introduced.
+        bindings: Vec<ImportBinding>,
+        /// The module specifier string.
+        module: String,
+    },
+    /// `function name(params) { body }`.
+    Func(FuncDecl),
+    /// `var`/`let`/`const` declaration (single declarator).
+    VarDecl {
+        /// Bound name (simple declarator), or `None` for a destructuring
+        /// pattern carried in `pattern`.
+        name: Option<String>,
+        /// `{a, b: c}` destructuring entries as `(property, local)` pairs.
+        pattern: Vec<(String, String)>,
+        /// Initializer, if present.
+        init: Option<Expr>,
+    },
+    /// `target = value` (target may be a name, member, or index).
+    Assign {
+        /// Assignment target.
+        target: Expr,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// `return expr?`.
+    Return(Option<Expr>),
+    /// `if (test) { cons } else { alt }`.
+    If {
+        /// Condition.
+        test: Expr,
+        /// Then-branch statements.
+        cons: Vec<Stmt>,
+        /// Else-branch statements (empty without `else`).
+        alt: Vec<Stmt>,
+    },
+    /// A bare expression statement.
+    Expr(Expr),
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters as `(name, span)` in order.
+    pub params: Vec<(String, Span)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// An expression with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression variant.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// A bare identifier.
+    Ident(String),
+    /// A string literal.
+    Str(String),
+    /// A numeric literal.
+    Num(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null` / `undefined`.
+    Null,
+    /// `obj.prop`.
+    Member {
+        /// The object expression.
+        obj: Box<Expr>,
+        /// The property name.
+        prop: String,
+    },
+    /// `obj[index]`.
+    Index {
+        /// The object expression.
+        obj: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// `callee(args)` — `new X(...)` parses to this too.
+    Call {
+        /// The callee expression.
+        callee: Box<Expr>,
+        /// Arguments in order.
+        args: Vec<Expr>,
+    },
+    /// `{ key: value, ... }`.
+    Object(Vec<(String, Expr)>),
+    /// `[ a, b, ... ]`.
+    Array(Vec<Expr>),
+    /// Any binary operation (`a + b`, comparisons, logic): flow is the
+    /// union of both sides, so the operator itself is not kept.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A unary operation (`!x`, `-x`): flow passes through.
+    Unary(Box<Expr>),
+}

@@ -1,0 +1,827 @@
+//! Lowers the JS-like AST into the language-neutral IR.
+//!
+//! This mirrors the Python lowering in `seldon-propgraph::lower` decision
+//! for decision — environment threading with strong updates, branch
+//! save/merge, per-call-site inlining with a depth-3 recursion guard,
+//! points-to ops for field aliasing — but resolves names with JS rules:
+//! ES `import`/CommonJS `require` bindings, no implicit receiver
+//! parameters, object/array literals as value unions.
+//!
+//! Everything downstream of the produced [`IrProgram`] (graph replay,
+//! representations' backoff, constraints, solver) is shared with the
+//! Python frontend and contains no per-language branches.
+
+use crate::ast::*;
+use crate::parser::parse;
+use seldon_intern::{intern, Symbol};
+use seldon_ir::{
+    FrontendError, IrArgPos, IrEdgeKind, IrEvent, IrEventKind, IrFunc, IrOp, IrParam,
+    IrPendingCall, IrProgram,
+};
+use seldon_propgraph::{finish_reps, Budget, BudgetExceeded, BudgetMeter, ReprCtx};
+use std::collections::HashMap;
+
+/// Maximum events tracked per variable binding; larger sets are truncated.
+const MAX_FLOW_SET: usize = 8;
+
+/// A set of event indices whose values may flow into a binding.
+type FlowSet = Vec<u32>;
+
+/// Lowers one parsed program into the language-neutral IR.
+pub fn lower_js_program(program: &Program) -> IrProgram {
+    let mut l = Lowerer::new();
+    l.run(program);
+    l.into_ir()
+}
+
+/// Lowers one parsed program under a resource [`Budget`].
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] if the walk trips a statement-count, depth,
+/// or deadline limit; the partial IR is discarded.
+pub fn lower_js_program_budgeted(
+    program: &Program,
+    budget: &Budget,
+) -> Result<IrProgram, BudgetExceeded> {
+    let mut l = Lowerer::new();
+    l.meter = Some(BudgetMeter::new(budget.clone()));
+    l.run(program);
+    if let Some(e) = l.meter.take().and_then(BudgetMeter::into_tripped) {
+        return Err(e);
+    }
+    Ok(l.into_ir())
+}
+
+/// Parses `source` and lowers it into the IR — the `seldon ir-dump`
+/// backend for `.js` files.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] if the source fails to lex or parse.
+pub fn lower_js_source(source: &str) -> Result<IrProgram, FrontendError> {
+    let program = parse(source)?;
+    Ok(lower_js_program(&program))
+}
+
+// ----- representations -------------------------------------------------------
+
+/// Splits a module specifier like `./app/models.js` into dotted-path
+/// segments (`["app", "models", "js"]` → the `.js` suffix is dropped).
+fn module_segments(module: &str) -> Vec<String> {
+    let trimmed = module.trim_start_matches("./");
+    let mut segs: Vec<String> = trimmed
+        .split(['/', '.'])
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if segs.len() > 1 && segs.last().is_some_and(|s| s == "js") {
+        segs.pop();
+    }
+    segs
+}
+
+/// Computes representation variants of a JS expression, most → least
+/// specific, reusing the shared name-resolution rules in [`ReprCtx`] and
+/// the shared interning/backoff in [`finish_reps`].
+fn describe_syms_js(expr: &Expr, ctx: &ReprCtx) -> Vec<Symbol> {
+    finish_reps(describe_inner(expr, ctx, 0))
+}
+
+/// String-resolving convenience wrapper around [`describe_syms_js`].
+fn describe_js(expr: &Expr, ctx: &ReprCtx) -> Vec<String> {
+    describe_syms_js(expr, ctx).iter().map(|s| s.as_str().to_string()).collect()
+}
+
+fn describe_inner(expr: &Expr, ctx: &ReprCtx, depth: usize) -> Vec<String> {
+    if depth > 12 {
+        return Vec::new();
+    }
+    match &expr.kind {
+        ExprKind::Ident(n) => ctx.name_variants(n),
+        ExprKind::Member { obj, prop } => describe_inner(obj, ctx, depth + 1)
+            .into_iter()
+            .map(|v| format!("{v}.{prop}"))
+            .collect(),
+        ExprKind::Call { callee, .. } => describe_inner(callee, ctx, depth + 1)
+            .into_iter()
+            .map(|v| format!("{v}()"))
+            .collect(),
+        ExprKind::Index { obj, index } => {
+            let idx = render_index(index);
+            describe_inner(obj, ctx, depth + 1)
+                .into_iter()
+                .map(|v| format!("{v}[{idx}]"))
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn render_index(index: &Expr) -> String {
+    match &index.kind {
+        ExprKind::Str(s) => format!("'{s}'"),
+        ExprKind::Num(n) => n.clone(),
+        _ => String::new(),
+    }
+}
+
+/// Field name used for index loads/stores, matching the representation
+/// rendering (`['key']`, `[0]`, `[]`).
+fn index_field_name(index: &Expr) -> String {
+    match &index.kind {
+        ExprKind::Str(s) => format!("['{s}']"),
+        ExprKind::Num(n) => format!("[{n}]"),
+        _ => "[]".to_string(),
+    }
+}
+
+/// Matches `require('module')` and returns the specifier.
+fn require_module(expr: &Expr) -> Option<&str> {
+    if let ExprKind::Call { callee, args } = &expr.kind {
+        if let ExprKind::Ident(n) = &callee.kind {
+            if n == "require" && args.len() == 1 {
+                if let ExprKind::Str(m) = &args[0].kind {
+                    return Some(m);
+                }
+            }
+        }
+    }
+    None
+}
+
+// ----- lowering ---------------------------------------------------------------
+
+/// Summary of a locally-defined function for call linking.
+#[derive(Debug, Clone, Default)]
+struct FuncSummary {
+    /// `(name, param event)` in declaration order.
+    params: Vec<(String, u32)>,
+    /// Events flowing into `return` statements.
+    returns: Vec<u32>,
+    /// The function body, kept for per-call-site inlining.
+    def: Option<FuncDecl>,
+}
+
+/// Per-function analysis scope.
+struct Scope {
+    ctx: ReprCtx,
+    env: HashMap<String, FlowSet>,
+    returns: Vec<u32>,
+    /// Unique id for qualifying points-to variable names.
+    scope_id: u32,
+}
+
+impl Scope {
+    fn merge_env(&mut self, other: HashMap<String, FlowSet>) {
+        for (k, v) in other {
+            let slot = self.env.entry(k).or_default();
+            for e in v {
+                if !slot.contains(&e) {
+                    slot.push(e);
+                }
+            }
+            slot.truncate(MAX_FLOW_SET);
+        }
+    }
+}
+
+struct Lowerer {
+    ir: IrProgram,
+    imports: HashMap<String, Vec<String>>,
+    /// Named points-to variables, memoized by `s{scope}::{name}` exactly
+    /// like the Python lowering.
+    var_names: HashMap<String, u32>,
+    funcs: HashMap<String, FuncSummary>,
+    /// Names in first-definition order, for stable IR emission.
+    func_order: Vec<String>,
+    /// Names currently being inlined (recursion guard / depth bound).
+    inline_stack: Vec<String>,
+    next_scope: u32,
+    /// Resource accounting; `None` lowers without limits.
+    meter: Option<BudgetMeter>,
+    /// Current statement-nesting depth, fed to the meter.
+    stmt_depth: usize,
+}
+
+impl Lowerer {
+    fn new() -> Self {
+        Lowerer {
+            ir: IrProgram::default(),
+            imports: HashMap::new(),
+            var_names: HashMap::new(),
+            funcs: HashMap::new(),
+            func_order: Vec::new(),
+            inline_stack: Vec::new(),
+            next_scope: 0,
+            meter: None,
+            stmt_depth: 0,
+        }
+    }
+
+    fn run(&mut self, program: &Program) {
+        self.collect_imports(&program.body);
+        let mut scope = self.new_scope(None, &[]);
+        for stmt in &program.body {
+            self.walk_stmt(stmt, &mut scope);
+        }
+    }
+
+    fn into_ir(mut self) -> IrProgram {
+        for name in &self.func_order {
+            let s = &self.funcs[name];
+            self.ir.funcs.push(IrFunc {
+                qualified: name.clone(),
+                params: s
+                    .params
+                    .iter()
+                    .map(|(n, ev)| IrParam {
+                        name: n.clone(),
+                        event: *ev,
+                        // JS has no `self`/`cls` receiver slot: every
+                        // parameter binds positionally.
+                        implicit: false,
+                    })
+                    .collect(),
+                returns: s.returns.clone(),
+            });
+        }
+        self.ir
+    }
+
+    // ----- IR emission helpers ----------------------------------------------
+
+    fn add_event(
+        &mut self,
+        kind: IrEventKind,
+        reps: Vec<Symbol>,
+        span: seldon_ir::Span,
+    ) -> u32 {
+        let id = self.ir.events.len() as u32;
+        self.ir.events.push(IrEvent { kind, reps, span });
+        id
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32) {
+        self.ir.ops.push(IrOp::Edge { from, to, kind: IrEdgeKind::Argument });
+    }
+
+    fn add_edge_recv(&mut self, from: u32, to: u32) {
+        self.ir.ops.push(IrOp::Edge { from, to, kind: IrEdgeKind::Receiver });
+    }
+
+    fn set_arg_position(&mut self, from: u32, to: u32, pos: IrArgPos) {
+        self.ir.ops.push(IrOp::ArgPos { from, to, pos });
+    }
+
+    fn pt_var(&mut self, scope: &Scope, name: &str) -> u32 {
+        let key = format!("s{}::{}", scope.scope_id, name);
+        if let Some(&v) = self.var_names.get(&key) {
+            return v;
+        }
+        let v = self.fresh_var();
+        self.var_names.insert(key, v);
+        v
+    }
+
+    fn fresh_var(&mut self) -> u32 {
+        let v = self.ir.var_count;
+        self.ir.var_count += 1;
+        v
+    }
+
+    /// Resolves every import binding (ES and CommonJS) in the file into
+    /// dotted paths, recursing into function/branch bodies.
+    fn collect_imports(&mut self, body: &[Stmt]) {
+        for stmt in body {
+            match &stmt.kind {
+                StmtKind::Import { bindings, module } => {
+                    let segs = module_segments(module);
+                    if segs.is_empty() {
+                        continue;
+                    }
+                    for b in bindings {
+                        match b {
+                            ImportBinding::Default(name)
+                            | ImportBinding::Namespace(name) => {
+                                self.imports.insert(name.clone(), segs.clone());
+                            }
+                            ImportBinding::Named { exported, local } => {
+                                let mut path = segs.clone();
+                                path.push(exported.clone());
+                                self.imports.insert(local.clone(), path);
+                            }
+                        }
+                    }
+                }
+                StmtKind::VarDecl { name, pattern, init: Some(init) } => {
+                    if let Some(module) = require_module(init) {
+                        let segs = module_segments(module);
+                        if segs.is_empty() {
+                            continue;
+                        }
+                        if let Some(n) = name {
+                            self.imports.insert(n.clone(), segs.clone());
+                        }
+                        for (prop, local) in pattern {
+                            let mut path = segs.clone();
+                            path.push(prop.clone());
+                            self.imports.insert(local.clone(), path);
+                        }
+                    }
+                }
+                StmtKind::Func(def) => self.collect_imports(&def.body),
+                StmtKind::If { cons, alt, .. } => {
+                    self.collect_imports(cons);
+                    self.collect_imports(alt);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn new_scope(&mut self, func_name: Option<String>, params: &[String]) -> Scope {
+        let ctx = ReprCtx {
+            imports: self.imports.clone(),
+            class_name: None,
+            base_class: None,
+            func_name,
+            params: params.to_vec(),
+            locals: HashMap::new(),
+        };
+        let scope_id = self.next_scope;
+        self.next_scope += 1;
+        Scope { ctx, env: HashMap::new(), returns: Vec::new(), scope_id }
+    }
+
+    // ----- statements -------------------------------------------------------
+
+    fn walk_stmt(&mut self, stmt: &Stmt, sc: &mut Scope) {
+        if let Some(meter) = &mut self.meter {
+            if !meter.tick_statement(self.stmt_depth) {
+                return;
+            }
+        }
+        self.stmt_depth += 1;
+        self.walk_stmt_inner(stmt, sc);
+        self.stmt_depth -= 1;
+    }
+
+    fn walk_stmt_inner(&mut self, stmt: &Stmt, sc: &mut Scope) {
+        match &stmt.kind {
+            StmtKind::Import { .. } => {}
+            StmtKind::Func(def) => self.walk_function(def, sc),
+            StmtKind::Return(value) => {
+                if let Some(v) = value {
+                    let flows = self.eval(v, sc);
+                    sc.returns.extend(flows);
+                }
+            }
+            StmtKind::VarDecl { name, pattern, init } => {
+                let Some(init) = init else {
+                    if let Some(n) = name {
+                        sc.env.insert(n.clone(), Vec::new());
+                        sc.ctx.locals.remove(n);
+                    }
+                    return;
+                };
+                // A pure `require` initializer is an import, not a call:
+                // the binding was collected up front and creates no event
+                // (mirroring Python, where import statements are silent).
+                if require_module(init).is_some() {
+                    return;
+                }
+                let flows = self.eval(init, sc);
+                let variants = describe_js(init, &sc.ctx);
+                if let Some(n) = name {
+                    self.bind_name(n, &flows, &variants, init, sc);
+                }
+                for (_, local) in pattern {
+                    sc.env.insert(local.clone(), flows.clone());
+                    sc.ctx.locals.remove(local);
+                    let var = self.pt_var(sc, local);
+                    for &e in &flows {
+                        self.ir.ops.push(IrOp::Alloc { var, site: e });
+                    }
+                }
+            }
+            StmtKind::Assign { target, value } => {
+                let flows = self.eval(value, sc);
+                let variants = describe_js(value, &sc.ctx);
+                self.assign_to(target, &flows, &variants, value, sc);
+            }
+            StmtKind::If { test, cons, alt } => {
+                self.eval(test, sc);
+                let before = sc.env.clone();
+                for s in cons {
+                    self.walk_stmt(s, sc);
+                }
+                let after_then = std::mem::replace(&mut sc.env, before);
+                for s in alt {
+                    self.walk_stmt(s, sc);
+                }
+                sc.merge_env(after_then);
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e, sc);
+            }
+        }
+    }
+
+    fn walk_function(&mut self, def: &FuncDecl, outer: &mut Scope) {
+        let param_names: Vec<String> = def.params.iter().map(|(n, _)| n.clone()).collect();
+        let mut scope = self.new_scope(Some(def.name.clone()), &param_names);
+        // Free variables see enclosing (module) bindings.
+        scope.env = outer.env.clone();
+        scope.ctx.locals = outer.ctx.locals.clone();
+        // Formal parameters are source-candidate events, represented as
+        // `{func}(param {name})` exactly like Python module functions.
+        let mut summary = FuncSummary::default();
+        for (name, span) in &def.params {
+            let reps = vec![intern(&format!("{}(param {})", def.name, name))];
+            let ev = self.add_event(IrEventKind::ParamRead, reps, *span);
+            scope.env.insert(name.clone(), vec![ev]);
+            summary.params.push((name.clone(), ev));
+        }
+        for s in &def.body {
+            self.walk_stmt(s, &mut scope);
+        }
+        summary.returns = scope.returns.clone();
+        summary.def = Some(def.clone());
+        if self.funcs.insert(def.name.clone(), summary).is_none() {
+            self.func_order.push(def.name.clone());
+        }
+    }
+
+    // ----- assignment targets -------------------------------------------------
+
+    fn bind_name(
+        &mut self,
+        name: &str,
+        flows: &FlowSet,
+        variants: &[String],
+        value: &Expr,
+        sc: &mut Scope,
+    ) {
+        sc.env.insert(name.to_string(), flows.clone());
+        if variants.is_empty() {
+            sc.ctx.locals.remove(name);
+        } else {
+            sc.ctx.locals.insert(name.to_string(), variants.to_vec());
+        }
+        let var = self.pt_var(sc, name);
+        for &e in flows {
+            self.ir.ops.push(IrOp::Alloc { var, site: e });
+        }
+        if let ExprKind::Ident(m) = &value.kind {
+            let from = self.pt_var(sc, m);
+            self.ir.ops.push(IrOp::Copy { from, to: var });
+        }
+    }
+
+    fn assign_to(
+        &mut self,
+        target: &Expr,
+        flows: &FlowSet,
+        variants: &[String],
+        value: &Expr,
+        sc: &mut Scope,
+    ) {
+        match &target.kind {
+            ExprKind::Ident(n) => {
+                let n = n.clone();
+                self.bind_name(&n, flows, variants, value, sc);
+            }
+            ExprKind::Member { obj, prop } => {
+                self.store_through(obj, prop, flows, sc);
+            }
+            ExprKind::Index { obj, index } => {
+                let field = index_field_name(index);
+                self.store_through(obj, &field, flows, sc);
+            }
+            _ => {}
+        }
+    }
+
+    /// Handles `base.field = flows`: a points-to store plus a weak update
+    /// of the base binding so environment flow still observes the taint.
+    fn store_through(&mut self, base: &Expr, field: &str, flows: &FlowSet, sc: &mut Scope) {
+        self.eval(base, sc);
+        if let ExprKind::Ident(n) = &base.kind {
+            let base_var = self.pt_var(sc, n);
+            let value_var = self.fresh_var();
+            for &e in flows {
+                self.ir.ops.push(IrOp::Alloc { var: value_var, site: e });
+            }
+            self.ir.ops.push(IrOp::Store {
+                base: base_var,
+                field: field.to_string(),
+                value: value_var,
+            });
+            let slot = sc.env.entry(n.clone()).or_default();
+            for &e in flows {
+                if !slot.contains(&e) {
+                    slot.push(e);
+                }
+            }
+            slot.truncate(MAX_FLOW_SET);
+        }
+    }
+
+    // ----- expressions ----------------------------------------------------------
+
+    fn eval(&mut self, expr: &Expr, sc: &mut Scope) -> FlowSet {
+        match &expr.kind {
+            ExprKind::Ident(n) => sc.env.get(n).cloned().unwrap_or_default(),
+            ExprKind::Str(_) | ExprKind::Num(_) | ExprKind::Bool(_) | ExprKind::Null => {
+                Vec::new()
+            }
+            ExprKind::Member { obj, prop } => {
+                let base_flows = self.eval(obj, sc);
+                self.read_event(expr, obj, prop, base_flows, sc)
+            }
+            ExprKind::Index { obj, index } => {
+                let mut base_flows = self.eval(obj, sc);
+                union_into(&mut base_flows, self.eval(index, sc));
+                let field = index_field_name(index);
+                self.read_event(expr, obj, &field, base_flows, sc)
+            }
+            ExprKind::Call { callee, args } => self.eval_call(expr, callee, args, sc),
+            ExprKind::Object(entries) => {
+                // Literals flow their property values to the whole value.
+                let mut out = Vec::new();
+                for (_, v) in entries {
+                    union_into(&mut out, self.eval(v, sc));
+                }
+                out
+            }
+            ExprKind::Array(elems) => {
+                let mut out = Vec::new();
+                for e in elems {
+                    union_into(&mut out, self.eval(e, sc));
+                }
+                out
+            }
+            ExprKind::Binary { left, right } => {
+                let mut out = self.eval(left, sc);
+                union_into(&mut out, self.eval(right, sc));
+                out
+            }
+            ExprKind::Unary(inner) => self.eval(inner, sc),
+        }
+    }
+
+    /// Creates an object-read event for `expr` (a member or index load of
+    /// `field` on `base`). Falls back to pass-through flow when the
+    /// expression has no stable representation.
+    fn read_event(
+        &mut self,
+        expr: &Expr,
+        base: &Expr,
+        field: &str,
+        base_flows: FlowSet,
+        sc: &mut Scope,
+    ) -> FlowSet {
+        let reps = describe_syms_js(expr, &sc.ctx);
+        if reps.is_empty() {
+            return base_flows;
+        }
+        let ev = self.add_event(IrEventKind::ObjectRead, reps, expr.span);
+        for &f in &base_flows {
+            self.add_edge_recv(f, ev);
+        }
+        if let ExprKind::Ident(n) = &base.kind {
+            let base_var = self.pt_var(sc, n);
+            let out = self.fresh_var();
+            self.ir.ops.push(IrOp::Load {
+                base: base_var,
+                field: field.to_string(),
+                target: out,
+            });
+            self.ir.ops.push(IrOp::PtLoad { event: ev, var: out });
+        }
+        vec![ev]
+    }
+
+    fn eval_call(
+        &mut self,
+        expr: &Expr,
+        callee: &Expr,
+        args: &[Expr],
+        sc: &mut Scope,
+    ) -> FlowSet {
+        // Receiver/base flows: for `x.m(...)` the object chain flows into
+        // the call event.
+        let recv_flows = match &callee.kind {
+            ExprKind::Member { obj, .. } => self.eval(obj, sc),
+            ExprKind::Ident(n) => sc.env.get(n).cloned().unwrap_or_default(),
+            _ => self.eval(callee, sc),
+        };
+        let arg_flows: Vec<FlowSet> = args.iter().map(|a| self.eval(a, sc)).collect();
+
+        let reps = describe_syms_js(expr, &sc.ctx);
+        let call_event = if reps.is_empty() {
+            None
+        } else {
+            Some(self.add_event(IrEventKind::Call, reps, expr.span))
+        };
+
+        if let Some(ev) = call_event {
+            for &f in &recv_flows {
+                self.add_edge_recv(f, ev);
+                self.set_arg_position(f, ev, IrArgPos::Receiver);
+            }
+            for (i, flows) in arg_flows.iter().enumerate() {
+                for &f in flows {
+                    self.add_edge(f, ev);
+                    self.set_arg_position(f, ev, IrArgPos::Positional(i.min(255) as u8));
+                }
+            }
+        }
+
+        // Link calls to locally-defined functions.
+        if let ExprKind::Ident(q) = &callee.kind {
+            let q = q.clone();
+            let inlinable = self.inline_stack.len() < 3
+                && !self.inline_stack.iter().any(|n| n == &q);
+            let callee_info = if inlinable {
+                self.funcs
+                    .get(&q)
+                    .cloned()
+                    .and_then(|mut info| info.def.take().map(|def| (info, def)))
+            } else {
+                None
+            };
+            if let Some((_, def)) = callee_info {
+                let returns = self.inline_call(&q, &def, &arg_flows);
+                if let Some(ev) = call_event {
+                    for r in returns {
+                        self.add_edge(r, ev);
+                    }
+                }
+            } else {
+                self.ir.pending.push(IrPendingCall {
+                    qualified: q,
+                    arg_flows: arg_flows.clone(),
+                    kwarg_flows: Vec::new(),
+                    call_event,
+                });
+            }
+        }
+
+        match call_event {
+            Some(ev) => vec![ev],
+            None => {
+                let mut out = recv_flows;
+                for flows in arg_flows {
+                    union_into(&mut out, flows);
+                }
+                out
+            }
+        }
+    }
+
+    /// Re-analyzes `def`'s body with parameters bound to the call's
+    /// argument flows, returning the events that flow into its `return`s.
+    fn inline_call(&mut self, qualified: &str, def: &FuncDecl, arg_flows: &[FlowSet]) -> FlowSet {
+        let param_names: Vec<String> = def.params.iter().map(|(n, _)| n.clone()).collect();
+        let mut scope = self.new_scope(Some(def.name.clone()), &param_names);
+        for (i, flows) in arg_flows.iter().enumerate() {
+            if let Some(name) = param_names.get(i) {
+                scope.env.insert(name.clone(), flows.clone());
+            }
+        }
+        self.inline_stack.push(qualified.to_string());
+        for stmt in &def.body {
+            self.walk_stmt(stmt, &mut scope);
+        }
+        self.inline_stack.pop();
+        scope.returns
+    }
+}
+
+fn union_into(dst: &mut FlowSet, src: FlowSet) {
+    for e in src {
+        if !dst.contains(&e) {
+            dst.push(e);
+        }
+    }
+    dst.truncate(MAX_FLOW_SET);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_emits_events_in_walk_order() {
+        let ir = lower_js_source(
+            "import { f } from 'm';\nconst x = f(1);\nconst y = x.data;\n",
+        )
+        .expect("lowers");
+        assert_eq!(ir.events.len(), 2);
+        assert_eq!(ir.events[0].kind, IrEventKind::Call);
+        assert_eq!(ir.events[1].kind, IrEventKind::ObjectRead);
+        assert!(ir.ops.iter().any(|op| matches!(
+            op,
+            IrOp::Edge { from: 0, to: 1, kind: IrEdgeKind::Receiver }
+        )));
+    }
+
+    #[test]
+    fn es_and_require_imports_resolve() {
+        let ir = lower_js_source(
+            "import express from 'express';\nconst app = express();\n",
+        )
+        .expect("lowers");
+        assert_eq!(ir.events.len(), 1);
+        assert_eq!(ir.events[0].reps[0].as_str(), "express()");
+
+        let ir = lower_js_source(
+            "const fs = require('fs');\nfs.readFile(p);\n",
+        )
+        .expect("lowers");
+        // The require itself is silent; the member call resolves through it.
+        assert_eq!(ir.events.len(), 1);
+        assert_eq!(ir.events[0].reps[0].as_str(), "fs.readFile()");
+    }
+
+    #[test]
+    fn named_import_gets_module_prefix() {
+        let ir = lower_js_source(
+            "import { query } from './db/pool.js';\nquery(sql);\n",
+        )
+        .expect("lowers");
+        let reps: Vec<&str> = ir.events[0].reps.iter().map(|s| s.as_str()).collect();
+        assert_eq!(reps[0], "db.pool.query()");
+        assert!(reps.contains(&"query()"), "bare named-import variant: {reps:?}");
+    }
+
+    #[test]
+    fn destructured_require_binds_each_name() {
+        let ir = lower_js_source(
+            "const { getById, save: persist } = require('./models');\ngetById(id);\npersist(row);\n",
+        )
+        .expect("lowers");
+        let reps0: Vec<&str> = ir.events[0].reps.iter().map(|s| s.as_str()).collect();
+        let reps1: Vec<&str> = ir.events[1].reps.iter().map(|s| s.as_str()).collect();
+        assert_eq!(reps0[0], "models.getById()");
+        assert_eq!(reps1[0], "models.save()");
+    }
+
+    #[test]
+    fn function_params_are_events_and_summaries() {
+        let ir = lower_js_source(
+            "function handler(req, res) {\n  return req;\n}\n",
+        )
+        .expect("lowers");
+        assert_eq!(ir.funcs.len(), 1);
+        let f = &ir.funcs[0];
+        assert_eq!(f.qualified, "handler");
+        assert_eq!(f.params.len(), 2);
+        assert!(!f.params[0].implicit, "JS params are never implicit");
+        assert_eq!(f.returns, vec![f.params[0].event]);
+        assert_eq!(ir.events[0].reps[0].as_str(), "handler(param req)");
+    }
+
+    #[test]
+    fn if_branches_merge_flows() {
+        let ir = lower_js_source(
+            "import { source } from 'm';\nlet x = null;\nif (c) { x = source(); } else { x = null; }\nsink(x);\n",
+        )
+        .expect("lowers");
+        // sink(x) receives the call event from the then-branch.
+        let sink = ir
+            .events
+            .iter()
+            .position(|e| e.reps.iter().any(|s| s.as_str() == "sink()"))
+            .expect("sink event") as u32;
+        assert!(ir.ops.iter().any(|op| matches!(
+            op,
+            IrOp::Edge { to, kind: IrEdgeKind::Argument, .. } if *to == sink
+        )));
+    }
+
+    #[test]
+    fn local_function_calls_link_or_pend() {
+        let ir = lower_js_source(
+            "function pick(v) { return v; }\nconst out = pick(data);\n",
+        )
+        .expect("lowers");
+        // Defined before use: inlined, not pending.
+        assert!(ir.pending.is_empty(), "inlinable call should not pend");
+
+        let ir = lower_js_source("const out = helper(data);\nfunction helper(v) { return v; }\n")
+            .expect("lowers");
+        assert_eq!(ir.pending.len(), 1);
+        assert_eq!(ir.pending[0].qualified, "helper");
+    }
+
+    #[test]
+    fn lower_budgeted_trips() {
+        let program = parse("var a = 1;\nvar b = 2;\nvar c = 3;\n").unwrap();
+        let tight = Budget { max_statements: 1, ..Budget::unlimited() };
+        let err = lower_js_program_budgeted(&program, &tight).unwrap_err();
+        assert!(matches!(err, BudgetExceeded::Statements { .. }));
+    }
+}

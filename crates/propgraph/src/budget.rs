@@ -101,8 +101,11 @@ impl std::error::Error for BudgetExceeded {}
 const DEADLINE_CHECK_INTERVAL: usize = 256;
 
 /// Live accounting against a [`Budget`] during one file's walk.
+///
+/// Public so every frontend's lowering pass (Python here, `seldon-jsfront`
+/// elsewhere) meters statements against the same budget semantics.
 #[derive(Debug)]
-pub(crate) struct BudgetMeter {
+pub struct BudgetMeter {
     budget: Budget,
     started: Instant,
     statements: usize,
@@ -110,13 +113,14 @@ pub(crate) struct BudgetMeter {
 }
 
 impl BudgetMeter {
-    pub(crate) fn new(budget: Budget) -> Self {
+    /// Starts metering against `budget` (the wall clock starts now).
+    pub fn new(budget: Budget) -> Self {
         BudgetMeter { budget, started: Instant::now(), statements: 0, tripped: None }
     }
 
     /// Records one statement at `depth`; returns `false` once any limit is
     /// exceeded (callers then unwind cooperatively).
-    pub(crate) fn tick_statement(&mut self, depth: usize) -> bool {
+    pub fn tick_statement(&mut self, depth: usize) -> bool {
         if self.tripped.is_some() {
             return false;
         }
@@ -146,7 +150,8 @@ impl BudgetMeter {
         self.tripped.as_ref()
     }
 
-    pub(crate) fn into_tripped(self) -> Option<BudgetExceeded> {
+    /// Consumes the meter, returning the limit that tripped, if any.
+    pub fn into_tripped(self) -> Option<BudgetExceeded> {
         self.tripped
     }
 }

@@ -1,4 +1,4 @@
-//! Builds propagation graphs from Python ASTs (§5).
+//! Builds propagation graphs from Python source (§5).
 //!
 //! Events are function calls, object reads, and formal parameters; flow
 //! edges follow the paper's rules: calls propagate arguments (and receiver
@@ -7,31 +7,26 @@
 //! iteration, locally-defined functions are linked through their parameters
 //! and returns (the paper's method inlining), and an Andersen points-to
 //! analysis adds field-aliasing flow the environment threading misses.
+//!
+//! Since the IR split, this module is a thin façade: the Python-specific
+//! walk lives in [`crate::lower`] (pyast → `IrProgram`), the language-blind
+//! construction in [`crate::irbuild`] (`IrProgram` → graph). The entry
+//! points here compose the two and keep the original API, budgets, and
+//! fault behavior byte-for-byte.
 
-use crate::andersen::{Andersen, VarId};
-use crate::budget::{Budget, BudgetExceeded, BudgetMeter};
-use crate::event::{Event, EventId, EventKind, FileId};
-use crate::graph::{ArgPos, EdgeKind, PropagationGraph};
-use crate::repr::{describe_expr, describe_syms, ReprCtx};
-use seldon_intern::intern;
-use seldon_pyast::ast::*;
-use seldon_pyast::visit::{self, Visitor};
+use crate::budget::{Budget, BudgetExceeded};
+use crate::event::FileId;
+use crate::graph::PropagationGraph;
+use crate::irbuild::build_ir;
+use crate::lower::{lower_module, lower_module_budgeted};
+use seldon_pyast::ast::Module;
 use seldon_pyast::{parse, parse_lenient, FrontendError};
-use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// Maximum events tracked per variable binding; larger sets are truncated.
-const MAX_FLOW_SET: usize = 8;
-
-/// A set of events whose values may flow into a binding.
-type FlowSet = Vec<EventId>;
-
 /// Builds the propagation graph of one parsed module.
 pub fn build_module(module: &Module, file: FileId) -> PropagationGraph {
-    let mut b = Builder::new(file);
-    b.run(module);
-    b.finish()
+    build_ir(&lower_module(module), file)
 }
 
 /// Parses `source` and builds its propagation graph.
@@ -89,7 +84,7 @@ impl From<BudgetExceeded> for BuildError {
 }
 
 /// Checks the source-size budget shared by the budgeted entry points.
-fn check_source_size(source: &str, budget: &Budget) -> Result<(), BudgetExceeded> {
+pub(crate) fn check_source_size(source: &str, budget: &Budget) -> Result<(), BudgetExceeded> {
     if source.len() > budget.max_source_bytes {
         return Err(BudgetExceeded::SourceBytes {
             limit: budget.max_source_bytes,
@@ -110,13 +105,8 @@ pub fn build_module_budgeted(
     file: FileId,
     budget: &Budget,
 ) -> Result<PropagationGraph, BudgetExceeded> {
-    let mut b = Builder::new(file);
-    b.meter = Some(BudgetMeter::new(budget.clone()));
-    b.run(module);
-    if let Some(e) = b.meter.take().and_then(BudgetMeter::into_tripped) {
-        return Err(e);
-    }
-    Ok(b.finish())
+    let ir = lower_module_budgeted(module, budget)?;
+    Ok(build_ir(&ir, file))
 }
 
 /// Like [`build_source`], with every phase held to a resource [`Budget`]:
@@ -228,899 +218,10 @@ pub fn build_source_lenient_timed(
     Ok((graph, errors, timings))
 }
 
-/// Summary of a locally-defined function for call linking.
-#[derive(Debug, Clone, Default)]
-struct FuncSummary {
-    /// `(name, param event)` in declaration order.
-    params: Vec<(String, EventId)>,
-    /// Events flowing into `return` statements.
-    returns: Vec<EventId>,
-    /// The function body and its lexical context, kept for per-call-site
-    /// inlining (§5.2: "we inline methods whose body can be statically
-    /// determined").
-    def: Option<FunctionDef>,
-    class_name: Option<String>,
-    base_class: Option<String>,
-}
-
-/// A call to a locally-defined function awaiting linkage.
-#[derive(Debug)]
-struct PendingCall {
-    qualified: String,
-    arg_flows: Vec<FlowSet>,
-    kwarg_flows: Vec<(String, FlowSet)>,
-    call_event: Option<EventId>,
-}
-
-/// Per-function analysis scope.
-struct Scope {
-    ctx: ReprCtx,
-    env: HashMap<String, FlowSet>,
-    returns: Vec<EventId>,
-    /// Unique id for qualifying Andersen variable names.
-    scope_id: u32,
-}
-
-impl Scope {
-    fn merge_env(&mut self, other: HashMap<String, FlowSet>) {
-        for (k, v) in other {
-            let slot = self.env.entry(k).or_default();
-            for e in v {
-                if !slot.contains(&e) {
-                    slot.push(e);
-                }
-            }
-            slot.truncate(MAX_FLOW_SET);
-        }
-    }
-}
-
-struct Builder {
-    graph: PropagationGraph,
-    file: FileId,
-    imports: HashMap<String, Vec<String>>,
-    pt: Andersen,
-    /// `(load event, points-to result var)` pairs resolved after solving.
-    pt_loads: Vec<(EventId, VarId)>,
-    funcs: HashMap<String, FuncSummary>,
-    pending: Vec<PendingCall>,
-    /// Names currently being inlined (recursion guard) — doubles as the
-    /// inline-depth bound.
-    inline_stack: Vec<String>,
-    next_scope: u32,
-    /// Resource accounting; `None` builds without limits.
-    meter: Option<BudgetMeter>,
-    /// Current statement-nesting depth, fed to the meter.
-    stmt_depth: usize,
-}
-
-impl Builder {
-    fn new(file: FileId) -> Self {
-        Builder {
-            graph: PropagationGraph::new(),
-            file,
-            imports: HashMap::new(),
-            pt: Andersen::new(),
-            pt_loads: Vec::new(),
-            funcs: HashMap::new(),
-            pending: Vec::new(),
-            inline_stack: Vec::new(),
-            next_scope: 0,
-            meter: None,
-            stmt_depth: 0,
-        }
-    }
-
-    fn run(&mut self, module: &Module) {
-        self.collect_imports(module);
-        let mut scope = self.new_scope(None, None, None, &[]);
-        for stmt in &module.body {
-            self.walk_stmt(stmt, &mut scope);
-        }
-    }
-
-    fn finish(mut self) -> PropagationGraph {
-        // Link calls to locally-defined functions (method inlining).
-        let pending = std::mem::take(&mut self.pending);
-        for p in pending {
-            let Some(summary) = self.funcs.get(&p.qualified).cloned() else { continue };
-            // Positional arguments; skip a leading `self`/`cls` receiver slot
-            // for method calls (the receiver is linked separately).
-            let params: Vec<&(String, EventId)> = summary
-                .params
-                .iter()
-                .filter(|(n, _)| n != "self" && n != "cls")
-                .collect();
-            for (i, flows) in p.arg_flows.iter().enumerate() {
-                if let Some((_, pev)) = params.get(i) {
-                    for &f in flows {
-                        self.graph.add_edge(f, *pev);
-                    }
-                }
-            }
-            for (name, flows) in &p.kwarg_flows {
-                if let Some((_, pev)) =
-                    summary.params.iter().find(|(n, _)| n == name)
-                {
-                    for &f in flows {
-                        self.graph.add_edge(f, *pev);
-                    }
-                }
-            }
-            if let Some(call) = p.call_event {
-                for &r in &summary.returns {
-                    self.graph.add_edge(r, call);
-                }
-            }
-        }
-        // Field-aliasing flow from the points-to analysis.
-        self.pt.solve();
-        let loads = std::mem::take(&mut self.pt_loads);
-        for (event, var) in loads {
-            for &site in self.pt.points_to(var) {
-                self.graph.add_edge(EventId(site), event);
-            }
-        }
-        self.graph
-    }
-
-    fn collect_imports(&mut self, module: &Module) {
-        struct ImportCollector<'b> {
-            imports: &'b mut HashMap<String, Vec<String>>,
-        }
-        impl Visitor for ImportCollector<'_> {
-            fn visit_stmt(&mut self, stmt: &Stmt) {
-                match &stmt.kind {
-                    StmtKind::Import(aliases) => {
-                        for a in aliases {
-                            match &a.asname {
-                                Some(alias) => {
-                                    self.imports.insert(alias.clone(), a.name.clone());
-                                }
-                                None => {
-                                    // `import a.b` binds top-level `a`.
-                                    if let Some(first) = a.name.first() {
-                                        self.imports
-                                            .insert(first.clone(), vec![first.clone()]);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    StmtKind::ImportFrom { module, names, .. } => {
-                        for a in names {
-                            let seg = match a.name.first() {
-                                Some(s) if s != "*" => s.clone(),
-                                _ => continue,
-                            };
-                            let mut path = module.clone();
-                            path.push(seg.clone());
-                            let bound = a.asname.clone().unwrap_or(seg);
-                            self.imports.insert(bound, path);
-                        }
-                    }
-                    _ => visit::walk_stmt(self, stmt),
-                }
-            }
-        }
-        let mut c = ImportCollector { imports: &mut self.imports };
-        visit::walk_module(&mut c, module);
-    }
-
-    fn new_scope(
-        &mut self,
-        class_name: Option<String>,
-        base_class: Option<String>,
-        func_name: Option<String>,
-        params: &[String],
-    ) -> Scope {
-        let ctx = ReprCtx {
-            imports: self.imports.clone(),
-            class_name,
-            base_class,
-            func_name,
-            params: params.to_vec(),
-            locals: HashMap::new(),
-        };
-        let scope_id = self.next_scope;
-        self.next_scope += 1;
-        Scope { ctx, env: HashMap::new(), returns: Vec::new(), scope_id }
-    }
-
-    fn pt_var(&mut self, scope: &Scope, name: &str) -> VarId {
-        self.pt.var(format!("s{}::{}", scope.scope_id, name))
-    }
-
-    // ----- statements -------------------------------------------------------
-
-    /// Walks one statement under budget accounting. Once a budget trips,
-    /// the walk unwinds cooperatively: every further statement is a no-op,
-    /// so the only cost left is popping the recursion already on the stack.
-    fn walk_stmt(&mut self, stmt: &Stmt, sc: &mut Scope) {
-        if let Some(meter) = &mut self.meter {
-            if !meter.tick_statement(self.stmt_depth) {
-                return;
-            }
-        }
-        self.stmt_depth += 1;
-        self.walk_stmt_inner(stmt, sc);
-        self.stmt_depth -= 1;
-    }
-
-    fn walk_stmt_inner(&mut self, stmt: &Stmt, sc: &mut Scope) {
-        match &stmt.kind {
-            StmtKind::Import(_) | StmtKind::ImportFrom { .. } => {}
-            StmtKind::FunctionDef(def) => self.walk_function(def, sc, None, None),
-            StmtKind::ClassDef(def) => self.walk_class(def, sc),
-            StmtKind::Return(value) => {
-                if let Some(v) = value {
-                    let flows = self.eval(v, sc);
-                    sc.returns.extend(flows);
-                }
-            }
-            StmtKind::Assign { targets, value } => {
-                let flows = self.eval(value, sc);
-                let variants = describe_expr(value, &sc.ctx);
-                for t in targets {
-                    self.assign_to(t, &flows, &variants, value, sc);
-                }
-            }
-            StmtKind::AugAssign { target, value, .. } => {
-                let mut flows = self.eval(value, sc);
-                if let ExprKind::Name(n) = &target.kind {
-                    let slot = sc.env.entry(n.clone()).or_default();
-                    for e in flows.drain(..) {
-                        if !slot.contains(&e) {
-                            slot.push(e);
-                        }
-                    }
-                    slot.truncate(MAX_FLOW_SET);
-                } else {
-                    self.assign_to(target, &flows, &[], value, sc);
-                }
-            }
-            StmtKind::AnnAssign { target, value, .. } => {
-                if let Some(v) = value {
-                    let flows = self.eval(v, sc);
-                    let variants = describe_expr(v, &sc.ctx);
-                    self.assign_to(target, &flows, &variants, v, sc);
-                }
-            }
-            StmtKind::For { target, iter, body, orelse } => {
-                let flows = self.eval(iter, sc);
-                self.bind_pattern(target, &flows, sc);
-                let saved = sc.env.clone();
-                for s in body {
-                    self.walk_stmt(s, sc);
-                }
-                for s in orelse {
-                    self.walk_stmt(s, sc);
-                }
-                sc.merge_env(saved);
-            }
-            StmtKind::While { test, body, orelse } => {
-                self.eval(test, sc);
-                let saved = sc.env.clone();
-                for s in body {
-                    self.walk_stmt(s, sc);
-                }
-                for s in orelse {
-                    self.walk_stmt(s, sc);
-                }
-                sc.merge_env(saved);
-            }
-            StmtKind::If { test, body, orelse } => {
-                self.eval(test, sc);
-                let before = sc.env.clone();
-                for s in body {
-                    self.walk_stmt(s, sc);
-                }
-                let after_then = std::mem::replace(&mut sc.env, before);
-                for s in orelse {
-                    self.walk_stmt(s, sc);
-                }
-                sc.merge_env(after_then);
-            }
-            StmtKind::With { items, body } => {
-                for item in items {
-                    let flows = self.eval(&item.context, sc);
-                    if let Some(t) = &item.target {
-                        self.bind_pattern(t, &flows, sc);
-                    }
-                }
-                for s in body {
-                    self.walk_stmt(s, sc);
-                }
-            }
-            StmtKind::Raise { exc, cause } => {
-                if let Some(e) = exc {
-                    self.eval(e, sc);
-                }
-                if let Some(e) = cause {
-                    self.eval(e, sc);
-                }
-            }
-            StmtKind::Try { body, handlers, orelse, finalbody } => {
-                for s in body {
-                    self.walk_stmt(s, sc);
-                }
-                for h in handlers {
-                    if let Some(n) = &h.name {
-                        sc.env.insert(n.clone(), Vec::new());
-                    }
-                    for s in &h.body {
-                        self.walk_stmt(s, sc);
-                    }
-                }
-                for s in orelse.iter().chain(finalbody) {
-                    self.walk_stmt(s, sc);
-                }
-            }
-            StmtKind::Assert { test, msg } => {
-                self.eval(test, sc);
-                if let Some(m) = msg {
-                    self.eval(m, sc);
-                }
-            }
-            StmtKind::Expr(e) => {
-                self.eval(e, sc);
-            }
-            StmtKind::Delete(targets) => {
-                for t in targets {
-                    self.eval(t, sc);
-                }
-            }
-            StmtKind::Global(_)
-            | StmtKind::Nonlocal(_)
-            | StmtKind::Pass
-            | StmtKind::Break
-            | StmtKind::Continue => {}
-        }
-    }
-
-    fn walk_function(
-        &mut self,
-        def: &FunctionDef,
-        outer: &mut Scope,
-        class_name: Option<&str>,
-        base_class: Option<&str>,
-    ) {
-        // Decorators and defaults evaluate in the enclosing scope.
-        for d in &def.decorators {
-            self.eval(d, outer);
-        }
-        for p in &def.params {
-            if let Some(d) = &p.default {
-                self.eval(d, outer);
-            }
-        }
-        let param_names: Vec<String> = def
-            .params
-            .iter()
-            .filter(|p| p.kind != ParamKind::KwOnlyMarker)
-            .map(|p| p.name.clone())
-            .collect();
-        let mut scope = self.new_scope(
-            class_name.map(str::to_string),
-            base_class.map(str::to_string),
-            Some(def.name.clone()),
-            &param_names,
-        );
-        // Free variables see enclosing (module/class) bindings.
-        scope.env = outer.env.clone();
-        scope.ctx.locals = outer.ctx.locals.clone();
-        // Formal parameters are source-candidate events (§5.1). The bare
-        // variable name is deliberately not used as a representation for the
-        // parameter event itself — `self` would conflate the whole corpus —
-        // but parameter *uses* in expressions still back off to it.
-        let mut summary = FuncSummary::default();
-        for p in &def.params {
-            if p.kind == ParamKind::KwOnlyMarker {
-                continue;
-            }
-            let mut reps = Vec::new();
-            if let Some(class) = class_name {
-                reps.push(intern(&format!("{class}::{}(param {})", def.name, p.name)));
-                if let Some(base) = base_class {
-                    reps.push(intern(&format!("{base}::{}(param {})", def.name, p.name)));
-                }
-            }
-            reps.push(intern(&format!("{}(param {})", def.name, p.name)));
-            let ev = self.graph.add_event(Event::new(
-                EventKind::ParamRead,
-                reps,
-                self.file,
-                p.span,
-            ));
-            scope.env.insert(p.name.clone(), vec![ev]);
-            summary.params.push((p.name.clone(), ev));
-        }
-        for s in &def.body {
-            self.walk_stmt(s, &mut scope);
-        }
-        summary.returns = scope.returns.clone();
-        summary.def = Some(def.clone());
-        summary.class_name = class_name.map(str::to_string);
-        summary.base_class = base_class.map(str::to_string);
-        let qualified = match class_name {
-            Some(c) => format!("{c}::{}", def.name),
-            None => def.name.clone(),
-        };
-        self.funcs.insert(qualified, summary);
-    }
-
-    fn walk_class(&mut self, def: &ClassDef, outer: &mut Scope) {
-        for d in &def.decorators {
-            self.eval(d, outer);
-        }
-        let base_class = def.bases.first().and_then(|b| {
-            let v = describe_expr(b, &outer.ctx);
-            v.into_iter().next()
-        });
-        for b in &def.bases {
-            self.eval(b, outer);
-        }
-        for k in &def.keywords {
-            self.eval(&k.value, outer);
-        }
-        let mut class_scope = self.new_scope(None, None, None, &[]);
-        for s in &def.body {
-            match &s.kind {
-                StmtKind::FunctionDef(f) => {
-                    self.walk_function(f, &mut class_scope, Some(&def.name), base_class.as_deref())
-                }
-                other => {
-                    let _ = other;
-                    self.walk_stmt(s, &mut class_scope);
-                }
-            }
-        }
-    }
-
-    // ----- assignment targets ------------------------------------------------
-
-    fn assign_to(
-        &mut self,
-        target: &Expr,
-        flows: &FlowSet,
-        variants: &[String],
-        value: &Expr,
-        sc: &mut Scope,
-    ) {
-        match &target.kind {
-            ExprKind::Name(n) => {
-                sc.env.insert(n.clone(), flows.clone());
-                if variants.is_empty() {
-                    sc.ctx.locals.remove(n);
-                } else {
-                    sc.ctx.locals.insert(n.clone(), variants.to_vec());
-                }
-                // Points-to: the assigned events are allocation sites.
-                let var = self.pt_var(sc, n);
-                for &e in flows {
-                    self.pt.alloc(var, e.0);
-                }
-                if let ExprKind::Name(m) = &value.kind {
-                    let from = self.pt_var(sc, m);
-                    self.pt.copy(from, var);
-                }
-            }
-            ExprKind::Tuple(elems) | ExprKind::List(elems) => {
-                for e in elems {
-                    self.assign_to(e, flows, &[], value, sc);
-                }
-            }
-            ExprKind::Starred(inner) => self.assign_to(inner, flows, &[], value, sc),
-            ExprKind::Attribute { value: base, attr } => {
-                self.store_through(base, attr, flows, sc);
-            }
-            ExprKind::Subscript { value: base, index } => {
-                let field = crate::builder::index_field_name(index);
-                self.store_through(base, &field, flows, sc);
-            }
-            _ => {}
-        }
-    }
-
-    /// Handles `base.field = flows`: a points-to store plus a weak update of
-    /// the base binding so environment flow still observes the taint.
-    fn store_through(&mut self, base: &Expr, field: &str, flows: &FlowSet, sc: &mut Scope) {
-        self.eval(base, sc);
-        if let ExprKind::Name(n) = &base.kind {
-            let base_var = self.pt_var(sc, n);
-            let value_var = self.pt.fresh();
-            for &e in flows {
-                self.pt.alloc(value_var, e.0);
-            }
-            self.pt.store(base_var, field, value_var);
-            let slot = sc.env.entry(n.clone()).or_default();
-            for &e in flows {
-                if !slot.contains(&e) {
-                    slot.push(e);
-                }
-            }
-            slot.truncate(MAX_FLOW_SET);
-        }
-    }
-
-    fn bind_pattern(&mut self, target: &Expr, flows: &FlowSet, sc: &mut Scope) {
-        match &target.kind {
-            ExprKind::Name(n) => {
-                sc.env.insert(n.clone(), flows.clone());
-                sc.ctx.locals.remove(n);
-            }
-            ExprKind::Tuple(elems) | ExprKind::List(elems) => {
-                for e in elems {
-                    self.bind_pattern(e, flows, sc);
-                }
-            }
-            ExprKind::Starred(inner) => self.bind_pattern(inner, flows, sc),
-            _ => {}
-        }
-    }
-
-    // ----- expressions --------------------------------------------------------
-
-    fn eval(&mut self, expr: &Expr, sc: &mut Scope) -> FlowSet {
-        match &expr.kind {
-            ExprKind::Name(n) => sc.env.get(n).cloned().unwrap_or_default(),
-            ExprKind::Number(_)
-            | ExprKind::Str(_)
-            | ExprKind::Bytes(_)
-            | ExprKind::Bool(_)
-            | ExprKind::NoneLit
-            | ExprKind::EllipsisLit => Vec::new(),
-            ExprKind::FString { parts, .. } => {
-                let mut out = Vec::new();
-                for p in parts {
-                    union_into(&mut out, self.eval(p, sc));
-                }
-                out
-            }
-            ExprKind::Attribute { value, attr } => {
-                let base_flows = self.eval(value, sc);
-                self.read_event(expr, value, attr, base_flows, sc)
-            }
-            ExprKind::Subscript { value, index } => {
-                let mut base_flows = self.eval(value, sc);
-                union_into(&mut base_flows, self.eval(index, sc));
-                let field = index_field_name(index);
-                self.read_event(expr, value, &field, base_flows, sc)
-            }
-            ExprKind::Slice { lower, upper, step } => {
-                let mut out = Vec::new();
-                for part in [lower, upper, step].into_iter().flatten() {
-                    union_into(&mut out, self.eval(part, sc));
-                }
-                out
-            }
-            ExprKind::Call { func, args, keywords } => self.eval_call(expr, func, args, keywords, sc),
-            ExprKind::BinOp { left, right, .. } => {
-                let mut out = self.eval(left, sc);
-                union_into(&mut out, self.eval(right, sc));
-                out
-            }
-            ExprKind::UnaryOp { operand, .. } => self.eval(operand, sc),
-            ExprKind::BoolOp { values, .. } => {
-                let mut out = Vec::new();
-                for v in values {
-                    union_into(&mut out, self.eval(v, sc));
-                }
-                out
-            }
-            ExprKind::Compare { left, comparators, .. } => {
-                let mut out = self.eval(left, sc);
-                for c in comparators {
-                    union_into(&mut out, self.eval(c, sc));
-                }
-                out
-            }
-            ExprKind::IfExp { test, body, orelse } => {
-                self.eval(test, sc);
-                let mut out = self.eval(body, sc);
-                union_into(&mut out, self.eval(orelse, sc));
-                out
-            }
-            ExprKind::Lambda { params, body } => {
-                for p in params {
-                    if let Some(d) = &p.default {
-                        self.eval(d, sc);
-                    }
-                }
-                self.eval(body, sc);
-                Vec::new()
-            }
-            ExprKind::Tuple(elems) | ExprKind::List(elems) | ExprKind::Set(elems) => {
-                // Collections flow their entries to the whole value (§5.2).
-                let mut out = Vec::new();
-                for e in elems {
-                    union_into(&mut out, self.eval(e, sc));
-                }
-                out
-            }
-            ExprKind::Dict { keys, values } => {
-                let mut out = Vec::new();
-                for k in keys.iter().flatten() {
-                    union_into(&mut out, self.eval(k, sc));
-                }
-                for v in values {
-                    union_into(&mut out, self.eval(v, sc));
-                }
-                out
-            }
-            ExprKind::Comp { element, value, generators, .. } => {
-                let saved = sc.env.clone();
-                for g in generators {
-                    let flows = self.eval(&g.iter, sc);
-                    self.bind_pattern(&g.target, &flows, sc);
-                    for cond in &g.ifs {
-                        self.eval(cond, sc);
-                    }
-                }
-                let mut out = self.eval(element, sc);
-                if let Some(v) = value {
-                    union_into(&mut out, self.eval(v, sc));
-                }
-                sc.env = saved;
-                out
-            }
-            ExprKind::Yield { value, .. } => match value {
-                Some(v) => self.eval(v, sc),
-                None => Vec::new(),
-            },
-            ExprKind::Await(inner) | ExprKind::Starred(inner) => self.eval(inner, sc),
-            ExprKind::NamedExpr { target, value } => {
-                let flows = self.eval(value, sc);
-                if let ExprKind::Name(n) = &target.kind {
-                    sc.env.insert(n.clone(), flows.clone());
-                }
-                flows
-            }
-        }
-    }
-
-    /// Creates an object-read event for `expr` (an attribute or subscript
-    /// load of `field` on `base`). Falls back to pass-through flow when the
-    /// expression has no stable representation.
-    fn read_event(
-        &mut self,
-        expr: &Expr,
-        base: &Expr,
-        field: &str,
-        base_flows: FlowSet,
-        sc: &mut Scope,
-    ) -> FlowSet {
-        let reps = describe_syms(expr, &sc.ctx);
-        if reps.is_empty() {
-            return base_flows;
-        }
-        let ev = self.graph.add_event(Event::new(
-            EventKind::ObjectRead,
-            reps,
-            self.file,
-            expr.span,
-        ));
-        // The base of a read is the same object chain: receiver flow.
-        for &f in &base_flows {
-            self.graph.add_edge_kind(f, ev, EdgeKind::Receiver);
-        }
-        // Field-aliasing flow: register a points-to load.
-        if let ExprKind::Name(n) = &base.kind {
-            let base_var = self.pt_var(sc, n);
-            let out = self.pt.fresh();
-            self.pt.load(base_var, field, out);
-            self.pt_loads.push((ev, out));
-        }
-        vec![ev]
-    }
-
-    fn eval_call(
-        &mut self,
-        expr: &Expr,
-        func: &Expr,
-        args: &[Expr],
-        keywords: &[Keyword],
-        sc: &mut Scope,
-    ) -> FlowSet {
-        // Receiver/base flows: for `x.m(...)` the object chain flows into
-        // the call event (Fig. 2b: `request.files['f']` → `.save()`).
-        let recv_flows = match &func.kind {
-            ExprKind::Attribute { value, .. } => self.eval(value, sc),
-            ExprKind::Name(n) => sc.env.get(n).cloned().unwrap_or_default(),
-            other => {
-                let _ = other;
-                self.eval(func, sc)
-            }
-        };
-        let arg_flows: Vec<FlowSet> = args.iter().map(|a| self.eval(a, sc)).collect();
-        let kwarg_flows: Vec<(String, FlowSet)> = keywords
-            .iter()
-            .map(|k| (k.name.clone().unwrap_or_default(), self.eval(&k.value, sc)))
-            .collect();
-
-        let reps = describe_syms(expr, &sc.ctx);
-        let call_event = if reps.is_empty() {
-            None
-        } else {
-            Some(self.graph.add_event(Event::new(
-                EventKind::Call,
-                reps,
-                self.file,
-                expr.span,
-            )))
-        };
-
-        if let Some(ev) = call_event {
-            // The receiver chain is same-object flow; arguments are not.
-            for &f in &recv_flows {
-                self.graph.add_edge_kind(f, ev, EdgeKind::Receiver);
-                self.graph.set_arg_position(f, ev, ArgPos::Receiver);
-            }
-            for (i, flows) in arg_flows.iter().enumerate() {
-                for &f in flows {
-                    self.graph.add_edge(f, ev);
-                    self.graph
-                        .set_arg_position(f, ev, ArgPos::Positional(i.min(255) as u8));
-                }
-            }
-            for (name, flows) in &kwarg_flows {
-                for &f in flows {
-                    self.graph.add_edge(f, ev);
-                    self.graph
-                        .set_arg_position(f, ev, ArgPos::Keyword(name.clone()));
-                }
-            }
-            // `locals()` receives every local variable (§5.2).
-            if matches!(&func.kind, ExprKind::Name(n) if n == "locals") {
-                let all: Vec<EventId> =
-                    sc.env.values().flatten().copied().collect();
-                for f in all {
-                    self.graph.add_edge(f, ev);
-                }
-            }
-        }
-
-        // Link calls to locally-defined functions / same-class methods.
-        let qualified = match &func.kind {
-            ExprKind::Name(n) => Some(n.clone()),
-            ExprKind::Attribute { value, attr } => match (&value.kind, &sc.ctx.class_name) {
-                (ExprKind::Name(recv), Some(class)) if recv == "self" => {
-                    Some(format!("{class}::{attr}"))
-                }
-                _ => None,
-            },
-            _ => None,
-        };
-        if let Some(q) = qualified {
-            let callee = if self.inline_stack.len() < 3
-                && !self.inline_stack.iter().any(|n| n == &q)
-            {
-                // Clone-and-take in one step so inlinability and the body
-                // can't disagree.
-                self.funcs
-                    .get(&q)
-                    .cloned()
-                    .and_then(|mut info| info.def.take().map(|def| (info, def)))
-            } else {
-                None
-            };
-            if let Some((info, def)) = callee {
-                // Per-call-site inlining (§5.2): re-analyze the callee body
-                // with the parameters bound to this call's argument flows.
-                // This is context-sensitive — taint from one call site
-                // cannot leak into another.
-                let returns =
-                    self.inline_call(&q, &def, &info, &arg_flows, &kwarg_flows);
-                match call_event {
-                    Some(ev) => {
-                        for r in returns {
-                            self.graph.add_edge(r, ev);
-                        }
-                    }
-                    None => {
-                        // No call event (unrepresentable callee): surface
-                        // the returns as the call's flow via pending = none.
-                        // Handled by the caller through recv/arg union; the
-                        // returns are lost only in this rare case.
-                    }
-                }
-            } else {
-                self.pending.push(PendingCall {
-                    qualified: q,
-                    arg_flows: arg_flows.clone(),
-                    kwarg_flows: kwarg_flows.clone(),
-                    call_event,
-                });
-            }
-        }
-
-        match call_event {
-            Some(ev) => vec![ev],
-            None => {
-                // Pass flow through opaque calls.
-                let mut out = recv_flows;
-                for flows in arg_flows {
-                    union_into(&mut out, flows);
-                }
-                for (_, flows) in kwarg_flows {
-                    union_into(&mut out, flows);
-                }
-                out
-            }
-        }
-    }
-}
-
-impl Builder {
-    /// Re-analyzes `def`'s body with parameters bound to the call's
-    /// argument flows, returning the events that flow into its `return`s.
-    fn inline_call(
-        &mut self,
-        qualified: &str,
-        def: &FunctionDef,
-        info: &FuncSummary,
-        arg_flows: &[FlowSet],
-        kwarg_flows: &[(String, FlowSet)],
-    ) -> FlowSet {
-        let param_names: Vec<String> = def
-            .params
-            .iter()
-            .filter(|p| p.kind != ParamKind::KwOnlyMarker)
-            .map(|p| p.name.clone())
-            .collect();
-        let mut scope = self.new_scope(
-            info.class_name.clone(),
-            info.base_class.clone(),
-            Some(def.name.clone()),
-            &param_names,
-        );
-        // Bind positional arguments (skipping a `self`/`cls` receiver slot
-        // for methods) and keyword arguments by name.
-        let positional: Vec<&String> = param_names
-            .iter()
-            .filter(|n| n.as_str() != "self" && n.as_str() != "cls")
-            .collect();
-        for (i, flows) in arg_flows.iter().enumerate() {
-            if let Some(name) = positional.get(i) {
-                scope.env.insert((*name).clone(), flows.clone());
-            }
-        }
-        for (name, flows) in kwarg_flows {
-            if param_names.iter().any(|p| p == name) {
-                scope.env.insert(name.clone(), flows.clone());
-            }
-        }
-        self.inline_stack.push(qualified.to_string());
-        for stmt in &def.body {
-            self.walk_stmt(stmt, &mut scope);
-        }
-        self.inline_stack.pop();
-        scope.returns
-    }
-}
-
-fn union_into(dst: &mut FlowSet, src: FlowSet) {
-    for e in src {
-        if !dst.contains(&e) {
-            dst.push(e);
-        }
-    }
-    dst.truncate(MAX_FLOW_SET);
-}
-
-/// Field name used for subscript loads/stores, matching the representation
-/// rendering (`['key']`, `[0]`, `[]`).
-fn index_field_name(index: &Expr) -> String {
-    match &index.kind {
-        ExprKind::Str(s) => format!("['{s}']"),
-        ExprKind::Number(n) => format!("[{n}]"),
-        _ => "[]".to_string(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{EventId, EventKind};
     use seldon_specs::Role;
 
     fn build(src: &str) -> PropagationGraph {

@@ -29,10 +29,12 @@ pub mod builder;
 pub mod dot;
 pub mod event;
 pub mod graph;
+pub mod irbuild;
+pub mod lower;
 pub mod repr;
 pub mod stats;
 
-pub use budget::{Budget, BudgetExceeded};
+pub use budget::{Budget, BudgetExceeded, BudgetMeter};
 pub use builder::{
     build_module, build_module_budgeted, build_source, build_source_budgeted,
     build_source_lenient, build_source_lenient_budgeted, build_source_lenient_timed,
@@ -41,6 +43,8 @@ pub use builder::{
 pub use dot::to_dot;
 pub use event::{Event, EventId, EventKind, FileId};
 pub use graph::{ArgPos, EdgeKind, PropagationGraph};
-pub use repr::{describe_expr, describe_syms, interned_dot_suffixes, ReprCtx};
+pub use irbuild::build_ir;
+pub use lower::{lower_module, lower_module_budgeted, lower_source};
+pub use repr::{describe_expr, describe_syms, finish_reps, interned_dot_suffixes, ReprCtx};
 pub use seldon_intern::{intern, Symbol};
 pub use stats::{graph_stats, GraphStats};

@@ -54,7 +54,10 @@ impl ReprCtx {
     }
 
     /// Variants for a bare name, most → least specific.
-    fn name_variants(&self, name: &str) -> Vec<String> {
+    ///
+    /// Public so other frontends' describe passes resolve names (params,
+    /// imports, locals) with exactly the Python rules.
+    pub fn name_variants(&self, name: &str) -> Vec<String> {
         // A parameter shadows any same-named module import inside its
         // function (Python scoping), so check params first.
         if self.is_param(name) {
@@ -102,6 +105,14 @@ pub fn describe_syms(expr: &Expr, ctx: &ReprCtx) -> Vec<Symbol> {
 /// String-resolving convenience wrapper around [`describe_syms`].
 pub fn describe_expr(expr: &Expr, ctx: &ReprCtx) -> Vec<String> {
     describe_syms(expr, ctx).iter().map(|s| s.as_str().to_string()).collect()
+}
+
+/// Interns and dedups representation variants (most → least specific),
+/// applies dot-suffix backoff to the first plain dotted variant, and caps
+/// the list at [`MAX_REPS`]. Exposed so non-Python frontends that render
+/// their own variant strings get identical backoff behavior.
+pub fn finish_reps(variants: Vec<String>) -> Vec<Symbol> {
+    finish(variants)
 }
 
 fn finish(variants: Vec<String>) -> Vec<Symbol> {

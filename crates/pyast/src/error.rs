@@ -1,124 +1,21 @@
 //! Lexer and parser error types.
+//!
+//! The concrete types now live in `seldon-ir` so every frontend shares one
+//! error surface; this module re-exports them for compatibility. The only
+//! observable change is that [`ParseError::found`] is the token rendered to
+//! a `String` (via `Display`) instead of a `TokenKind` — `Display` output
+//! is byte-identical.
 
-use crate::span::Span;
-use crate::token::TokenKind;
-use std::error::Error;
-use std::fmt;
-
-/// What went wrong during lexing.
-#[derive(Debug, Clone, PartialEq)]
-pub enum LexErrorKind {
-    /// A string literal that never closes.
-    UnterminatedString,
-    /// A character the lexer cannot start any token with.
-    UnexpectedChar(char),
-    /// A dedent to an indentation width that was never pushed.
-    InconsistentDedent,
-}
-
-/// A lexical error with its location.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LexError {
-    /// The failure category.
-    pub kind: LexErrorKind,
-    /// Where the failure occurred.
-    pub span: Span,
-}
-
-impl LexError {
-    /// Creates a lex error.
-    pub fn new(kind: LexErrorKind, span: Span) -> Self {
-        LexError { kind, span }
-    }
-}
-
-impl fmt::Display for LexError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.kind {
-            LexErrorKind::UnterminatedString => {
-                write!(f, "unterminated string literal at {}", self.span)
-            }
-            LexErrorKind::UnexpectedChar(c) => {
-                write!(f, "unexpected character `{c}` at {}", self.span)
-            }
-            LexErrorKind::InconsistentDedent => {
-                write!(f, "inconsistent dedent at {}", self.span)
-            }
-        }
-    }
-}
-
-impl Error for LexError {}
-
-/// A parse error with its location and a human-readable expectation.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ParseError {
-    /// Description of what the parser expected.
-    pub expected: String,
-    /// The token actually found.
-    pub found: TokenKind,
-    /// Where the offending token sits.
-    pub span: Span,
-}
-
-impl ParseError {
-    /// Creates a parse error.
-    pub fn new(expected: impl Into<String>, found: TokenKind, span: Span) -> Self {
-        ParseError { expected: expected.into(), found, span }
-    }
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "expected {} but found {} at {}", self.expected, self.found, self.span)
-    }
-}
-
-impl Error for ParseError {}
-
-/// Either kind of front-end failure, as returned by [`crate::parse`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum FrontendError {
-    /// Tokenization failed.
-    Lex(LexError),
-    /// Parsing failed.
-    Parse(ParseError),
-}
-
-impl fmt::Display for FrontendError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FrontendError::Lex(e) => e.fmt(f),
-            FrontendError::Parse(e) => e.fmt(f),
-        }
-    }
-}
-
-impl Error for FrontendError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            FrontendError::Lex(e) => Some(e),
-            FrontendError::Parse(e) => Some(e),
-        }
-    }
-}
-
-impl From<LexError> for FrontendError {
-    fn from(e: LexError) -> Self {
-        FrontendError::Lex(e)
-    }
-}
-
-impl From<ParseError> for FrontendError {
-    fn from(e: ParseError) -> Self {
-        FrontendError::Parse(e)
-    }
-}
+pub use seldon_ir::{FrontendError, LexError, LexErrorKind, ParseError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::span::Span;
+    use crate::token::TokenKind;
 
+    // Pins that the shared error types render exactly what the
+    // Python-specific originals rendered, constructed from TokenKind.
     #[test]
     fn display_messages() {
         let e = LexError::new(LexErrorKind::UnexpectedChar('$'), Span::new(0, 1, 3, 7));

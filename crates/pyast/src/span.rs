@@ -1,112 +1,6 @@
 //! Source locations and spans.
 //!
-//! Every token and AST node carries a [`Span`] pointing back into the
-//! original source text, so analyses (and vulnerability reports) can cite
-//! exact file positions.
+//! The [`Span`] type now lives in `seldon-ir` (it is shared by every
+//! language frontend); this module re-exports it for compatibility.
 
-use std::fmt;
-
-/// A half-open byte range `[start, end)` into a source file, together with
-/// the 1-based line/column of its start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct Span {
-    /// Byte offset of the first byte of the spanned text.
-    pub start: u32,
-    /// Byte offset one past the last byte of the spanned text.
-    pub end: u32,
-    /// 1-based line number of `start`.
-    pub line: u32,
-    /// 1-based column number of `start` (in bytes).
-    pub col: u32,
-}
-
-impl Span {
-    /// Creates a span covering `[start, end)` at the given line/column.
-    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
-    }
-
-    /// A zero-width placeholder span (used for synthesized nodes).
-    pub fn dummy() -> Self {
-        Span::default()
-    }
-
-    /// Returns the smallest span covering both `self` and `other`.
-    ///
-    /// The line/column of the earlier span is kept.
-    pub fn merge(self, other: Span) -> Span {
-        let (line, col) = if self.start <= other.start {
-            (self.line, self.col)
-        } else {
-            (other.line, other.col)
-        };
-        Span {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-            line,
-            col,
-        }
-    }
-
-    /// Length of the span in bytes.
-    pub fn len(&self) -> u32 {
-        self.end.saturating_sub(self.start)
-    }
-
-    /// Whether the span covers no bytes.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Extracts the spanned text from the source it was produced from.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the span is out of bounds for `source` or does not fall on
-    /// character boundaries.
-    pub fn text<'s>(&self, source: &'s str) -> &'s str {
-        &source[self.start as usize..self.end as usize]
-    }
-}
-
-impl fmt::Display for Span {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.line, self.col)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn merge_keeps_earlier_position() {
-        let a = Span::new(0, 4, 1, 1);
-        let b = Span::new(10, 12, 2, 3);
-        let m = a.merge(b);
-        assert_eq!(m.start, 0);
-        assert_eq!(m.end, 12);
-        assert_eq!(m.line, 1);
-        assert_eq!(m.col, 1);
-        // merge is symmetric on the covered range
-        let m2 = b.merge(a);
-        assert_eq!(m2.start, 0);
-        assert_eq!(m2.end, 12);
-        assert_eq!(m2.line, 1);
-    }
-
-    #[test]
-    fn text_extraction() {
-        let src = "hello world";
-        let s = Span::new(6, 11, 1, 7);
-        assert_eq!(s.text(src), "world");
-        assert_eq!(s.len(), 5);
-        assert!(!s.is_empty());
-        assert!(Span::dummy().is_empty());
-    }
-
-    #[test]
-    fn display_is_line_col() {
-        assert_eq!(Span::new(0, 1, 3, 9).to_string(), "3:9");
-    }
-}
+pub use seldon_ir::Span;

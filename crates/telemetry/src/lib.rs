@@ -35,7 +35,7 @@ pub mod span;
 pub use bench::BenchRecord;
 pub use manifest::{
     stage, CacheSummary, ConstraintSummary, CorpusShape, EpochSample, ExtractionSummary,
-    ManifestError, OutcomeCounts, RunManifest, SolverSummary, StageSpan, TaintSummary,
-    SCHEMA_VERSION,
+    ManifestError, OutcomeCounts, ParseHistogram, RunManifest, SolverSummary, StageSpan,
+    TaintSummary, PARSE_HIST_BOUNDS, SCHEMA_VERSION,
 };
 pub use span::{Level, SpanGuard, SpanRecord, Telemetry};

@@ -22,8 +22,51 @@ use std::fmt;
 /// Version 2 added [`SolverSummary::threads`] and the `compile` child
 /// span under `solve`. Version 3 added the `cache` section
 /// ([`CacheSummary`]), the optional `cache` stage span, and the
-/// `parse.project` / `union.shard` child spans.
-pub const SCHEMA_VERSION: u64 = 3;
+/// `parse.project` / `union.shard` child spans. Version 4 added the
+/// `parse_histograms` section ([`ParseHistogram`]) — per-frontend
+/// per-file parse-time buckets.
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// Upper bounds (inclusive, microseconds) of the per-file parse-time
+/// histogram buckets. A file lands in the first bucket whose bound its
+/// parse time does not exceed; slower files land in the overflow slot.
+pub const PARSE_HIST_BOUNDS: [u64; 8] = [50, 100, 250, 500, 1000, 2500, 5000, 10_000];
+
+/// Histogram of per-file parse times for one language frontend.
+///
+/// Buckets follow [`PARSE_HIST_BOUNDS`]; `counts` has one extra overflow
+/// slot at the end for files slower than the last bound. Only files that
+/// actually ran the front end are recorded — cache-served files skip
+/// parsing entirely and contribute nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHistogram {
+    /// Frontend label (`"python"`, `"js"`).
+    pub frontend: String,
+    /// `counts[i]` files parsed in ≤ `PARSE_HIST_BOUNDS[i]` µs; the final
+    /// slot counts files over the last bound.
+    pub counts: [u64; PARSE_HIST_BOUNDS.len() + 1],
+}
+
+impl ParseHistogram {
+    /// An empty histogram for one frontend.
+    pub fn new(frontend: impl Into<String>) -> ParseHistogram {
+        ParseHistogram { frontend: frontend.into(), counts: [0; PARSE_HIST_BOUNDS.len() + 1] }
+    }
+
+    /// Tallies one file's parse time (microseconds) into its bucket.
+    pub fn record(&mut self, micros: u64) {
+        let slot = PARSE_HIST_BOUNDS
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(PARSE_HIST_BOUNDS.len());
+        self.counts[slot] += 1;
+    }
+
+    /// Total files recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
 
 /// Canonical stage names of the end-to-end pipeline, in pipeline order.
 pub mod stage {
@@ -275,6 +318,9 @@ pub struct RunManifest {
     pub taint: TaintSummary,
     /// Artifact-cache usage.
     pub cache: CacheSummary,
+    /// Per-frontend per-file parse-time buckets (one entry per frontend
+    /// that parsed at least one file; empty when nothing was parsed).
+    pub parse_histograms: Vec<ParseHistogram>,
 }
 
 impl RunManifest {
@@ -300,10 +346,18 @@ impl RunManifest {
 
     /// Zeroes all wall-clock fields (span start/duration) so manifests of
     /// repeated runs compare equal; counts and curves are untouched.
+    /// Parse-time histograms are collapsed to their totals in the first
+    /// bucket — which bucket a file lands in is wall-clock-dependent, but
+    /// how many files each frontend parsed is not.
     pub fn redact_timings(&mut self) {
         for s in &mut self.stages {
             s.start_us = 0;
             s.dur_us = 0;
+        }
+        for h in &mut self.parse_histograms {
+            let total = h.total();
+            h.counts = [0; PARSE_HIST_BOUNDS.len() + 1];
+            h.counts[0] = total;
         }
     }
 
@@ -463,6 +517,25 @@ impl RunManifest {
                     ("checkpoint".into(), Json::str(&self.cache.checkpoint)),
                 ]),
             ),
+            (
+                "parse_histograms".into(),
+                Json::Arr(
+                    self.parse_histograms
+                        .iter()
+                        .map(|h| {
+                            Json::Obj(vec![
+                                ("frontend".into(), Json::str(&h.frontend)),
+                                (
+                                    "counts".into(),
+                                    Json::Arr(
+                                        h.counts.iter().map(|&n| Json::num(n as f64)).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -535,6 +608,10 @@ impl RunManifest {
                 learned: req_u64_triple(extraction, "learned")?,
             },
             taint: TaintSummary { violations: req_u64(taint, "violations")? },
+            parse_histograms: req_arr(&v, "parse_histograms")?
+                .iter()
+                .map(parse_histogram)
+                .collect::<Result<Vec<_>, _>>()?,
             cache: CacheSummary {
                 enabled: req(cache, "enabled")?
                     .as_bool()
@@ -609,6 +686,18 @@ fn parse_stage(v: &Json) -> Result<StageSpan, ManifestError> {
         dur_us: req_u64(v, "dur_us")?,
         counters,
     })
+}
+
+fn parse_histogram(v: &Json) -> Result<ParseHistogram, ManifestError> {
+    let mut h = ParseHistogram::new(req_str(v, "frontend")?);
+    let arr = req_arr(v, "counts")?;
+    if arr.len() != h.counts.len() {
+        return Err(schema_err("parse_histograms[].counts", "9-element array"));
+    }
+    for (slot, n) in h.counts.iter_mut().zip(arr) {
+        *slot = n.as_u64().ok_or_else(|| schema_err("parse_histograms[].counts", "u64 array"))?;
+    }
+    Ok(h)
 }
 
 fn parse_epoch(v: &Json) -> Result<EpochSample, ManifestError> {
@@ -758,6 +847,10 @@ mod tests {
             learned: [3, 1, 2],
         };
         m.taint = TaintSummary { violations: 7 };
+        m.parse_histograms = vec![
+            ParseHistogram { frontend: "python".into(), counts: [1, 0, 2, 0, 0, 0, 0, 0, 1] },
+            ParseHistogram { frontend: "js".into(), counts: [0, 3, 0, 0, 0, 0, 0, 0, 0] },
+        ];
         m.cache = CacheSummary {
             enabled: true,
             hits: 5,
@@ -801,6 +894,9 @@ mod tests {
         assert!(m.stages.iter().all(|s| s.start_us == 0 && s.dur_us == 0));
         assert_eq!(m.solver.curve.len(), 2, "curve untouched");
         assert_eq!(m.stages[0].counters, vec![("files".to_string(), 3.0)]);
+        // Histogram spreads are wall-clock-dependent; the totals are not.
+        assert_eq!(m.parse_histograms[0].counts, [4, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(m.parse_histograms[1].total(), 3);
     }
 
     #[test]
@@ -809,6 +905,32 @@ mod tests {
         assert!(m.stage(stage::PARSE).is_some());
         assert!(m.stage(stage::TAINT).is_none());
         assert!(!m.has_all_stages());
+    }
+
+    #[test]
+    fn parse_histogram_buckets_by_bound() {
+        let mut h = ParseHistogram::new("python");
+        h.record(0); // first bucket (≤ 50µs)
+        h.record(50); // bounds are inclusive
+        h.record(51); // next bucket
+        h.record(10_000); // last bounded bucket
+        h.record(10_001); // overflow
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[PARSE_HIST_BOUNDS.len() - 1], 1);
+        assert_eq!(h.counts[PARSE_HIST_BOUNDS.len()], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_schema_rejects_wrong_arity() {
+        let bad = json::parse(r#"{"frontend": "python", "counts": [1, 2]}"#).unwrap();
+        assert!(matches!(parse_histogram(&bad), Err(ManifestError::Schema(_))));
+        let ok = json::parse(
+            r#"{"frontend": "js", "counts": [0, 1, 2, 3, 4, 5, 6, 7, 8]}"#,
+        )
+        .unwrap();
+        assert_eq!(parse_histogram(&ok).unwrap().total(), 36);
     }
 
     #[test]

@@ -328,7 +328,7 @@ fn learn_empty_corpus_is_a_clean_run() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("no .py files found"), "{stderr}");
+    assert!(stderr.contains("no .py or .js files found"), "{stderr}");
     assert_eq!(
         std::fs::read_to_string(&out_path).expect("spec written"),
         "",

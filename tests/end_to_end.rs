@@ -5,7 +5,7 @@ use seldon_core::{
     analyze_corpus, classify_all, evaluate_spec, run_seldon, GroundTruth, ReportClass,
     SeldonOptions,
 };
-use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+use seldon_corpus::{generate_corpus, CorpusOptions, Lang, Universe};
 use seldon_specs::{Role, TaintSpec};
 use seldon_taint::TaintAnalyzer;
 
@@ -51,6 +51,36 @@ fn learned_spec_matches_golden_output() {
             run.extraction.spec.to_text(),
             golden,
             "learned spec diverged from tests/golden/end_to_end_spec.txt \
+             at {threads} solver threads"
+        );
+    }
+}
+
+#[test]
+fn js_learned_spec_matches_golden_output() {
+    // The JS-like frontend drives the identical language-blind pipeline:
+    // same corpus plan (the generator's RNG draws are language-independent),
+    // rendered as JS and analyzed through the shared IR layer. Pinning the
+    // learned spec proves the whole path — lexer, parser, lowering,
+    // build_ir, constraint generation, solver, extraction — is
+    // deterministic for the second frontend too, at 1 and 4 solver threads.
+    let universe = Universe::new();
+    let corpus = generate_corpus(
+        &universe,
+        &CorpusOptions { lang: Lang::Js, ..small_corpus_opts() },
+    );
+    let analyzed = analyze_corpus(&corpus, 4).unwrap();
+    let golden = include_str!("golden/end_to_end_spec_js.txt");
+    for threads in [1, 4] {
+        let opts = SeldonOptions {
+            solve: seldon_solver::SolveOptions { threads, ..Default::default() },
+            ..Default::default()
+        };
+        let run = run_seldon(&analyzed.graph, &universe.seed_spec_js(), &opts);
+        assert_eq!(
+            run.extraction.spec.to_text(),
+            golden,
+            "JS-frontend spec diverged from tests/golden/end_to_end_spec_js.txt \
              at {threads} solver threads"
         );
     }

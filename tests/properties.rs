@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use seldon_constraints::{generate, GenOptions};
-use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+use seldon_corpus::{generate_corpus, CorpusOptions, Lang, Universe};
 use seldon_propgraph::{build_source, FileId};
 use seldon_pyast::{lexer, parser};
 use seldon_solver::{solve, SolveOptions};
@@ -249,6 +249,47 @@ proptest! {
         prop_assert!(sol.objective >= 0.0);
         prop_assert!(sol.violation >= 0.0);
         prop_assert!(sol.violation <= sol.objective + 1e-9);
+    }
+
+    /// Staged lowering (source → IrProgram → build_ir) is exactly the
+    /// composed builder, for BOTH frontends, on generated corpora: same
+    /// events (kind, reps, span), same adjacency. This is the contract
+    /// that makes the IR layer a real seam — a frontend only has to get
+    /// its lowering right; everything downstream is shared and blind to
+    /// the source language.
+    #[test]
+    fn staged_ir_build_equals_composed(seed in 0u64..60) {
+        let u = Universe::new();
+        for lang in [Lang::Py, Lang::Js] {
+            let corpus = generate_corpus(
+                &u,
+                &CorpusOptions { projects: 2, rng_seed: seed, lang, ..Default::default() },
+            );
+            for (i, (_, f)) in corpus.files().enumerate() {
+                let file = FileId(i as u32);
+                let composed = match lang {
+                    Lang::Py => build_source(&f.content, file).expect("composed build"),
+                    Lang::Js => {
+                        seldon_jsfront::build_js_source(&f.content, file).expect("composed build")
+                    }
+                };
+                let ir = match lang {
+                    Lang::Py => seldon_propgraph::lower_source(&f.content).expect("lowering"),
+                    Lang::Js => seldon_jsfront::lower_js_source(&f.content).expect("lowering"),
+                };
+                let staged = seldon_propgraph::build_ir(&ir, file);
+                prop_assert_eq!(staged.event_count(), composed.event_count());
+                prop_assert_eq!(staged.edge_count(), composed.edge_count());
+                for ((id, s), (_, c)) in staged.events().zip(composed.events()) {
+                    prop_assert_eq!(s.kind, c.kind);
+                    prop_assert_eq!(&s.reps, &c.reps);
+                    prop_assert_eq!(s.span, c.span);
+                    prop_assert_eq!(s.file, c.file);
+                    prop_assert_eq!(staged.successors(id), composed.successors(id));
+                    prop_assert_eq!(staged.predecessors(id), composed.predecessors(id));
+                }
+            }
+        }
     }
 
     /// Spec round-trip: any spec assembled from valid entries survives
