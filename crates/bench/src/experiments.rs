@@ -564,6 +564,7 @@ pub fn ablations(wb: &Workbench) -> Table {
             gen: seldon_constraints::GenOptions { c, ..Default::default() },
             solve: seldon_solver::SolveOptions { lambda, ..Default::default() },
             extract: ExtractOptions::default(),
+            ..Default::default()
         };
         let run = run_seldon(&wb.analyzed.graph, &wb.seed, &opts);
         let eval = evaluate_spec(&run.extraction.spec, &wb.truth);

@@ -91,6 +91,11 @@ pub struct CacheStats {
     pub stale: u64,
     /// Entries evicted (quarantined or cleared on a stale index).
     pub evicted: u64,
+    /// Decoded payload bytes served by hits (artifact and checkpoint) —
+    /// the "bytes reused" figure: work the warm run did not redo.
+    pub bytes_read: u64,
+    /// Encoded frame bytes written by stores.
+    pub bytes_written: u64,
 }
 
 #[derive(Debug, Default)]
@@ -101,6 +106,8 @@ struct Counters {
     corrupt: AtomicU64,
     stale: AtomicU64,
     evicted: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
 }
 
 /// Outcome of an artifact lookup.
@@ -270,6 +277,10 @@ impl ArtifactCache {
         pick(&self.counters).fetch_add(1, Ordering::Relaxed);
     }
 
+    fn add_bytes(&self, pick: impl Fn(&Counters) -> &AtomicU64, n: u64) {
+        pick(&self.counters).fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         let c = &self.counters;
@@ -280,6 +291,8 @@ impl ArtifactCache {
             corrupt: c.corrupt.load(Ordering::Relaxed),
             stale: c.stale.load(Ordering::Relaxed),
             evicted: c.evicted.load(Ordering::Relaxed),
+            bytes_read: c.bytes_read.load(Ordering::Relaxed),
+            bytes_written: c.bytes_written.load(Ordering::Relaxed),
         }
     }
 
@@ -349,6 +362,7 @@ impl ArtifactCache {
         match decoded {
             Ok((graph, recovered_errors)) => {
                 self.bump(|c| &c.hits);
+                self.add_bytes(|c| &c.bytes_read, payload.len() as u64);
                 ArtifactLookup::Hit(graph, recovered_errors)
             }
             Err(EntryError::Corrupt(detail)) => {
@@ -375,6 +389,7 @@ impl ArtifactCache {
         match write_atomic(&self.entry_path(key), &frame) {
             Ok(()) => {
                 self.bump(|c| &c.stores);
+                self.add_bytes(|c| &c.bytes_written, frame.len() as u64);
                 None
             }
             Err(e) => Some(CacheFault {
@@ -393,7 +408,10 @@ impl ArtifactCache {
             Err(fault) => return CheckpointLookup::Fault(fault),
         };
         match Checkpoint::from_payload(&payload) {
-            Ok(ckpt) => CheckpointLookup::Hit(Box::new(ckpt)),
+            Ok(ckpt) => {
+                self.add_bytes(|c| &c.bytes_read, payload.len() as u64);
+                CheckpointLookup::Hit(Box::new(ckpt))
+            }
             Err(EntryError::Corrupt(detail)) => CheckpointLookup::Fault(self.quarantine(
                 CHECKPOINT_NAME,
                 FaultClass::Corrupt,
@@ -414,6 +432,7 @@ impl ArtifactCache {
         match write_atomic(&self.dir.join(CHECKPOINT_NAME), &frame) {
             Ok(()) => {
                 self.bump(|c| &c.stores);
+                self.add_bytes(|c| &c.bytes_written, frame.len() as u64);
                 None
             }
             Err(e) => Some(CacheFault {

@@ -51,7 +51,7 @@ use seldon_propgraph::{to_dot, Budget, FileId};
 use seldon_solver::SolveOptions;
 use seldon_specs::{paper_seed, TaintSpec};
 use seldon_taint::{render_reports, reports_to_json, TaintAnalyzer, TaintOptions};
-use seldon_telemetry::{Level, Telemetry};
+use seldon_telemetry::{diff_manifests, DiffOptions, Level, RunManifest, Telemetry};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -90,6 +90,9 @@ fn main() -> ExitCode {
         "ir-dump" => cmd_ir_dump(rest),
         "check" => cmd_check(rest),
         "learn" => cmd_learn(rest),
+        "report" => cmd_report(rest),
+        "metrics-dump" => cmd_metrics_dump(rest),
+        "diff-runs" => cmd_diff_runs(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             Ok(Outcome::Clean)
@@ -117,10 +120,13 @@ const USAGE: &str = "usage:
   seldon learn   <path...> [--seed <spec.txt>] [--out <learned.txt>] [--strict|--lenient]
                  [--cache-dir <dir>] [--no-cache] [--solver-threads <n>]
                  [--telemetry <manifest.json>] [--trace <out.trace.json>]
-                 [--log-level off|info|debug]
+                 [--score-dump] [--log-level off|info|debug]
+  seldon report  <manifest.json> [--top <k>]
+  seldon metrics-dump <manifest.json>
+  seldon diff-runs <baseline.json> <candidate.json> [--tolerance <pct>]
 
 paths may mix .py (Python frontend) and .js (JS-like frontend) files
-exit codes: 0 clean; 1 violations found or degraded analysis; 2 usage error";
+exit codes: 0 clean; 1 violations found, degraded analysis, or run regression; 2 usage error";
 
 /// Directory recursion bound; also caps how far a symlink chain can lead.
 const MAX_WALK_DEPTH: usize = 64;
@@ -442,7 +448,7 @@ fn cmd_check(rest: &[String]) -> Result<Outcome, CliError> {
 fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     let (paths, opts, flags) = split_args(
         rest,
-        &["--strict", "--lenient", "--no-cache"],
+        &["--strict", "--lenient", "--no-cache", "--score-dump"],
         &[
             "--seed",
             "--out",
@@ -461,6 +467,10 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     }
     let manifest_path = opts.get("--telemetry").copied();
     let trace_path = opts.get("--trace").copied();
+    let score_dump = flags.contains(&"--score-dump");
+    if score_dump && manifest_path.is_none() {
+        return Err(CliError::usage("--score-dump needs --telemetry <manifest.json>"));
+    }
     // Either output file needs the recorder; `--log-level` alone only logs.
     let tele = if manifest_path.is_some() || trace_path.is_some() {
         Telemetry::recording()
@@ -521,6 +531,7 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     let options = SeldonOptions {
         gen: GenOptions { rep_cutoff: cutoff, ..Default::default() },
         solve: SolveOptions { threads: solver_threads, ..Default::default() },
+        score_dump,
         ..Default::default()
     };
     let mut analyze_opts = cli_analyze_opts(policy, &tele);
@@ -543,20 +554,27 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
         graph.edge_count()
     );
     let run = &full.run;
+    // Checkpoint-reuse and cache summaries go through the stage logger so
+    // `--log-level off` (the default) silences them; the solved line stays
+    // unconditional — it is the command's primary progress output.
     match full.checkpoint.outcome {
         CheckpointOutcome::HitFull => {
             let s = full.checkpoint.summary.unwrap_or_default();
-            eprintln!(
-                "checkpoint full hit: replayed {} constraints over {} variables ({} iterations, solve skipped)",
-                s.constraints, s.vars, run.solution.iterations
-            );
+            tele.info(|| {
+                format!(
+                    "checkpoint full hit: replayed {} constraints over {} variables ({} iterations, solve skipped)",
+                    s.constraints, s.vars, run.solution.iterations
+                )
+            });
         }
-        CheckpointOutcome::HitScores => eprintln!(
-            "{} constraints over {} variables; scores reused from checkpoint ({} iterations, solve skipped)",
-            run.system.constraint_count(),
-            run.system.var_count(),
-            run.solution.iterations
-        ),
+        CheckpointOutcome::HitScores => tele.info(|| {
+            format!(
+                "{} constraints over {} variables; scores reused from checkpoint ({} iterations, solve skipped)",
+                run.system.constraint_count(),
+                run.system.var_count(),
+                run.solution.iterations
+            )
+        }),
         CheckpointOutcome::Disabled | CheckpointOutcome::MissCold => eprintln!(
             "{} constraints over {} variables solved in {:?} ({} iterations)",
             run.system.constraint_count(),
@@ -567,14 +585,16 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     }
     if let Some(cache) = &cache {
         let s = cache.stats();
-        eprintln!(
-            "cache: {} hit(s), {} miss(es), {} store(s), {} fault(s) contained (checkpoint: {})",
-            s.hits,
-            s.misses,
-            s.stores,
-            analysis.report.cache_faults.len(),
-            full.checkpoint.outcome.label()
-        );
+        tele.info(|| {
+            format!(
+                "cache: {} hit(s), {} miss(es), {} store(s), {} fault(s) contained (checkpoint: {})",
+                s.hits,
+                s.misses,
+                s.stores,
+                analysis.report.cache_faults.len(),
+                full.checkpoint.outcome.label()
+            )
+        });
     }
     if run.solution.diverged {
         eprintln!("warning: solver diverged and restarted with a reduced learning rate");
@@ -614,4 +634,196 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     } else {
         Outcome::Clean
     })
+}
+
+/// Reads and validates a run manifest written by `learn --telemetry`.
+fn load_manifest(path: &Path) -> Result<RunManifest, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read {}: {e}", path.display())))?;
+    RunManifest::from_json(&text)
+        .map_err(|e| CliError::usage(format!("{}: {e}", path.display())))
+}
+
+/// `1234567` → `"1.2 MiB"`; keeps small numbers exact.
+fn fmt_bytes(b: u64) -> String {
+    const UNITS: [(&str, u64); 3] =
+        [("GiB", 1 << 30), ("MiB", 1 << 20), ("KiB", 1 << 10)];
+    for (unit, scale) in UNITS {
+        if b >= scale {
+            return format!("{:.1} {unit}", b as f64 / scale as f64);
+        }
+    }
+    format!("{b} B")
+}
+
+/// Microseconds → a human duration (`µs`, `ms`, or `s`).
+fn fmt_us(us: u64) -> String {
+    match us {
+        0..=999 => format!("{us} µs"),
+        1_000..=999_999 => format!("{:.1} ms", us as f64 / 1_000.0),
+        _ => format!("{:.2} s", us as f64 / 1_000_000.0),
+    }
+}
+
+/// `seldon report <manifest.json> [--top <k>]` — renders one run's
+/// manifest as the paper's §7-style summary: corpus shape, per-stage
+/// time/memory breakdown, solver and extraction outcomes, the Fig. 11
+/// score-vs-backoff table, and the top-K learned representations.
+fn cmd_report(rest: &[String]) -> Result<Outcome, CliError> {
+    let (paths, opts, _) = split_args(rest, &[], &["--top"])?;
+    let [path] = paths.as_slice() else {
+        return Err(CliError::usage("report expects exactly one manifest file"));
+    };
+    let top: usize = match opts.get("--top") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--top expects a number, got `{v}`")))?,
+        None => 10,
+    };
+    let m = load_manifest(path)?;
+
+    println!("seldon run report — command `{}` (schema v{})", m.command, m.schema_version);
+    println!();
+    println!(
+        "corpus       {} file(s) / {} project(s) — {} events, {} edges, {} symbols",
+        m.corpus.files, m.corpus.projects, m.corpus.events, m.corpus.edges, m.corpus.symbols
+    );
+    println!(
+        "outcomes     ok {}, recovered {}, skipped {}, over-budget {}, panicked {}",
+        m.outcomes.ok,
+        m.outcomes.recovered,
+        m.outcomes.skipped,
+        m.outcomes.over_budget,
+        m.outcomes.panicked
+    );
+    println!();
+    println!("stage breakdown (top-level spans)");
+    println!("  {:<16} {:>12} {:>12}", "stage", "time", "mem peak");
+    for s in m.stages.iter().filter(|s| s.depth == 0) {
+        println!(
+            "  {:<16} {:>12} {:>12}",
+            s.name,
+            fmt_us(s.dur_us),
+            fmt_bytes(s.mem_peak_bytes)
+        );
+    }
+    println!();
+    println!(
+        "constraints  {} total (A {} / B {} / C {}), {} vars, {} pinned",
+        m.constraints.total,
+        m.constraints.by_template[0],
+        m.constraints.by_template[1],
+        m.constraints.by_template[2],
+        m.constraints.vars,
+        m.constraints.pinned
+    );
+    println!(
+        "solver       {} iteration(s), {} restart(s), objective {:.6}, violation {:.6} ({} thread(s)){}",
+        m.solver.iterations,
+        m.solver.restarts,
+        m.solver.objective,
+        m.solver.violation,
+        m.solver.threads,
+        if m.solver.diverged { " [diverged]" } else { "" }
+    );
+    println!(
+        "extraction   learned {} src / {} san / {} snk (thresholds {}/{}/{}, decay {})",
+        m.extraction.learned[0],
+        m.extraction.learned[1],
+        m.extraction.learned[2],
+        m.extraction.thresholds[0],
+        m.extraction.thresholds[1],
+        m.extraction.thresholds[2],
+        m.extraction.decay
+    );
+    println!();
+    println!("score vs backoff (Fig. 11)");
+    println!("  {:<6} {:>10} {:>15} {:>11}", "level", "selections", "learned entries", "mean score");
+    let levels = m
+        .extraction
+        .backoff_hits
+        .len()
+        .max(m.score_dump.iter().map(|e| e.backoff_level as usize + 1).max().unwrap_or(0));
+    for level in 0..levels {
+        let selections = m.extraction.backoff_hits.get(level).copied().unwrap_or(0);
+        let at_level: Vec<f64> = m
+            .score_dump
+            .iter()
+            .filter(|e| e.backoff_level as usize == level)
+            .map(|e| e.score)
+            .collect();
+        let mean = if at_level.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.4}", at_level.iter().sum::<f64>() / at_level.len() as f64)
+        };
+        println!("  {:<6} {:>10} {:>15} {:>11}", level, selections, at_level.len(), mean);
+    }
+    if m.score_dump.is_empty() {
+        println!("  (per-representation scores absent; re-run `learn --telemetry --score-dump`)");
+    } else {
+        println!();
+        println!("top {} learned representations by score", top.min(m.score_dump.len()));
+        println!("  {:>8} {:>5}  {:<4} representation", "score", "level", "role");
+        let mut ranked: Vec<_> = m.score_dump.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for e in ranked.iter().take(top) {
+            println!("  {:>8.4} {:>5}  {:<4} {}", e.score, e.backoff_level, e.role, e.rep);
+        }
+    }
+    println!();
+    if m.cache.enabled {
+        println!(
+            "cache        {} hit(s), {} miss(es), {} store(s), {} fault(s); checkpoint {}",
+            m.cache.hits,
+            m.cache.misses,
+            m.cache.stores,
+            m.cache.corrupt + m.cache.stale + m.cache.evicted,
+            m.cache.checkpoint
+        );
+    }
+    if m.memory.tracked {
+        println!(
+            "memory       current {}, peak {}, peak RSS {}",
+            fmt_bytes(m.memory.current_bytes),
+            fmt_bytes(m.memory.peak_bytes),
+            fmt_bytes(m.memory.peak_rss_bytes)
+        );
+    }
+    println!("taint        {} violation(s)", m.taint.violations);
+    Ok(Outcome::Clean)
+}
+
+/// `seldon metrics-dump <manifest.json>` — Prometheus-style text
+/// exposition of everything the manifest measured.
+fn cmd_metrics_dump(rest: &[String]) -> Result<Outcome, CliError> {
+    let (paths, _, _) = split_args(rest, &[], &[])?;
+    let [path] = paths.as_slice() else {
+        return Err(CliError::usage("metrics-dump expects exactly one manifest file"));
+    };
+    print!("{}", load_manifest(path)?.to_prometheus());
+    Ok(Outcome::Clean)
+}
+
+/// `seldon diff-runs <baseline.json> <candidate.json>` — compares two run
+/// manifests. Identity fields (counts, outcomes, learned entries) must
+/// match exactly; cost fields (stage timings) gate at the tolerance;
+/// machine-state fields (memory, cache temperature) only annotate.
+/// Exits 0 when nothing regressed, 1 otherwise.
+fn cmd_diff_runs(rest: &[String]) -> Result<Outcome, CliError> {
+    let (paths, opts, _) = split_args(rest, &[], &["--tolerance"])?;
+    let [a, b] = paths.as_slice() else {
+        return Err(CliError::usage("diff-runs expects exactly two manifest files"));
+    };
+    let mut dopts = DiffOptions::default();
+    if let Some(v) = opts.get("--tolerance") {
+        dopts.tolerance_pct = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--tolerance expects a number, got `{v}`")))?;
+    }
+    let report = diff_manifests(&load_manifest(a)?, &load_manifest(b)?, &dopts);
+    print!("{}", report.render());
+    Ok(if report.regressed() { Outcome::Findings } else { Outcome::Clean })
 }

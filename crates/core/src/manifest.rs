@@ -21,9 +21,11 @@ use crate::report::{AnalysisReport, CacheFaultReport};
 use seldon_corpus::Corpus;
 use seldon_specs::{Role, TaintSpec};
 use seldon_taint::{TaintAnalyzer, Violation};
+use seldon_constraints::constraint_gap;
 use seldon_telemetry::{
-    stage, CacheSummary, ConstraintSummary, CorpusShape, ExtractionSummary, OutcomeCounts,
-    RunManifest, SolverSummary, TaintSummary, Telemetry,
+    stage, CacheSummary, ConstraintSummary, CorpusShape, ExtractionSummary, MemoryGauge,
+    MemorySummary, OutcomeCounts, RunManifest, ScoreDumpEntry, SolverSummary, TaintSummary,
+    Telemetry,
 };
 
 /// Everything one full pipeline run produces.
@@ -194,7 +196,154 @@ fn assemble_manifest(
         learned,
     };
     m.taint = TaintSummary { violations: violations.len() as u64 };
+    m.memory = MemorySummary {
+        tracked: true,
+        current_bytes: MemoryGauge::current_bytes(),
+        peak_bytes: MemoryGauge::peak_bytes(),
+        peak_rss_bytes: MemoryGauge::peak_rss_bytes().unwrap_or(0),
+    };
+    fill_metrics(&mut m, analyzed, run, analyze, report);
+    if seldon.score_dump {
+        m.score_dump = score_dump(run);
+    }
     m
+}
+
+/// Representation-frequency buckets: how many backoff options a
+/// representation backs across the whole graph (§4.3 cutoff input).
+const REP_FREQ_BOUNDS: [f64; 10] =
+    [1.0, 2.0, 3.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0];
+
+/// Constraint-gap buckets: `lhs − rhs` per constraint under the solved
+/// assignment (violation is `max(0, gap − C)`, so mass above `C` ≈ 0.75
+/// means unsatisfied constraints).
+const GAP_BOUNDS: [f64; 10] =
+    [-1.0, -0.5, -0.25, -0.1, 0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
+
+/// Populates the manifest's metrics registry from the finished pipeline
+/// artifacts. Runs once per manifest — never on the per-file hot path —
+/// so the no-telemetry overhead budget is untouched.
+fn fill_metrics(
+    m: &mut RunManifest,
+    analyzed: &AnalyzedCorpus,
+    run: &SeldonRun,
+    analyze: &AnalyzeOptions,
+    report: &AnalysisReport,
+) {
+    let reg = &mut m.metrics;
+    reg.inc_counter(
+        "files_analyzed",
+        "Files that produced a propagation graph (ok + recovered).",
+        false,
+        (report.ok() + report.recovered()) as f64,
+    );
+    // Representation frequency distribution over the union graph: every
+    // rep counted once per backoff option it appears in. Present even
+    // when empty so `validate_manifest --require-full` can demand it.
+    let mut rep_freq = seldon_telemetry::Histogram::new(&REP_FREQ_BOUNDS);
+    for &count in analyzed.graph.rep_frequency_counts().iter().filter(|&&c| c > 0) {
+        rep_freq.observe(count as f64);
+    }
+    reg.put_histogram(
+        "rep_frequency",
+        "Occurrences per representation across all backoff options (§4.3).",
+        false,
+        rep_freq,
+    );
+    // Constraint gaps under the solved assignment. A full checkpoint hit
+    // replays outputs without rebuilding the system, so the distribution
+    // is unavailable (and the metric absent) on that path.
+    if !run.system.constraints.is_empty()
+        && run.solution.scores.len() >= run.system.var_count()
+    {
+        for c in &run.system.constraints {
+            reg.observe(
+                "constraint_gap",
+                "Per-constraint lhs−rhs under the solved scores (violated above C).",
+                false,
+                &GAP_BOUNDS,
+                constraint_gap(c, &run.solution.scores),
+            );
+        }
+    }
+    if !analyzed.build_histogram.is_empty() {
+        reg.put_histogram(
+            "build_time_us",
+            "Per-file graph-construction time (µs), analyzed files only.",
+            true,
+            analyzed.build_histogram.clone(),
+        );
+    }
+    // Solver epoch timing and CSR occupancy. Rows/lanes come from the
+    // compile child span; checkpoint-served solves never compiled and
+    // simply omit them.
+    if run.solution.iterations > 0 {
+        reg.set_gauge(
+            "solver_epoch_us",
+            "Mean wall-clock per solver epoch (µs).",
+            true,
+            run.solve_time.as_micros() as f64 / run.solution.iterations as f64,
+        );
+        reg.set_gauge(
+            "solver_iterations",
+            "Projected-Adam epochs run (or replayed) this run.",
+            false,
+            run.solution.iterations as f64,
+        );
+    }
+    if let Some(compile) = m.stages.iter().find(|s| s.name == stage::COMPILE) {
+        for (key, gauge, help) in [
+            ("rows", "solver_rows", "CSR rows after compilation."),
+            ("lanes", "solver_lanes", "SIMD lanes occupied by the CSR kernel."),
+        ] {
+            if let Some(&(_, v)) = compile.counters.iter().find(|(k, _)| k == key) {
+                reg.set_gauge(gauge, help, false, v);
+            }
+        }
+    }
+    if let Some(cache) = analyze.cache.as_deref() {
+        let s = cache.stats();
+        let faults = s.corrupt + s.stale + s.evicted;
+        for (name, help, v) in [
+            ("cache_hits", "Artifact lookups served from the cache.", s.hits),
+            ("cache_misses", "Artifact lookups that recomputed from source.", s.misses),
+            ("cache_stores", "Entries written (artifacts + checkpoints).", s.stores),
+            ("cache_faults", "Contained cache faults (corrupt + stale + evicted).", faults),
+            ("cache_bytes_read", "Decoded payload bytes served by hits.", s.bytes_read),
+            ("cache_bytes_written", "Encoded frame bytes written by stores.", s.bytes_written),
+        ] {
+            reg.inc_counter(name, help, true, v as f64);
+        }
+        let lookups = s.hits + s.misses;
+        if lookups > 0 {
+            reg.set_gauge(
+                "cache_hit_rate",
+                "hits / (hits + misses) for artifact lookups.",
+                true,
+                s.hits as f64 / lookups as f64,
+            );
+        }
+    }
+}
+
+/// The Fig. 11 dataset: every learned `(rep, role)` with its effective
+/// score and winning backoff level, in deterministic (rep, role) order.
+fn score_dump(run: &SeldonRun) -> Vec<ScoreDumpEntry> {
+    let mut entries: Vec<ScoreDumpEntry> = run
+        .extraction
+        .scores
+        .iter()
+        .map(|(&(rep, role), &score)| ScoreDumpEntry {
+            rep: rep.as_str().to_string(),
+            role: role.short().to_string(),
+            score,
+            backoff_level: u64::from(
+                run.extraction.levels.get(&(rep, role)).copied().unwrap_or(0),
+            ),
+        })
+        .collect();
+    entries.sort_by(|a, b| a.rep.cmp(&b.rep).then_with(|| a.role.cmp(&b.role)));
+    entries
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ use seldon_solver::{
     extract, solve_compiled, CompiledSystem, ExtractOptions, Extraction, SolveOptions, Solution,
 };
 use seldon_specs::TaintSpec;
-use seldon_telemetry::{stage, ParseHistogram, Telemetry};
+use seldon_telemetry::{stage, Histogram, ParseHistogram, Telemetry, PARSE_HIST_BOUNDS};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -122,6 +122,11 @@ pub struct AnalyzedCorpus {
     /// only for frontends that parsed at least one file; cache-served
     /// files skip the front end and are never tallied.
     pub parse_histograms: Vec<ParseHistogram>,
+    /// Per-file graph-construction time distribution (microseconds, same
+    /// buckets as the parse histograms). Empty unless telemetry was active
+    /// during analysis; cache-served files skip construction and are never
+    /// tallied.
+    pub build_histogram: Histogram,
 }
 
 impl AnalyzedCorpus {
@@ -474,6 +479,7 @@ pub fn analyze_corpus_with(
     let timed = opts.telemetry.is_active();
     let mut parse_hist: Vec<ParseHistogram> =
         Frontend::ALL.iter().map(|f| ParseHistogram::new(f.label())).collect();
+    let mut build_hist = Histogram::with_u64_bounds(&PARSE_HIST_BOUNDS);
     for (i, (project, path, _)) in inputs.iter().enumerate() {
         let slot = slots[i].take().expect("every index 0..n is written exactly once above");
         if opts.policy == FaultPolicy::FailFast {
@@ -494,6 +500,7 @@ pub fn analyze_corpus_with(
             if timed && slot.outcome.is_analyzed() {
                 parse_hist[slot.frontend.index()]
                     .record(slot.timings.parse.as_micros() as u64);
+                build_hist.observe(slot.timings.build.as_micros() as f64);
             }
         }
         cache_time += slot.cache_time;
@@ -571,6 +578,7 @@ pub fn analyze_corpus_with(
             files,
             build_time: started.elapsed(),
             parse_histograms: parse_hist.into_iter().filter(|h| h.total() > 0).collect(),
+            build_histogram: build_hist,
         },
         AnalysisReport { files: reports, cache_faults },
     ))
@@ -687,6 +695,7 @@ pub fn analyze_project(corpus: &Corpus, project: usize) -> Result<AnalyzedCorpus
         files,
         build_time: started.elapsed(),
         parse_histograms: Vec::new(),
+        build_histogram: Histogram::with_u64_bounds(&PARSE_HIST_BOUNDS),
     })
 }
 
@@ -699,6 +708,10 @@ pub struct SeldonOptions {
     pub solve: SolveOptions,
     /// Extraction options (t = 0.1, decay 0.8).
     pub extract: ExtractOptions,
+    /// When true (and telemetry records), the manifest carries the full
+    /// per-representation score dump with backoff levels — the Fig. 11
+    /// dataset. Off by default: the dump scales with the learned spec.
+    pub score_dump: bool,
 }
 
 /// The artifacts of a full Seldon run.

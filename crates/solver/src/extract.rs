@@ -58,6 +58,9 @@ pub struct Extraction {
     /// The effective (decayed) score backing each learned `(rep, role)`.
     /// Keys are interned representations; resolve with [`RepId::as_str`].
     pub scores: HashMap<(RepId, Role), f64>,
+    /// Backoff level (0 = most specific) of the winning selection behind
+    /// each entry in [`Extraction::scores`] — the Fig. 11 x-axis.
+    pub levels: HashMap<(RepId, Role), u32>,
     /// Role selections per backoff level: `backoff_hits[i]` counts
     /// `(event, role)` selections whose winning representation was the
     /// `i`-th backoff option (effective score `decay^i · score`). The
@@ -97,7 +100,10 @@ pub fn extract(
                 if effective >= opts.threshold(role) {
                     roles = roles.with(role);
                     let entry = out.scores.entry((rep, role)).or_insert(0.0);
-                    *entry = entry.max(effective);
+                    if effective >= *entry {
+                        *entry = effective;
+                        out.levels.insert((rep, role), i as u32);
+                    }
                     out.spec.add(rep.as_str(), role);
                     if out.backoff_hits.len() <= i {
                         out.backoff_hits.resize(i + 1, 0);
@@ -165,6 +171,8 @@ mod tests {
         let sol = solution_with(&sys, &[(0, 0.0), (1, 0.9)]);
         let ex = extract(&sys, &sol, &ExtractOptions::default());
         assert_eq!(ex.backoff_hits, vec![0, 1]);
+        let rep = sys.rep_id("mod.api()").unwrap();
+        assert_eq!(ex.levels[&(rep, Role::Source)], 1, "winning level recorded");
         // No qualifying rep at all: no hits recorded.
         let sol = solution_with(&sys, &[(0, 0.0), (1, 0.0)]);
         let ex = extract(&sys, &sol, &ExtractOptions::default());

@@ -22,6 +22,13 @@
 use crate::json::{self, Json};
 use crate::manifest::{ManifestError, SCHEMA_VERSION};
 
+/// Oldest `bench_schema_version` still readable. The section shape has
+/// been stable since v2, so committed `BENCH_*.json` baselines keep
+/// parsing (and keep serving as regression baselines for `bench_diff`)
+/// across manifest schema bumps; records are always *emitted* at
+/// [`SCHEMA_VERSION`].
+pub const MIN_BENCH_SCHEMA_VERSION: u64 = 2;
+
 /// One bench-history entry: a header plus ordered sections of scalars.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
@@ -82,6 +89,12 @@ impl BenchRecord {
         self.put(section, key, Json::Bool(value))
     }
 
+    /// All sections with their key/value pairs, in insertion order —
+    /// used by the run-diff engine to walk two records key by key.
+    pub fn sections(&self) -> &[(String, Vec<(String, Json)>)] {
+        &self.sections
+    }
+
     /// Reads back a value set earlier, as raw [`Json`].
     pub fn get(&self, section: &str, key: &str) -> Option<&Json> {
         self.sections
@@ -123,9 +136,10 @@ impl BenchRecord {
             .get("bench_schema_version")
             .and_then(Json::as_u64)
             .ok_or_else(|| ManifestError::Schema("missing bench_schema_version".into()))?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_BENCH_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(ManifestError::Schema(format!(
-                "bench_schema_version {version} != supported {SCHEMA_VERSION}"
+                "bench_schema_version {version} outside supported \
+                 {MIN_BENCH_SCHEMA_VERSION}..={SCHEMA_VERSION}"
             )));
         }
         let header = |key: &str| {
@@ -192,6 +206,17 @@ mod tests {
             BenchRecord::from_json(&wrong_version),
             Err(ManifestError::Schema(_))
         ));
+        // Old-but-supported versions still parse (committed baselines).
+        let old_version = text.replace(
+            &format!("\"bench_schema_version\": {SCHEMA_VERSION}"),
+            &format!("\"bench_schema_version\": {MIN_BENCH_SCHEMA_VERSION}"),
+        );
+        assert!(BenchRecord::from_json(&old_version).is_ok());
+        let too_old = text.replace(
+            &format!("\"bench_schema_version\": {SCHEMA_VERSION}"),
+            "\"bench_schema_version\": 1",
+        );
+        assert!(matches!(BenchRecord::from_json(&too_old), Err(ManifestError::Schema(_))));
         let no_binary = text.replace("\"binary\"", "\"binaryyy\"");
         assert!(matches!(BenchRecord::from_json(&no_binary), Err(ManifestError::Schema(_))));
         assert!(matches!(BenchRecord::from_json("[1]"), Err(ManifestError::Schema(_))));

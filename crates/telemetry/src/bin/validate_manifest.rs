@@ -7,8 +7,10 @@
 //! Exit 0 when the file parses, schema-validates, and survives a lossless
 //! serialize→parse round trip. `--require-full` additionally demands all
 //! eight pipeline stage spans, a non-empty solver convergence curve with
-//! strictly increasing epoch indices, and per-template constraint counts
-//! that sum to the constraint total.
+//! strictly increasing epoch indices, per-template constraint counts that
+//! sum to the constraint total, tracked memory accounting, and the
+//! `rep_frequency` metric (plus `constraint_gap` whenever the system was
+//! actually built, i.e. the run was not a full checkpoint replay).
 
 use seldon_telemetry::{stage, RunManifest, SCHEMA_VERSION};
 use std::process::ExitCode;
@@ -66,6 +68,19 @@ fn main() -> ExitCode {
                 "{path}: per-template counts sum to {by_template}, total is {}",
                 manifest.constraints.total
             ));
+        }
+        if !manifest.memory.tracked {
+            return fail(&format!("{path}: memory accounting not tracked"));
+        }
+        if manifest.metrics.get("rep_frequency").is_none() {
+            return fail(&format!("{path}: missing `rep_frequency` metric"));
+        }
+        // A full checkpoint replay never rebuilds the constraint system,
+        // so the gap distribution is legitimately absent only there.
+        if manifest.cache.checkpoint != "full"
+            && manifest.metrics.get("constraint_gap").is_none()
+        {
+            return fail(&format!("{path}: missing `constraint_gap` metric"));
         }
     }
 

@@ -1,0 +1,482 @@
+//! Run-to-run comparison: the engine behind `seldon diff-runs` and the
+//! `bench_diff` bin.
+//!
+//! Two kinds of fields get two kinds of treatment:
+//!
+//! * **Identity fields** (counts, solver outcomes, learned-spec shape)
+//!   are compared exactly — the pipeline is deterministic, so any
+//!   mismatch between two runs of the same input is a real behavioral
+//!   change and counts as a regression.
+//! * **Cost fields** (durations, bytes) are compared with a relative
+//!   tolerance plus an absolute slack floor, so scheduler noise on small
+//!   numbers does not trip the gate. A candidate beyond tolerance above
+//!   the baseline is a regression; beyond tolerance below, an
+//!   improvement.
+//!
+//! Machine-state readings (memory peaks, cache hit counts that depend on
+//! what was on disk) are reported as informational notes and never gate.
+
+use crate::bench::BenchRecord;
+use crate::manifest::RunManifest;
+
+/// Comparison thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Relative tolerance (percent) for cost fields; the CI gate uses
+    /// the default ±15%.
+    pub tolerance_pct: f64,
+    /// Absolute slack (microseconds) under which stage-duration drift
+    /// never gates, regardless of the relative change.
+    pub timing_slack_us: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { tolerance_pct: 15.0, timing_slack_us: 25_000.0 }
+    }
+}
+
+/// Outcome of one comparison: classified lines plus tallies.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Human-readable lines, one per observed difference.
+    pub lines: Vec<String>,
+    /// Gating differences (identity mismatches, cost beyond tolerance).
+    pub regressions: usize,
+    /// Cost fields beyond tolerance in the good direction.
+    pub improvements: usize,
+    /// Non-gating differences (machine state, metadata).
+    pub notes: usize,
+}
+
+impl DiffReport {
+    fn regress(&mut self, msg: String) {
+        self.regressions += 1;
+        self.lines.push(format!("REGRESSION  {msg}"));
+    }
+
+    fn improve(&mut self, msg: String) {
+        self.improvements += 1;
+        self.lines.push(format!("improvement {msg}"));
+    }
+
+    fn note(&mut self, msg: String) {
+        self.notes += 1;
+        self.lines.push(format!("note        {msg}"));
+    }
+
+    /// Whether the candidate regressed against the baseline.
+    pub fn regressed(&self) -> bool {
+        self.regressions > 0
+    }
+
+    /// Renders the full report with a one-line verdict at the end.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if self.lines.is_empty() {
+            out.push_str("no differences\n");
+        }
+        out.push_str(&format!(
+            "verdict: {} regression(s), {} improvement(s), {} note(s)\n",
+            self.regressions, self.improvements, self.notes
+        ));
+        out
+    }
+
+    /// Exact comparison of an identity field; mismatch is a regression.
+    fn identity<T: PartialEq + std::fmt::Display>(&mut self, path: &str, a: T, b: T) {
+        if a != b {
+            self.regress(format!("{path}: {a} -> {b} (identity field changed)"));
+        }
+    }
+
+    /// Tolerance comparison of a cost field (larger is worse).
+    fn cost(&mut self, path: &str, a: f64, b: f64, slack: f64, opts: &DiffOptions) {
+        let tol = opts.tolerance_pct / 100.0;
+        if (b - a).abs() <= slack {
+            return;
+        }
+        if b > a * (1.0 + tol) {
+            self.regress(format!("{path}: {a} -> {b} (+{:.1}% > {:.0}%)", pct(a, b), opts.tolerance_pct));
+        } else if b < a * (1.0 - tol) {
+            self.improve(format!("{path}: {a} -> {b} ({:.1}%)", pct(a, b)));
+        }
+    }
+}
+
+fn pct(a: f64, b: f64) -> f64 {
+    if a == 0.0 {
+        100.0
+    } else {
+        (b - a) / a * 100.0
+    }
+}
+
+/// Compares two run manifests: deterministic pipeline outputs exactly,
+/// stage durations with tolerance, machine-state readings as notes.
+pub fn diff_manifests(a: &RunManifest, b: &RunManifest, opts: &DiffOptions) -> DiffReport {
+    let mut r = DiffReport::default();
+    if a.schema_version != b.schema_version {
+        r.note(format!("schema_version: {} -> {}", a.schema_version, b.schema_version));
+    }
+    if a.command != b.command {
+        r.note(format!("command: {} -> {}", a.command, b.command));
+    }
+
+    r.identity("corpus.files", a.corpus.files, b.corpus.files);
+    r.identity("corpus.projects", a.corpus.projects, b.corpus.projects);
+    r.identity("corpus.events", a.corpus.events, b.corpus.events);
+    r.identity("corpus.edges", a.corpus.edges, b.corpus.edges);
+    r.identity("corpus.symbols", a.corpus.symbols, b.corpus.symbols);
+
+    r.identity("outcomes.ok", a.outcomes.ok, b.outcomes.ok);
+    r.identity("outcomes.recovered", a.outcomes.recovered, b.outcomes.recovered);
+    r.identity("outcomes.skipped", a.outcomes.skipped, b.outcomes.skipped);
+    r.identity("outcomes.over_budget", a.outcomes.over_budget, b.outcomes.over_budget);
+    r.identity("outcomes.panicked", a.outcomes.panicked, b.outcomes.panicked);
+
+    // Stage durations: compare top-level stages that exist on both sides;
+    // presence differences (e.g. the optional cache span) are notes.
+    for sa in a.stages.iter().filter(|s| s.depth == 0) {
+        match b.stages.iter().find(|s| s.depth == 0 && s.name == sa.name) {
+            Some(sb) => {
+                let path = format!("stages.{}.dur_us", sa.name);
+                r.cost(&path, sa.dur_us as f64, sb.dur_us as f64, opts.timing_slack_us, opts);
+                if sa.mem_peak_bytes != sb.mem_peak_bytes {
+                    r.note(format!(
+                        "stages.{}.mem_peak_bytes: {} -> {} (machine state)",
+                        sa.name, sa.mem_peak_bytes, sb.mem_peak_bytes
+                    ));
+                }
+            }
+            None => r.note(format!("stage `{}` only in baseline", sa.name)),
+        }
+    }
+    for sb in b.stages.iter().filter(|s| s.depth == 0) {
+        if !a.stages.iter().any(|s| s.depth == 0 && s.name == sb.name) {
+            r.note(format!("stage `{}` only in candidate", sb.name));
+        }
+    }
+
+    r.identity("constraints.total", a.constraints.total, b.constraints.total);
+    r.identity("constraints.vars", a.constraints.vars, b.constraints.vars);
+    r.identity("constraints.pinned", a.constraints.pinned, b.constraints.pinned);
+    for i in 0..3 {
+        r.identity(
+            &format!("constraints.by_template[{i}]"),
+            a.constraints.by_template[i],
+            b.constraints.by_template[i],
+        );
+    }
+
+    r.identity("solver.iterations", a.solver.iterations, b.solver.iterations);
+    r.identity("solver.restarts", a.solver.restarts, b.solver.restarts);
+    r.identity("solver.diverged", a.solver.diverged, b.solver.diverged);
+    r.identity("solver.final_lr", a.solver.final_lr, b.solver.final_lr);
+    r.identity("solver.objective", a.solver.objective, b.solver.objective);
+    r.identity("solver.violation", a.solver.violation, b.solver.violation);
+    if a.solver.curve.len() != b.solver.curve.len() {
+        r.note(format!(
+            "solver.curve: {} -> {} samples",
+            a.solver.curve.len(),
+            b.solver.curve.len()
+        ));
+    }
+
+    for i in 0..3 {
+        r.identity(
+            &format!("extraction.thresholds[{i}]"),
+            a.extraction.thresholds[i],
+            b.extraction.thresholds[i],
+        );
+        r.identity(
+            &format!("extraction.learned[{i}]"),
+            a.extraction.learned[i],
+            b.extraction.learned[i],
+        );
+    }
+    r.identity("extraction.decay", a.extraction.decay, b.extraction.decay);
+    if a.extraction.backoff_hits != b.extraction.backoff_hits {
+        r.regress(format!(
+            "extraction.backoff_hits: {:?} -> {:?} (identity field changed)",
+            a.extraction.backoff_hits, b.extraction.backoff_hits
+        ));
+    }
+
+    r.identity("taint.violations", a.taint.violations, b.taint.violations);
+
+    // Cache counters depend on what was already on disk, not on the
+    // pipeline: informational only.
+    if (a.cache.hits, a.cache.misses, &a.cache.checkpoint)
+        != (b.cache.hits, b.cache.misses, &b.cache.checkpoint)
+    {
+        r.note(format!(
+            "cache: {}h/{}m ({}) -> {}h/{}m ({})",
+            a.cache.hits, a.cache.misses, a.cache.checkpoint,
+            b.cache.hits, b.cache.misses, b.cache.checkpoint
+        ));
+    }
+
+    // Parse-histogram totals are deterministic (how many files each
+    // frontend parsed); the bucket spread is wall-clock.
+    for ha in &a.parse_histograms {
+        match b.parse_histograms.iter().find(|h| h.frontend == ha.frontend) {
+            Some(hb) => r.identity(
+                &format!("parse_histograms.{}.total", ha.frontend),
+                ha.total(),
+                hb.total(),
+            ),
+            None => r.regress(format!("parse_histograms: frontend `{}` disappeared", ha.frontend)),
+        }
+    }
+
+    if a.memory.peak_bytes != b.memory.peak_bytes {
+        r.note(format!(
+            "memory.peak_bytes: {} -> {} (machine state)",
+            a.memory.peak_bytes, b.memory.peak_bytes
+        ));
+    }
+
+    // Metrics: non-volatile values are pipeline outputs and must match;
+    // volatile ones are costs/machine state.
+    use crate::metrics::MetricValue;
+    for ma in a.metrics.metrics() {
+        let Some(mb) = b.metrics.get(&ma.name) else {
+            r.note(format!("metric `{}` only in baseline", ma.name));
+            continue;
+        };
+        let path = format!("metrics.{}", ma.name);
+        match (&ma.value, &mb.value) {
+            (MetricValue::Counter(x), MetricValue::Counter(y))
+            | (MetricValue::Gauge(x), MetricValue::Gauge(y)) => {
+                if !ma.volatile {
+                    r.identity(&path, *x, *y);
+                } else if let Some(slack) = bench_slack(&ma.name) {
+                    // Unit-suffixed volatile scalars are costs (timings,
+                    // byte volumes) and gate with tolerance + slack.
+                    r.cost(&path, *x, *y, slack, opts);
+                } else if x != y {
+                    // Unsuffixed volatile scalars (cache temperature,
+                    // rates) are machine state: informational only.
+                    r.note(format!("{path}: {x} -> {y} (volatile)"));
+                }
+            }
+            (MetricValue::Histogram(x), MetricValue::Histogram(y)) => {
+                r.identity(&format!("{path}.total"), x.total(), y.total());
+                if !ma.volatile && x.counts != y.counts {
+                    r.regress(format!("{path}: bucket counts changed (identity histogram)"));
+                }
+            }
+            _ => r.regress(format!("{path}: metric kind changed")),
+        }
+    }
+    for mb in b.metrics.metrics() {
+        if a.metrics.get(&mb.name).is_none() {
+            r.note(format!("metric `{}` only in candidate", mb.name));
+        }
+    }
+
+    if a.score_dump != b.score_dump {
+        r.regress(format!(
+            "score_dump: {} -> {} entries or changed content (identity field)",
+            a.score_dump.len(),
+            b.score_dump.len()
+        ));
+    }
+
+    r
+}
+
+/// Absolute gating slack for a bench cost key, by unit suffix: drift
+/// smaller than this never gates, however large in relative terms.
+fn bench_slack(key: &str) -> Option<f64> {
+    if key.ends_with("_ns") {
+        Some(10_000_000.0) // 10ms in ns
+    } else if key.ends_with("_us") {
+        Some(10_000.0) // 10ms in µs
+    } else if key.ends_with("_ms") {
+        Some(10.0)
+    } else if key.ends_with("_s") {
+        Some(0.01)
+    } else if key.ends_with("_bytes") {
+        Some((1 << 20) as f64) // 1 MiB
+    } else {
+        None
+    }
+}
+
+/// Compares two bench records key by key: unit-suffixed cost keys gate
+/// with tolerance + slack, everything else is informational.
+pub fn diff_bench(a: &BenchRecord, b: &BenchRecord, opts: &DiffOptions) -> DiffReport {
+    let mut r = DiffReport::default();
+    if a.benchmark != b.benchmark {
+        r.note(format!("benchmark: {} -> {}", a.benchmark, b.benchmark));
+    }
+    for (section, kv) in a.sections() {
+        for (key, va) in kv {
+            let path = format!("{section}.{key}");
+            let Some(vb) = b.get(section, key) else {
+                r.note(format!("{path}: only in baseline"));
+                continue;
+            };
+            match (va.as_f64(), vb.as_f64(), bench_slack(key)) {
+                (Some(x), Some(y), Some(slack)) if x.is_finite() && y.is_finite() => {
+                    r.cost(&path, x, y, slack, opts);
+                }
+                _ => {
+                    if va != vb {
+                        r.note(format!("{path}: {} -> {}", va.compact(), vb.compact()));
+                    }
+                }
+            }
+        }
+    }
+    for (section, kv) in b.sections() {
+        for (key, _) in kv {
+            if a.get(section, key).is_none() {
+                r.note(format!("{section}.{key}: only in candidate"));
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{ScoreDumpEntry, StageSpan};
+
+    fn base_manifest() -> RunManifest {
+        let mut m = RunManifest::new("learn");
+        m.corpus.files = 6;
+        m.taint.violations = 2;
+        m.stages.push(StageSpan {
+            name: "solve".into(),
+            parent: None,
+            depth: 0,
+            start_us: 0,
+            dur_us: 1_000_000,
+            mem_now_bytes: 10,
+            mem_peak_bytes: 20,
+            counters: vec![],
+        });
+        m.metrics.inc_counter("files_analyzed", "files", false, 6.0);
+        m
+    }
+
+    #[test]
+    fn identical_manifests_produce_no_regressions() {
+        let m = base_manifest();
+        let r = diff_manifests(&m, &m.clone(), &DiffOptions::default());
+        assert!(!r.regressed(), "{}", r.render());
+        assert_eq!(r.improvements, 0);
+    }
+
+    #[test]
+    fn identity_change_regresses() {
+        let a = base_manifest();
+        let mut b = base_manifest();
+        b.taint.violations = 5;
+        let r = diff_manifests(&a, &b, &DiffOptions::default());
+        assert!(r.regressed());
+        assert!(r.render().contains("taint.violations"));
+    }
+
+    #[test]
+    fn timing_gates_with_tolerance_and_slack() {
+        let a = base_manifest();
+        // +30% on a 1s stage: regression.
+        let mut slow = base_manifest();
+        slow.stages[0].dur_us = 1_300_000;
+        assert!(diff_manifests(&a, &slow, &DiffOptions::default()).regressed());
+        // -30%: improvement, not a regression.
+        let mut fast = base_manifest();
+        fast.stages[0].dur_us = 700_000;
+        let r = diff_manifests(&a, &fast, &DiffOptions::default());
+        assert!(!r.regressed());
+        assert_eq!(r.improvements, 1);
+        // +30% on a 10ms stage: inside the 25ms slack, no gate.
+        let mut a_small = base_manifest();
+        a_small.stages[0].dur_us = 10_000;
+        let mut b_small = base_manifest();
+        b_small.stages[0].dur_us = 13_000;
+        assert!(!diff_manifests(&a_small, &b_small, &DiffOptions::default()).regressed());
+    }
+
+    #[test]
+    fn memory_and_cache_changes_are_notes() {
+        let a = base_manifest();
+        let mut b = base_manifest();
+        b.memory.peak_bytes = 123_456_789;
+        b.cache.hits = 42;
+        b.stages[0].mem_peak_bytes = 999;
+        let r = diff_manifests(&a, &b, &DiffOptions::default());
+        assert!(!r.regressed(), "{}", r.render());
+        assert!(r.notes >= 2);
+    }
+
+    #[test]
+    fn volatile_metrics_gate_only_with_unit_suffix() {
+        let mut a = base_manifest();
+        a.metrics.set_gauge("solver_epoch_us", "epoch", true, 100_000.0);
+        a.metrics.set_gauge("cache_hit_rate", "rate", true, 0.0);
+        // Unsuffixed volatile scalar drifts: note only.
+        let mut warm = a.clone();
+        warm.metrics.set_gauge("cache_hit_rate", "rate", true, 1.0);
+        let r = diff_manifests(&a, &warm, &DiffOptions::default());
+        assert!(!r.regressed(), "{}", r.render());
+        assert!(r.render().contains("cache_hit_rate"), "{}", r.render());
+        // Unit-suffixed volatile scalar beyond tolerance + slack: gates.
+        let mut slow = a.clone();
+        slow.metrics.set_gauge("solver_epoch_us", "epoch", true, 150_000.0);
+        assert!(diff_manifests(&a, &slow, &DiffOptions::default()).regressed());
+        // Same relative drift inside the 10ms unit slack: no gate.
+        let mut b_small = a.clone();
+        b_small.metrics.set_gauge("solver_epoch_us", "epoch", true, 109_000.0);
+        assert!(!diff_manifests(&a, &b_small, &DiffOptions::default()).regressed());
+    }
+
+    #[test]
+    fn score_dump_change_regresses() {
+        let a = base_manifest();
+        let mut b = base_manifest();
+        b.score_dump.push(ScoreDumpEntry {
+            rep: "x".into(),
+            role: "sink".into(),
+            score: 0.5,
+            backoff_level: 1,
+        });
+        assert!(diff_manifests(&a, &b, &DiffOptions::default()).regressed());
+    }
+
+    #[test]
+    fn bench_cost_keys_gate_and_identity_keys_note() {
+        let mut a = BenchRecord::new("solver", "solver_bench", "m");
+        a.num("corpus", "files", 607.0).num("after", "solve_ms", 100.0);
+        // Slower beyond tolerance and slack: regression.
+        let mut slow = a.clone();
+        slow.num("after", "solve_ms", 130.0);
+        let r = diff_bench(&a, &slow, &DiffOptions::default());
+        assert!(r.regressed(), "{}", r.render());
+        // A count change is a note, not a gate.
+        let mut counted = a.clone();
+        counted.num("corpus", "files", 608.0);
+        let r = diff_bench(&a, &counted, &DiffOptions::default());
+        assert!(!r.regressed());
+        assert_eq!(r.notes, 1);
+        // Within slack: 100ms -> 109ms is 9ms drift, under the 10ms floor.
+        let mut close = a.clone();
+        close.num("after", "solve_ms", 109.0);
+        assert!(!diff_bench(&a, &close, &DiffOptions::default()).regressed());
+        // Faster beyond tolerance: improvement.
+        let mut fast = a.clone();
+        fast.num("after", "solve_ms", 50.0);
+        let r = diff_bench(&a, &fast, &DiffOptions::default());
+        assert!(!r.regressed());
+        assert_eq!(r.improvements, 1);
+    }
+}

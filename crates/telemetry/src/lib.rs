@@ -28,14 +28,20 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod diff;
 pub mod json;
 pub mod manifest;
+pub mod memory;
+pub mod metrics;
 pub mod span;
 
-pub use bench::BenchRecord;
+pub use bench::{BenchRecord, MIN_BENCH_SCHEMA_VERSION};
+pub use diff::{diff_bench, diff_manifests, DiffOptions, DiffReport};
 pub use manifest::{
     stage, CacheSummary, ConstraintSummary, CorpusShape, EpochSample, ExtractionSummary,
-    ManifestError, OutcomeCounts, ParseHistogram, RunManifest, SolverSummary, StageSpan,
-    TaintSummary, PARSE_HIST_BOUNDS, SCHEMA_VERSION,
+    ManifestError, MemorySummary, OutcomeCounts, ParseHistogram, RunManifest, ScoreDumpEntry,
+    SolverSummary, StageSpan, TaintSummary, PARSE_HIST_BOUNDS, SCHEMA_VERSION,
 };
+pub use memory::{CountingAlloc, MemSnapshot, MemoryGauge};
+pub use metrics::{Histogram, Metric, MetricValue, MetricsRegistry};
 pub use span::{Level, SpanGuard, SpanRecord, Telemetry};

@@ -14,6 +14,7 @@
 //! with finite numbers.
 
 use crate::json::{self, Json, JsonError};
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::span::SpanRecord;
 use std::fmt;
 
@@ -24,8 +25,11 @@ use std::fmt;
 /// ([`CacheSummary`]), the optional `cache` stage span, and the
 /// `parse.project` / `union.shard` child spans. Version 4 added the
 /// `parse_histograms` section ([`ParseHistogram`]) — per-frontend
-/// per-file parse-time buckets.
-pub const SCHEMA_VERSION: u64 = 4;
+/// per-file parse-time buckets. Version 5 added the `memory` section
+/// ([`MemorySummary`]), the per-span `mem_now_bytes` / `mem_peak_bytes`
+/// fields, the `metrics` registry ([`MetricsRegistry`]), and the opt-in
+/// `score_dump` section ([`ScoreDumpEntry`], Fig. 11 data).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Upper bounds (inclusive, microseconds) of the per-file parse-time
 /// histogram buckets. A file lands in the first bucket whose bound its
@@ -34,37 +38,54 @@ pub const PARSE_HIST_BOUNDS: [u64; 8] = [50, 100, 250, 500, 1000, 2500, 5000, 10
 
 /// Histogram of per-file parse times for one language frontend.
 ///
-/// Buckets follow [`PARSE_HIST_BOUNDS`]; `counts` has one extra overflow
-/// slot at the end for files slower than the last bound. Only files that
+/// A thin frontend-labelled wrapper over the shared
+/// [`Histogram`] with [`PARSE_HIST_BOUNDS`] bounds; the final
+/// slot counts files slower than the last bound. Only files that
 /// actually ran the front end are recorded — cache-served files skip
-/// parsing entirely and contribute nothing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// parsing entirely and contribute nothing. The JSON shape keeps the v4
+/// `{"frontend": ..., "counts": [...]}` fields (bounds implied) and adds
+/// the histogram's `sum` (total microseconds) in v5.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParseHistogram {
     /// Frontend label (`"python"`, `"js"`).
     pub frontend: String,
-    /// `counts[i]` files parsed in ≤ `PARSE_HIST_BOUNDS[i]` µs; the final
-    /// slot counts files over the last bound.
-    pub counts: [u64; PARSE_HIST_BOUNDS.len() + 1],
+    /// The underlying distribution over [`PARSE_HIST_BOUNDS`].
+    pub hist: Histogram,
 }
 
 impl ParseHistogram {
     /// An empty histogram for one frontend.
     pub fn new(frontend: impl Into<String>) -> ParseHistogram {
-        ParseHistogram { frontend: frontend.into(), counts: [0; PARSE_HIST_BOUNDS.len() + 1] }
+        ParseHistogram {
+            frontend: frontend.into(),
+            hist: Histogram::with_u64_bounds(&PARSE_HIST_BOUNDS),
+        }
+    }
+
+    /// A histogram with pre-filled bucket counts (test fixtures and
+    /// deserialization).
+    pub fn with_counts(
+        frontend: impl Into<String>,
+        counts: [u64; PARSE_HIST_BOUNDS.len() + 1],
+    ) -> ParseHistogram {
+        let mut h = ParseHistogram::new(frontend);
+        h.hist.counts = counts.to_vec();
+        h
     }
 
     /// Tallies one file's parse time (microseconds) into its bucket.
     pub fn record(&mut self, micros: u64) {
-        let slot = PARSE_HIST_BOUNDS
-            .iter()
-            .position(|&bound| micros <= bound)
-            .unwrap_or(PARSE_HIST_BOUNDS.len());
-        self.counts[slot] += 1;
+        self.hist.observe(micros as f64);
+    }
+
+    /// Per-bucket counts (`PARSE_HIST_BOUNDS.len() + 1` slots).
+    pub fn counts(&self) -> &[u64] {
+        &self.hist.counts
     }
 
     /// Total files recorded.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.hist.total()
     }
 }
 
@@ -170,6 +191,11 @@ pub struct StageSpan {
     pub start_us: u64,
     /// Span duration in microseconds.
     pub dur_us: u64,
+    /// Live heap bytes when the span closed (0 if unrecorded).
+    pub mem_now_bytes: u64,
+    /// Allocator high-water mark when the span closed — monotone across
+    /// the run, so consecutive stages report a non-decreasing peak.
+    pub mem_peak_bytes: u64,
     /// Counters recorded on the span, in record order.
     pub counters: Vec<(String, f64)>,
 }
@@ -182,6 +208,8 @@ impl From<SpanRecord> for StageSpan {
             depth: s.depth,
             start_us: s.start_us,
             dur_us: s.dur_us,
+            mem_now_bytes: s.mem_now_bytes,
+            mem_peak_bytes: s.mem_peak_bytes,
             counters: s.counters.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
         }
     }
@@ -293,6 +321,37 @@ pub struct TaintSummary {
     pub violations: u64,
 }
 
+/// Process-level memory accounting of one run (see
+/// [`crate::memory::MemoryGauge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemorySummary {
+    /// Whether the counting-allocator readings were taken (always true
+    /// for manifests emitted by this build; false only in synthetic or
+    /// legacy records).
+    pub tracked: bool,
+    /// Live heap bytes when the manifest was assembled.
+    pub current_bytes: u64,
+    /// Allocator high-water mark since process start.
+    pub peak_bytes: u64,
+    /// Kernel peak RSS (`VmHWM`) in bytes; 0 where the platform does not
+    /// expose it.
+    pub peak_rss_bytes: u64,
+}
+
+/// One learned-score row of the opt-in `--score-dump` section — the raw
+/// data behind Fig. 11 (score versus backoff level).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreDumpEntry {
+    /// Representation string the score attaches to.
+    pub rep: String,
+    /// Role label (`"source"`, `"sanitizer"`, `"sink"`).
+    pub role: String,
+    /// Effective (decay-discounted) score that won the backoff sweep.
+    pub score: f64,
+    /// Backoff level of the winning representation (0 = most specific).
+    pub backoff_level: u64,
+}
+
 /// The complete machine-readable record of one pipeline run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunManifest {
@@ -321,6 +380,14 @@ pub struct RunManifest {
     /// Per-frontend per-file parse-time buckets (one entry per frontend
     /// that parsed at least one file; empty when nothing was parsed).
     pub parse_histograms: Vec<ParseHistogram>,
+    /// Process memory accounting.
+    pub memory: MemorySummary,
+    /// Named metrics (counters, gauges, distributions) assembled from
+    /// the run's artifacts.
+    pub metrics: MetricsRegistry,
+    /// Per-representation learned scores with backoff level (Fig. 11);
+    /// empty unless the run asked for `--score-dump`.
+    pub score_dump: Vec<ScoreDumpEntry>,
 }
 
 impl RunManifest {
@@ -344,21 +411,27 @@ impl RunManifest {
         stage::ALL.iter().all(|name| self.stage(name).is_some())
     }
 
-    /// Zeroes all wall-clock fields (span start/duration) so manifests of
+    /// Zeroes all wall-clock and machine-state fields (span
+    /// start/duration, memory bytes, volatile metrics) so manifests of
     /// repeated runs compare equal; counts and curves are untouched.
-    /// Parse-time histograms are collapsed to their totals in the first
-    /// bucket — which bucket a file lands in is wall-clock-dependent, but
-    /// how many files each frontend parsed is not.
+    /// Parse-time histograms — and volatile histograms in the metrics
+    /// registry — are collapsed to their totals in the first bucket:
+    /// which bucket a file lands in is wall-clock-dependent, but how many
+    /// observations there were is not.
     pub fn redact_timings(&mut self) {
         for s in &mut self.stages {
             s.start_us = 0;
             s.dur_us = 0;
+            s.mem_now_bytes = 0;
+            s.mem_peak_bytes = 0;
         }
         for h in &mut self.parse_histograms {
-            let total = h.total();
-            h.counts = [0; PARSE_HIST_BOUNDS.len() + 1];
-            h.counts[0] = total;
+            h.hist.collapse();
         }
+        self.memory.current_bytes = 0;
+        self.memory.peak_bytes = 0;
+        self.memory.peak_rss_bytes = 0;
+        self.metrics.redact();
     }
 
     /// Serializes to pretty JSON (the `--telemetry` file format).
@@ -406,6 +479,8 @@ impl RunManifest {
                                 ("depth".into(), Json::num(f64::from(s.depth))),
                                 ("start_us".into(), Json::num(s.start_us as f64)),
                                 ("dur_us".into(), Json::num(s.dur_us as f64)),
+                                ("mem_now_bytes".into(), Json::num(s.mem_now_bytes as f64)),
+                                ("mem_peak_bytes".into(), Json::num(s.mem_peak_bytes as f64)),
                                 (
                                     "counters".into(),
                                     Json::Obj(
@@ -528,9 +603,40 @@ impl RunManifest {
                                 (
                                     "counts".into(),
                                     Json::Arr(
-                                        h.counts.iter().map(|&n| Json::num(n as f64)).collect(),
+                                        h.hist
+                                            .counts
+                                            .iter()
+                                            .map(|&n| Json::num(n as f64))
+                                            .collect(),
                                     ),
                                 ),
+                                ("sum".into(), Json::num(h.hist.sum)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "memory".into(),
+                Json::Obj(vec![
+                    ("tracked".into(), Json::Bool(self.memory.tracked)),
+                    ("current_bytes".into(), Json::num(self.memory.current_bytes as f64)),
+                    ("peak_bytes".into(), Json::num(self.memory.peak_bytes as f64)),
+                    ("peak_rss_bytes".into(), Json::num(self.memory.peak_rss_bytes as f64)),
+                ]),
+            ),
+            ("metrics".into(), self.metrics.to_json()),
+            (
+                "score_dump".into(),
+                Json::Arr(
+                    self.score_dump
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("rep".into(), Json::str(&e.rep)),
+                                ("role".into(), Json::str(&e.role)),
+                                ("score".into(), Json::num(e.score)),
+                                ("backoff_level".into(), Json::num(e.backoff_level as f64)),
                             ])
                         })
                         .collect(),
@@ -555,6 +661,7 @@ impl RunManifest {
         let extraction = req(&v, "extraction")?;
         let taint = req(&v, "taint")?;
         let cache = req(&v, "cache")?;
+        let memory = req(&v, "memory")?;
         Ok(RunManifest {
             schema_version: req_u64(&v, "schema_version")?,
             tool: req_str(&v, "tool")?,
@@ -624,6 +731,19 @@ impl RunManifest {
                 evicted: req_u64(cache, "evicted")?,
                 checkpoint: req_str(cache, "checkpoint")?,
             },
+            memory: MemorySummary {
+                tracked: req(memory, "tracked")?
+                    .as_bool()
+                    .ok_or_else(|| schema_err("memory.tracked", "bool"))?,
+                current_bytes: req_u64(memory, "current_bytes")?,
+                peak_bytes: req_u64(memory, "peak_bytes")?,
+                peak_rss_bytes: req_u64(memory, "peak_rss_bytes")?,
+            },
+            metrics: MetricsRegistry::from_json(req(&v, "metrics")?)?,
+            score_dump: req_arr(&v, "score_dump")?
+                .iter()
+                .map(parse_score_entry)
+                .collect::<Result<Vec<_>, _>>()?,
         })
     }
 
@@ -658,6 +778,74 @@ impl RunManifest {
         )
         .pretty()
     }
+
+    /// Renders the manifest's quantitative content in Prometheus text
+    /// exposition format (the `seldon metrics-dump` output): labelled
+    /// per-stage duration/memory gauges, cache and memory scalars,
+    /// per-frontend parse-time histograms, and every metric in the
+    /// registry, all under the `seldon_` prefix.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# HELP seldon_stage_duration_us Wall-clock duration per pipeline stage.\n");
+        out.push_str("# TYPE seldon_stage_duration_us gauge\n");
+        for s in self.stages.iter().filter(|s| s.depth == 0) {
+            out.push_str(&format!(
+                "seldon_stage_duration_us{{stage=\"{}\"}} {}\n",
+                s.name, s.dur_us
+            ));
+        }
+        out.push_str(
+            "# HELP seldon_stage_mem_peak_bytes Allocator high-water mark at stage close.\n",
+        );
+        out.push_str("# TYPE seldon_stage_mem_peak_bytes gauge\n");
+        for s in self.stages.iter().filter(|s| s.depth == 0) {
+            out.push_str(&format!(
+                "seldon_stage_mem_peak_bytes{{stage=\"{}\"}} {}\n",
+                s.name, s.mem_peak_bytes
+            ));
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge(
+            "mem_current_bytes",
+            "Live heap bytes at manifest assembly.",
+            true,
+            self.memory.current_bytes as f64,
+        );
+        reg.set_gauge(
+            "mem_peak_bytes",
+            "Allocator high-water mark since process start.",
+            true,
+            self.memory.peak_bytes as f64,
+        );
+        reg.set_gauge(
+            "mem_peak_rss_bytes",
+            "Kernel peak RSS (VmHWM); 0 when unavailable.",
+            true,
+            self.memory.peak_rss_bytes as f64,
+        );
+        reg.inc_counter("cache_hits", "Per-file artifacts served from cache.", false, self.cache.hits as f64);
+        reg.inc_counter("cache_misses", "Per-file cache lookups that missed.", false, self.cache.misses as f64);
+        reg.inc_counter("cache_stores", "Cache entries written.", false, self.cache.stores as f64);
+        reg.inc_counter(
+            "cache_faults",
+            "Cache entries rejected (corrupt, stale, or evicted).",
+            false,
+            (self.cache.corrupt + self.cache.stale + self.cache.evicted) as f64,
+        );
+        out.push_str(&reg.to_prometheus("seldon_"));
+        for h in &self.parse_histograms {
+            let mut freg = MetricsRegistry::new();
+            freg.put_histogram(
+                &format!("parse_time_us_{}", h.frontend),
+                "Per-file parse time by frontend.",
+                true,
+                h.hist.clone(),
+            );
+            out.push_str(&freg.to_prometheus("seldon_"));
+        }
+        out.push_str(&self.metrics.to_prometheus("seldon_"));
+        out
+    }
 }
 
 fn parse_stage(v: &Json) -> Result<StageSpan, ManifestError> {
@@ -684,6 +872,8 @@ fn parse_stage(v: &Json) -> Result<StageSpan, ManifestError> {
         depth: req_u64(v, "depth")? as u32,
         start_us: req_u64(v, "start_us")?,
         dur_us: req_u64(v, "dur_us")?,
+        mem_now_bytes: req_u64(v, "mem_now_bytes")?,
+        mem_peak_bytes: req_u64(v, "mem_peak_bytes")?,
         counters,
     })
 }
@@ -691,13 +881,23 @@ fn parse_stage(v: &Json) -> Result<StageSpan, ManifestError> {
 fn parse_histogram(v: &Json) -> Result<ParseHistogram, ManifestError> {
     let mut h = ParseHistogram::new(req_str(v, "frontend")?);
     let arr = req_arr(v, "counts")?;
-    if arr.len() != h.counts.len() {
+    if arr.len() != h.hist.counts.len() {
         return Err(schema_err("parse_histograms[].counts", "9-element array"));
     }
-    for (slot, n) in h.counts.iter_mut().zip(arr) {
+    for (slot, n) in h.hist.counts.iter_mut().zip(arr) {
         *slot = n.as_u64().ok_or_else(|| schema_err("parse_histograms[].counts", "u64 array"))?;
     }
+    h.hist.sum = req_f64(v, "sum")?;
     Ok(h)
+}
+
+fn parse_score_entry(v: &Json) -> Result<ScoreDumpEntry, ManifestError> {
+    Ok(ScoreDumpEntry {
+        rep: req_str(v, "rep")?,
+        role: req_str(v, "role")?,
+        score: req_f64(v, "score")?,
+        backoff_level: req_u64(v, "backoff_level")?,
+    })
 }
 
 fn parse_epoch(v: &Json) -> Result<EpochSample, ManifestError> {
@@ -800,6 +1000,8 @@ mod tests {
                 depth: 0,
                 start_us: 0,
                 dur_us: 120,
+                mem_now_bytes: 4096,
+                mem_peak_bytes: 8192,
                 counters: vec![("files".into(), 3.0)],
             },
             StageSpan {
@@ -808,6 +1010,8 @@ mod tests {
                 depth: 0,
                 start_us: 130,
                 dur_us: 999,
+                mem_now_bytes: 2048,
+                mem_peak_bytes: 16384,
                 counters: vec![("iterations".into(), 80.0)],
             },
         ];
@@ -847,9 +1051,32 @@ mod tests {
             learned: [3, 1, 2],
         };
         m.taint = TaintSummary { violations: 7 };
-        m.parse_histograms = vec![
-            ParseHistogram { frontend: "python".into(), counts: [1, 0, 2, 0, 0, 0, 0, 0, 1] },
-            ParseHistogram { frontend: "js".into(), counts: [0, 3, 0, 0, 0, 0, 0, 0, 0] },
+        let mut py_hist = ParseHistogram::with_counts("python", [1, 0, 2, 0, 0, 0, 0, 0, 1]);
+        py_hist.hist.sum = 11_250.0;
+        m.parse_histograms =
+            vec![py_hist, ParseHistogram::with_counts("js", [0, 3, 0, 0, 0, 0, 0, 0, 0])];
+        m.memory = MemorySummary {
+            tracked: true,
+            current_bytes: 1_000_000,
+            peak_bytes: 5_000_000,
+            peak_rss_bytes: 9_000_000,
+        };
+        m.metrics.inc_counter("files_analyzed", "Files analyzed.", false, 3.0);
+        m.metrics.set_gauge("solver_epoch_us", "Mean epoch time.", true, 12.5);
+        m.metrics.observe("rep_frequency", "Occurrences per representation.", false, &[1.0, 10.0], 4.0);
+        m.score_dump = vec![
+            ScoreDumpEntry {
+                rep: "os.system(0)".into(),
+                role: "sink".into(),
+                score: 0.93,
+                backoff_level: 0,
+            },
+            ScoreDumpEntry {
+                rep: "flask.request.*".into(),
+                role: "source".into(),
+                score: 0.61,
+                backoff_level: 2,
+            },
         ];
         m.cache = CacheSummary {
             enabled: true,
@@ -892,11 +1119,29 @@ mod tests {
         let mut m = sample_manifest();
         m.redact_timings();
         assert!(m.stages.iter().all(|s| s.start_us == 0 && s.dur_us == 0));
+        assert!(m.stages.iter().all(|s| s.mem_now_bytes == 0 && s.mem_peak_bytes == 0));
         assert_eq!(m.solver.curve.len(), 2, "curve untouched");
         assert_eq!(m.stages[0].counters, vec![("files".to_string(), 3.0)]);
         // Histogram spreads are wall-clock-dependent; the totals are not.
-        assert_eq!(m.parse_histograms[0].counts, [4, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(m.parse_histograms[0].counts(), &[4, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(m.parse_histograms[0].hist.sum, 0.0);
         assert_eq!(m.parse_histograms[1].total(), 3);
+        // Memory readings are machine state.
+        assert!(m.memory.tracked, "tracked flag survives redaction");
+        assert_eq!(m.memory.peak_bytes, 0);
+        // Volatile metrics are zeroed, deterministic ones are not.
+        use crate::metrics::MetricValue;
+        assert_eq!(
+            m.metrics.get("solver_epoch_us").unwrap().value,
+            MetricValue::Gauge(0.0)
+        );
+        assert_eq!(
+            m.metrics.get("files_analyzed").unwrap().value,
+            MetricValue::Counter(3.0)
+        );
+        // The score dump is solver output, deterministic by design.
+        assert_eq!(m.score_dump.len(), 2);
+        assert_eq!(m.score_dump[0].score, 0.93);
     }
 
     #[test]
@@ -915,22 +1160,36 @@ mod tests {
         h.record(51); // next bucket
         h.record(10_000); // last bounded bucket
         h.record(10_001); // overflow
-        assert_eq!(h.counts[0], 2);
-        assert_eq!(h.counts[1], 1);
-        assert_eq!(h.counts[PARSE_HIST_BOUNDS.len() - 1], 1);
-        assert_eq!(h.counts[PARSE_HIST_BOUNDS.len()], 1);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[PARSE_HIST_BOUNDS.len() - 1], 1);
+        assert_eq!(h.counts()[PARSE_HIST_BOUNDS.len()], 1);
         assert_eq!(h.total(), 5);
+        assert_eq!(h.hist.sum, 20_102.0, "sum accumulates for mean reconstruction");
     }
 
     #[test]
     fn histogram_schema_rejects_wrong_arity() {
-        let bad = json::parse(r#"{"frontend": "python", "counts": [1, 2]}"#).unwrap();
+        let bad = json::parse(r#"{"frontend": "python", "counts": [1, 2], "sum": 0}"#).unwrap();
         assert!(matches!(parse_histogram(&bad), Err(ManifestError::Schema(_))));
         let ok = json::parse(
-            r#"{"frontend": "js", "counts": [0, 1, 2, 3, 4, 5, 6, 7, 8]}"#,
+            r#"{"frontend": "js", "counts": [0, 1, 2, 3, 4, 5, 6, 7, 8], "sum": 99.5}"#,
         )
         .unwrap();
         assert_eq!(parse_histogram(&ok).unwrap().total(), 36);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_stages_memory_and_registry() {
+        let text = sample_manifest().to_prometheus();
+        assert!(text.contains("seldon_stage_duration_us{stage=\"parse\"} 120\n"));
+        assert!(text.contains("seldon_stage_mem_peak_bytes{stage=\"solve\"} 16384\n"));
+        assert!(text.contains("seldon_mem_peak_rss_bytes 9000000\n"));
+        assert!(text.contains("seldon_cache_hits 5\n"));
+        assert!(text.contains("seldon_parse_time_us_python_bucket{le=\"50\"} 1\n"));
+        assert!(text.contains("seldon_parse_time_us_python_count 4\n"));
+        assert!(text.contains("seldon_rep_frequency_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("seldon_files_analyzed 3\n"));
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Span duration in microseconds.
     pub dur_us: u64,
+    /// Live heap bytes when the span closed (from the counting
+    /// allocator; 0 until close).
+    pub mem_now_bytes: u64,
+    /// Allocator high-water mark when the span closed. The mark is
+    /// monotone across the process, so this reads as "peak by end of
+    /// stage", not a span-local maximum.
+    pub mem_peak_bytes: u64,
     /// Counters recorded on this span, in record order.
     pub counters: Vec<(&'static str, f64)>,
 }
@@ -125,6 +132,8 @@ impl Telemetry {
                 depth,
                 start_us: start.duration_since(epoch).as_micros() as u64,
                 dur_us: 0,
+                mem_now_bytes: 0,
+                mem_peak_bytes: 0,
                 counters: Vec::new(),
             });
             rec.stack.push(index);
@@ -156,12 +165,15 @@ impl Telemetry {
             let depth = rec.stack.len() as u32;
             let now_us = epoch.elapsed().as_micros() as u64;
             let dur_us = dur.as_micros() as u64;
+            let mem = crate::memory::MemoryGauge::snapshot();
             rec.spans.push(SpanRecord {
                 name,
                 parent,
                 depth,
                 start_us: now_us.saturating_sub(dur_us),
                 dur_us,
+                mem_now_bytes: mem.current_bytes,
+                mem_peak_bytes: mem.peak_bytes,
                 counters: counters.to_vec(),
             });
             index
@@ -201,12 +213,15 @@ impl Telemetry {
                 .map_or(0, |span| span.depth + 1);
             let now_us = epoch.elapsed().as_micros() as u64;
             let dur_us = dur.as_micros() as u64;
+            let mem = crate::memory::MemoryGauge::snapshot();
             rec.spans.push(SpanRecord {
                 name,
                 parent: Some(parent),
                 depth,
                 start_us: now_us.saturating_sub(dur_us),
                 dur_us,
+                mem_now_bytes: mem.current_bytes,
+                mem_peak_bytes: mem.peak_bytes,
                 counters: counters.to_vec(),
             });
         }
@@ -286,7 +301,10 @@ impl Drop for SpanGuard {
         let Some(tele) = &self.tele else { return };
         let elapsed = self.start.map(|s| s.elapsed()).unwrap_or_default();
         if let (Some(index), Some((_, mut rec))) = (self.index, tele.lock()) {
+            let mem = crate::memory::MemoryGauge::snapshot();
             rec.spans[index as usize].dur_us = elapsed.as_micros() as u64;
+            rec.spans[index as usize].mem_now_bytes = mem.current_bytes;
+            rec.spans[index as usize].mem_peak_bytes = mem.peak_bytes;
             // Close strictly innermost-first; a leaked guard dropped out of
             // order would corrupt nesting, so tolerate only the top.
             if rec.stack.last() == Some(&index) {

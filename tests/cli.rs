@@ -384,12 +384,16 @@ fn cache_dir_warms_across_processes() {
         .unwrap();
     }
     let cache = dir.join("cache");
+    // The cache/checkpoint summary lines go through the stage logger, so
+    // the assertions below need `--log-level info`.
     let learn = || {
         seldon()
             .arg("learn")
             .arg(&dir)
             .arg("--cache-dir")
             .arg(&cache)
+            .arg("--log-level")
+            .arg("info")
             .output()
             .expect("runs")
     };
@@ -425,6 +429,138 @@ fn cache_dir_warms_across_processes() {
         String::from_utf8_lossy(&cold.stdout),
         "spec survives a fully corrupted cache"
     );
+
+    // At the default log level (off) the cache summary stays silent.
+    let quiet = seldon()
+        .arg("learn")
+        .arg(&dir)
+        .arg("--cache-dir")
+        .arg(&cache)
+        .output()
+        .expect("runs");
+    assert!(quiet.status.success(), "stderr: {}", String::from_utf8_lossy(&quiet.stderr));
+    let quiet_err = String::from_utf8_lossy(&quiet.stderr);
+    assert!(!quiet_err.contains("cache:"), "silent by default: {quiet_err}");
+    assert!(!quiet_err.contains("checkpoint"), "silent by default: {quiet_err}");
+}
+
+#[test]
+fn score_dump_flag_requires_telemetry() {
+    let dir = temp_dir("scoredumpflag");
+    write_app(&dir);
+    let out = seldon().arg("learn").arg(&dir).arg("--score-dump").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "score dump without a manifest is a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--score-dump needs --telemetry"), "{stderr}");
+}
+
+/// Writes a seeded synthetic corpus (the same fixture the telemetry
+/// tests use, so it demonstrably learns entries) to disk, runs
+/// `learn --seed --telemetry --score-dump`, and returns the manifest path.
+fn learn_manifest(dir: &std::path::Path, name: &str) -> PathBuf {
+    use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
+    let universe = Universe::new();
+    let corpus = generate_corpus(
+        &universe,
+        &CorpusOptions { projects: 8, rng_seed: 7, ..Default::default() },
+    );
+    let tree = dir.join("corpus");
+    for project in &corpus.projects {
+        for file in &project.files {
+            let path = tree.join(&project.name).join(&file.path);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &file.content).unwrap();
+        }
+    }
+    let spec = dir.join("seed_spec.txt");
+    std::fs::write(&spec, universe.seed_spec().to_text()).unwrap();
+    let manifest = dir.join(name);
+    let out = seldon()
+        .arg("learn")
+        .arg(&tree)
+        .arg("--seed")
+        .arg(&spec)
+        .arg("--telemetry")
+        .arg(&manifest)
+        .arg("--score-dump")
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    manifest
+}
+
+#[test]
+fn report_renders_the_fig11_summary() {
+    let dir = temp_dir("report");
+    let manifest = learn_manifest(&dir, "run.json");
+    let out = seldon().arg("report").arg(&manifest).arg("--top").arg("5").output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stage breakdown"), "{stdout}");
+    assert!(stdout.contains("score vs backoff (Fig. 11)"), "{stdout}");
+    assert!(stdout.contains("learned representations by score"), "{stdout}");
+    assert!(stdout.contains("memory"), "{stdout}");
+    assert!(stdout.contains(" src  "), "learned rep rows carry a role label: {stdout}");
+    // A missing manifest is a usage error.
+    let out = seldon().arg("report").arg(dir.join("nope.json")).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn metrics_dump_emits_prometheus_text() {
+    let dir = temp_dir("metricsdump");
+    let manifest = learn_manifest(&dir, "run.json");
+    let out = seldon().arg("metrics-dump").arg(&manifest).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# TYPE seldon_rep_frequency histogram"), "{stdout}");
+    assert!(stdout.contains("seldon_stage_duration_us{stage=\"solve\"}"), "{stdout}");
+    assert!(stdout.contains("seldon_mem_peak_bytes"), "{stdout}");
+    assert!(stdout.contains("le=\"+Inf\""), "{stdout}");
+}
+
+#[test]
+fn diff_runs_exit_codes_are_pinned() {
+    let dir = temp_dir("diffruns");
+    let a = learn_manifest(&dir, "a.json");
+    let b = dir.join("b.json");
+    std::fs::copy(&a, &b).unwrap();
+
+    // Identical manifests: exit 0.
+    let same = seldon().arg("diff-runs").arg(&a).arg(&b).output().expect("runs");
+    assert_eq!(
+        same.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&same.stdout)
+    );
+    assert!(String::from_utf8_lossy(&same.stdout).contains("0 regression(s)"));
+
+    // Perturb an identity field (taint violation count): exit 1. The last
+    // `"violations"` key is the taint section's; the first is a stage-span
+    // counter, which diff-runs deliberately does not gate on.
+    let text = std::fs::read_to_string(&a).unwrap();
+    let needle = "\"violations\": ";
+    let at = text.rfind(needle).expect("manifest has a taint section") + needle.len();
+    let end = at + text[at..].find(|c: char| !c.is_ascii_digit()).unwrap();
+    let bumped: u64 = text[at..end].parse::<u64>().unwrap() + 1;
+    std::fs::write(&b, format!("{}{bumped}{}", &text[..at], &text[end..])).unwrap();
+    let regressed = seldon().arg("diff-runs").arg(&a).arg(&b).output().expect("runs");
+    assert_eq!(
+        regressed.status.code(),
+        Some(1),
+        "stdout: {}",
+        String::from_utf8_lossy(&regressed.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&regressed.stdout).contains("REGRESSION"),
+        "{}",
+        String::from_utf8_lossy(&regressed.stdout)
+    );
+
+    // One path is a usage error.
+    let usage = seldon().arg("diff-runs").arg(&a).output().expect("runs");
+    assert_eq!(usage.status.code(), Some(2));
 }
 
 #[test]

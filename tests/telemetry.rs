@@ -7,7 +7,7 @@
 use seldon_core::{run_full, AnalyzeOptions, FaultPolicy, SeldonOptions};
 use seldon_corpus::{generate_corpus, Corpus, CorpusOptions, Universe};
 use seldon_specs::TaintSpec;
-use seldon_telemetry::{stage, RunManifest, Telemetry};
+use seldon_telemetry::{stage, MetricValue, RunManifest, Telemetry};
 
 fn fixture() -> (Corpus, TaintSpec) {
     let universe = Universe::new();
@@ -135,6 +135,78 @@ fn template_counts_add_up_and_manifest_round_trips() {
     );
     let back = RunManifest::from_json(&m.to_json()).expect("manifest JSON parses back");
     assert_eq!(back, m, "JSON round-trip is lossless");
+}
+
+#[test]
+fn manifest_v5_carries_memory_accounting_and_metrics() {
+    let (corpus, seed) = fixture();
+    let m = run_manifest(&corpus, &seed);
+    assert!(m.memory.tracked, "in-process runs track the counting allocator");
+    assert!(m.memory.peak_bytes > 0);
+    assert!(m.memory.peak_bytes >= m.memory.current_bytes);
+    let top: Vec<&seldon_telemetry::StageSpan> =
+        m.stages.iter().filter(|s| s.depth == 0).collect();
+    for s in &top {
+        assert!(s.mem_peak_bytes > 0, "stage {} records its heap peak", s.name);
+        assert!(s.mem_peak_bytes >= s.mem_now_bytes, "peak bounds live bytes: {}", s.name);
+    }
+    // The allocator peak is monotone, so stage peaks never decrease in
+    // pipeline order.
+    assert!(
+        top.windows(2).all(|w| w[0].mem_peak_bytes <= w[1].mem_peak_bytes),
+        "stage peaks are a running high-water mark"
+    );
+    let rep_freq = m.metrics.get("rep_frequency").expect("rep_frequency metric");
+    assert!(!rep_freq.volatile, "rep frequency is a pipeline output");
+    let MetricValue::Histogram(h) = &rep_freq.value else {
+        panic!("rep_frequency is a histogram")
+    };
+    assert!(h.total() > 0, "the fixture graph has representations");
+    let gap = m.metrics.get("constraint_gap").expect("constraint_gap metric");
+    let MetricValue::Histogram(h) = &gap.value else {
+        panic!("constraint_gap is a histogram")
+    };
+    assert_eq!(h.total(), m.constraints.total, "one gap observation per constraint");
+    assert!(m.metrics.get("build_time_us").is_some(), "per-file build distribution");
+    assert!(m.metrics.get("solver_epoch_us").is_some(), "solver epoch timing");
+    assert!(m.metrics.get("solver_rows").is_some(), "CSR row occupancy");
+    assert!(m.metrics.get("solver_lanes").is_some(), "CSR lane occupancy");
+    assert!(m.score_dump.is_empty(), "the score dump is opt-in");
+}
+
+#[test]
+fn score_dump_is_opt_in_sorted_and_round_trips() {
+    let (corpus, seed) = fixture();
+    let seldon = SeldonOptions { score_dump: true, ..Default::default() };
+    let full = run_full(&corpus, &seed, "learn", &recording_opts(), &seldon)
+        .expect("fixture corpus analyzes");
+    let m = full.manifest.expect("recording handle yields a manifest");
+    assert!(!m.score_dump.is_empty(), "the fixture learns entries");
+    assert_eq!(
+        m.score_dump.len(),
+        full.run.extraction.scores.len(),
+        "one dump entry per learned (rep, role)"
+    );
+    assert!(
+        m.score_dump.windows(2).all(|w| {
+            (w[0].rep.as_str(), w[0].role.as_str()) < (w[1].rep.as_str(), w[1].role.as_str())
+        }),
+        "entries are sorted by (rep, role)"
+    );
+    for e in &m.score_dump {
+        assert!(
+            ["src", "san", "snk"].contains(&e.role.as_str()),
+            "role label: {}",
+            e.role
+        );
+        assert!(e.score > 0.0 && e.score <= 1.0, "effective score in (0, 1]: {}", e.score);
+        assert!(
+            (e.backoff_level as usize) < m.extraction.backoff_hits.len().max(1),
+            "level within the recorded sweep"
+        );
+    }
+    let back = RunManifest::from_json(&m.to_json()).expect("manifest JSON parses back");
+    assert_eq!(back, m, "score dump survives the round trip");
 }
 
 #[test]
