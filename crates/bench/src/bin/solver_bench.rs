@@ -1,21 +1,26 @@
 //! Measures the solve stage: the pre-PR naive `Vec<FlowConstraint>` hot
-//! loop against the compiled CSR kernel at 1 and 8 threads, on a corpus
-//! scaled so solving dominates. Emits one [`BenchRecord`] JSON object on
-//! stdout (`BENCH_solver.json` records a release-build run) and asserts
+//! loop against the compiled CSR kernel, on a corpus scaled so solving
+//! dominates. Emits one [`BenchRecord`] JSON object on stdout
+//! (`BENCH_solver.json` records a release-build run) covering the
+//! full-budget vs early-stop comparison and a per-thread-count scaling
+//! table (`--threads-sweep 1,2,4,8` to override the sweep), and asserts
 //! output identity: the extracted spec must be byte-identical across
-//! {naive, compiled×1, compiled×8} and the scores bitwise equal across
-//! thread counts.
+//! {naive, compiled full-budget, compiled early-stop} and the scores
+//! bitwise equal across every swept thread count.
 //!
-//! `--determinism [golden_path]` instead runs the golden e2e fixture at
-//! 1 and 4 solver threads and diffs the extracted specs (and, when a
-//! path is given, the checked-in golden file) — the CI thread-determinism
-//! gate. Exits non-zero on any mismatch.
+//! `--determinism [golden_path] [--early-stop]` instead runs the golden
+//! e2e fixture at 1 and 4 solver threads and diffs the extracted specs
+//! (and, when a path is given, the checked-in golden file) — the CI
+//! thread-determinism gate. The gate solves with the legacy full-budget
+//! options by default; `--early-stop` runs the same leg with the default
+//! plateau detector enabled, which must reproduce the same golden spec.
+//! Exits non-zero on any mismatch.
 
 use seldon_core::{analyze_corpus, run_seldon, SeldonOptions};
 use seldon_corpus::{generate_corpus, CorpusOptions, Universe};
 use seldon_solver::{
-    extract, solve_compiled, Adam, AdamConfig, CompiledSystem, ExtractOptions, SolveOptions,
-    Solution,
+    extract, solve_compiled, Adam, AdamConfig, CompiledSystem, EarlyStop, ExtractOptions,
+    SolveOptions, Solution,
 };
 use seldon_telemetry::BenchRecord;
 use std::process::ExitCode;
@@ -138,8 +143,10 @@ mod naive {
 
 /// The CI thread-determinism gate: golden fixture, solver threads 1 vs 4,
 /// extracted specs diffed byte-for-byte (plus the checked-in golden file
-/// when a path is given).
-fn determinism_gate(golden_path: Option<&str>) -> ExitCode {
+/// when a path is given). `early_stop` selects the gate leg: the legacy
+/// full-budget solve, or the same solve with the default plateau detector
+/// enabled — both must land on the same golden spec.
+fn determinism_gate(golden_path: Option<&str>, early_stop: Option<EarlyStop>) -> ExitCode {
     let universe = Universe::new();
     let corpus = generate_corpus(
         &universe,
@@ -149,7 +156,11 @@ fn determinism_gate(golden_path: Option<&str>) -> ExitCode {
     let seed = universe.seed_spec();
     let solve_with = |threads: usize| {
         let opts = SeldonOptions {
-            solve: SolveOptions { threads, ..Default::default() },
+            solve: SolveOptions {
+                threads,
+                early_stop: early_stop.clone(),
+                ..Default::default()
+            },
             ..Default::default()
         };
         run_seldon(&analyzed.graph, &seed, &opts)
@@ -182,9 +193,12 @@ fn determinism_gate(golden_path: Option<&str>) -> ExitCode {
         }
     }
     println!(
-        "determinism PASS: {} scores and {}-byte spec identical at 1 and 4 threads",
+        "determinism PASS ({}): {} scores and {}-byte spec identical at 1 and 4 threads \
+         (stop: {})",
+        if early_stop.is_some() { "early-stop" } else { "full-budget" },
         run1.solution.scores.len(),
-        spec1.len()
+        spec1.len(),
+        run1.solution.stop,
     );
     ExitCode::SUCCESS
 }
@@ -192,11 +206,25 @@ fn determinism_gate(golden_path: Option<&str>) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--determinism") {
-        return determinism_gate(args.get(1).map(String::as_str));
+        let early_stop = if args.iter().any(|a| a == "--early-stop") {
+            Some(EarlyStop::default())
+        } else {
+            None
+        };
+        let golden = args[1..].iter().find(|a| !a.starts_with("--")).map(String::as_str);
+        return determinism_gate(golden, early_stop);
     }
     let mut projects = 1800usize;
     if let Some(i) = args.iter().position(|a| a == "--projects") {
         projects = args[i + 1].parse().expect("--projects expects a number");
+    }
+    let mut threads_sweep: Vec<usize> = vec![1, 2, 4, 8];
+    if let Some(i) = args.iter().position(|a| a == "--threads-sweep") {
+        threads_sweep = args[i + 1]
+            .split(',')
+            .map(|t| t.trim().parse().expect("--threads-sweep expects comma-separated counts"))
+            .collect();
+        assert!(!threads_sweep.is_empty(), "--threads-sweep expects at least one count");
     }
 
     let universe = Universe::new();
@@ -213,18 +241,18 @@ fn main() -> ExitCode {
     let seed = universe.seed_spec();
     let run = run_seldon(&analyzed.graph, &seed, &SeldonOptions::default());
     let system = run.system;
-    let solve_opts = SolveOptions::default();
+    let full_opts = SolveOptions { early_stop: None, ..Default::default() };
 
-    // --- before: the pre-PR naive loop -------------------------------------
+    // --- before: the pre-PR naive loop (always full-budget) ----------------
     let mut before_samples = Vec::with_capacity(ROUNDS);
     let mut before = Solution::default();
     for _ in 0..ROUNDS {
         let t = Instant::now();
-        before = naive::solve(&system, &solve_opts);
+        before = naive::solve(&system, &full_opts);
         before_samples.push(t.elapsed().as_secs_f64() * 1e3);
     }
 
-    // --- after: compile once, solve at 1 and 8 threads ---------------------
+    // --- after: compile once, then full-budget vs early-stop ---------------
     let mut compile_samples = Vec::with_capacity(ROUNDS);
     let mut compiled = CompiledSystem::compile(&system);
     for _ in 0..ROUNDS {
@@ -232,8 +260,8 @@ fn main() -> ExitCode {
         compiled = CompiledSystem::compile(&system);
         compile_samples.push(t.elapsed().as_secs_f64() * 1e3);
     }
-    let timed_solve = |threads: usize| {
-        let opts = SolveOptions { threads, ..Default::default() };
+    let timed_solve = |threads: usize, early_stop: Option<EarlyStop>| {
+        let opts = SolveOptions { threads, early_stop, ..Default::default() };
         let mut samples = Vec::with_capacity(ROUNDS);
         let mut solution = Solution::default();
         for _ in 0..ROUNDS {
@@ -243,31 +271,51 @@ fn main() -> ExitCode {
         }
         (median_ms(samples), solution)
     };
-    let (after1_ms, after1) = timed_solve(1);
-    let (after8_ms, after8) = timed_solve(8);
+    let (full_ms, full) = timed_solve(1, None);
+    let (early_ms, early) = timed_solve(1, Some(EarlyStop::default()));
+
+    // --- threads sweep: early-stop on, scores bitwise across the sweep -----
+    let sweep: Vec<(usize, f64, Solution)> = threads_sweep
+        .iter()
+        .map(|&t| {
+            let (ms, sol) = timed_solve(t, Some(EarlyStop::default()));
+            (t, ms, sol)
+        })
+        .collect();
+    let base_1t_ms = sweep
+        .iter()
+        .find(|(t, _, _)| *t == 1)
+        .map(|(_, ms, _)| *ms)
+        .unwrap_or(early_ms);
 
     // --- output identity ----------------------------------------------------
     let extract_opts = ExtractOptions::default();
     let spec_before = extract(&system, &before, &extract_opts).spec.to_text();
-    let spec_after1 = extract(&system, &after1, &extract_opts).spec.to_text();
-    let spec_after8 = extract(&system, &after8, &extract_opts).spec.to_text();
-    let scores_bitwise = after1
-        .scores
-        .iter()
-        .zip(&after8.scores)
-        .all(|(a, b)| a.to_bits() == b.to_bits());
-    assert!(scores_bitwise, "scores must be bitwise identical across thread counts");
-    assert_eq!(spec_after1, spec_after8, "spec must not depend on thread count");
-    assert_eq!(spec_before, spec_after1, "compiled kernel must reproduce the naive spec");
+    let spec_full = extract(&system, &full, &extract_opts).spec.to_text();
+    let spec_early = extract(&system, &early, &extract_opts).spec.to_text();
+    assert_eq!(spec_before, spec_full, "compiled kernel must reproduce the naive spec");
+    assert_eq!(spec_full, spec_early, "early-stop must learn the same spec as full budget");
+    let mut scores_bitwise = true;
+    for (t, _, sol) in &sweep {
+        let same = early.scores.len() == sol.scores.len()
+            && early.scores.iter().zip(&sol.scores).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "scores at {t} threads must be bitwise identical to 1 thread");
+        assert_eq!(early.iterations, sol.iterations, "stop epoch must be thread-invariant");
+        scores_bitwise &= same;
+    }
 
     let before_ms = median_ms(before_samples);
     let compile_ms = median_ms(compile_samples);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_iters = full_opts.max_iters;
 
     let mut r = BenchRecord::new(
         "solver",
         "solver_bench",
-        format!("medians of {ROUNDS} rounds, release build; solve stage wall-clock in ms"),
+        format!(
+            "medians of {ROUNDS} rounds, release build; solve stage wall-clock in ms; \
+             scaling table sweeps solver threads with early-stop enabled"
+        ),
     );
     r.num("corpus", "projects", projects as f64)
         .num("corpus", "files", corpus.file_count() as f64)
@@ -280,26 +328,43 @@ fn main() -> ExitCode {
         .text(
             "environment",
             "note",
-            if cores == 1 {
-                "single-core host: thread counts add scheduling overhead, not parallelism; \
-                 the 8-thread row measures determinism cost, not scaling"
+            &if cores == 1 {
+                "single-core host at bench time: multi-thread rows in the scaling table \
+                 measure determinism overhead, not parallelism"
+                    .to_string()
             } else {
-                "multi-core host: the 8-thread row measures parallel scaling"
+                format!(
+                    "{cores}-core host at bench time: multi-thread rows in the scaling \
+                     table measure real parallel scaling"
+                )
             },
         )
         .num("before", "solve_ms", before_ms)
         .num("before", "iterations", before.iterations as f64)
         .num("before", "ms_per_iter", before_ms / before.iterations.max(1) as f64)
-        .num("after_1_thread", "compile_ms", compile_ms)
-        .num("after_1_thread", "solve_ms", after1_ms)
-        .num("after_1_thread", "iterations", after1.iterations as f64)
-        .num("after_1_thread", "speedup_vs_before", before_ms / after1_ms)
-        .num("after_8_threads", "solve_ms", after8_ms)
-        .num("after_8_threads", "iterations", after8.iterations as f64)
-        .num("after_8_threads", "speedup_vs_before", before_ms / after8_ms)
-        .flag("identity", "spec_identical_before_vs_after", spec_before == spec_after1)
-        .flag("identity", "spec_identical_1_vs_8_threads", spec_after1 == spec_after8)
-        .flag("identity", "scores_bitwise_1_vs_8_threads", scores_bitwise);
+        .num("after_full_budget", "compile_ms", compile_ms)
+        .num("after_full_budget", "solve_ms", full_ms)
+        .num("after_full_budget", "iterations", full.iterations as f64)
+        .num("after_full_budget", "speedup_vs_before", before_ms / full_ms)
+        .num("after_early_stop", "solve_ms", early_ms)
+        .num("after_early_stop", "iterations", early.iterations as f64)
+        .num("after_early_stop", "speedup_vs_before", before_ms / early_ms)
+        .num("early_stop", "budget_max_iters", max_iters as f64)
+        .num("early_stop", "iterations_full", full.iterations as f64)
+        .num("early_stop", "iterations_early", early.iterations as f64)
+        .num("early_stop", "epochs_saved_vs_budget", early.epochs_saved as f64)
+        .text("early_stop", "stop_reason_full", full.stop.as_str())
+        .text("early_stop", "stop_reason_early", early.stop.as_str())
+        .flag("early_stop", "spec_identical_full_vs_early", spec_full == spec_early);
+    for (t, ms, sol) in &sweep {
+        let section = format!("scaling_threads_{t}");
+        r.num(&section, "solve_ms", *ms)
+            .num(&section, "speedup_vs_1_thread", base_1t_ms / ms)
+            .num(&section, "iterations", sol.iterations as f64);
+    }
+    r.flag("identity", "spec_identical_before_vs_after", spec_before == spec_full)
+        .flag("identity", "spec_identical_full_vs_early_stop", spec_full == spec_early)
+        .flag("identity", "scores_bitwise_across_threads_sweep", scores_bitwise);
     println!("{}", r.to_json());
     ExitCode::SUCCESS
 }

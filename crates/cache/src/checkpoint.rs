@@ -76,6 +76,11 @@ pub struct Checkpoint {
     pub final_lr: f64,
     /// Whether the solve diverged.
     pub diverged: bool,
+    /// Why the solve stopped ([`seldon_solver::StopReason`] string form;
+    /// `"max_iters"` when replaying a pre-early-stop checkpoint).
+    pub stop_reason: String,
+    /// Epochs the stop saved against the `max_iters` budget.
+    pub epochs_saved: usize,
     /// Sampled convergence curve.
     pub curve: Vec<EpochSample>,
     /// The extracted (learned) specification, in its canonical text form.
@@ -90,7 +95,9 @@ pub struct Checkpoint {
 
 fn hash_solve_opts(h: &mut Fnv64, solve: &SolveOptions) {
     // `threads` and `trace_stride` are cost/observability knobs; scores
-    // are byte-identical across both, so they stay out of the key.
+    // are byte-identical across both, so they stay out of the key. The
+    // early-stop configuration changes *where* the solve stops, so it is
+    // part of the key (presence tag + every field).
     h.write_f64(solve.lambda)
         .write_u64(solve.max_iters as u64)
         .write_f64(solve.tol)
@@ -98,6 +105,17 @@ fn hash_solve_opts(h: &mut Fnv64, solve: &SolveOptions) {
         .write_f64(solve.adam.beta1)
         .write_f64(solve.adam.beta2)
         .write_f64(solve.adam.eps);
+    match &solve.early_stop {
+        None => {
+            h.write_u64(0);
+        }
+        Some(es) => {
+            h.write_u64(1)
+                .write_u64(es.patience as u64)
+                .write_f64(es.rel_tol)
+                .write_u64(es.min_iters as u64);
+        }
+    }
 }
 
 /// Fingerprints a propagation graph by content: events (kind, span, file,
@@ -283,6 +301,8 @@ impl Checkpoint {
             ("restarts".into(), Json::num(self.restarts as f64)),
             ("final_lr".into(), hex_f64(self.final_lr)),
             ("diverged".into(), Json::Bool(self.diverged)),
+            ("stop_reason".into(), Json::str(&self.stop_reason)),
+            ("epochs_saved".into(), Json::num(self.epochs_saved as f64)),
             ("curve".into(), Json::str(curve)),
             ("spec".into(), Json::str(&self.spec_text)),
             ("event_roles".into(), Json::str(event_roles)),
@@ -404,6 +424,18 @@ impl Checkpoint {
             diverged: field("diverged")?
                 .as_bool()
                 .ok_or_else(|| corrupt("`diverged` not a bool"))?,
+            // Lenient: absent from checkpoints written before the
+            // convergence early-exit landed (those would be fingerprint-
+            // stale anyway, but a parse fault would misreport as Corrupt).
+            stop_reason: v
+                .get("stop_reason")
+                .and_then(Json::as_str)
+                .unwrap_or("max_iters")
+                .to_string(),
+            epochs_saved: v
+                .get("epochs_saved")
+                .and_then(Json::as_u64)
+                .unwrap_or(0) as usize,
             curve,
             spec_text: field("spec")?
                 .as_str()
@@ -441,6 +473,8 @@ mod tests {
             restarts: 1,
             final_lr: 0.0125,
             diverged: false,
+            stop_reason: "plateau".into(),
+            epochs_saved: 44,
             curve: vec![EpochSample {
                 epoch: 10,
                 objective: 2.5,
@@ -476,6 +510,18 @@ mod tests {
     }
 
     #[test]
+    fn legacy_payload_without_stop_fields_parses_leniently() {
+        let text = String::from_utf8(sample().to_payload()).unwrap();
+        let legacy = text
+            .replace("\"stop_reason\":\"plateau\",", "")
+            .replace("\"epochs_saved\":44,", "");
+        assert_ne!(legacy, text, "fields were present to strip");
+        let back = Checkpoint::from_payload(legacy.as_bytes()).unwrap();
+        assert_eq!(back.stop_reason, "max_iters");
+        assert_eq!(back.epochs_saved, 0);
+    }
+
+    #[test]
     fn role_bits_round_trip() {
         for bits in 0u8..8 {
             assert_eq!(Checkpoint::role_bits(Checkpoint::roles_from_bits(bits)), bits);
@@ -506,6 +552,27 @@ mod tests {
         let mut s2 = solve.clone();
         s2.lambda += 0.01;
         assert_ne!(base, input_fingerprint(gfp, &seed, &gen, &s2, &extract));
+        // Early-stop shapes where the solve ends, so it keys the cache:
+        // disabling it and tweaking each field must all miss.
+        let mut s_off = solve.clone();
+        s_off.early_stop = None;
+        let off = input_fingerprint(gfp, &seed, &gen, &s_off, &extract);
+        assert_ne!(base, off, "early-stop presence keyed");
+        let mut s_pat = solve.clone();
+        if let Some(es) = s_pat.early_stop.as_mut() {
+            es.patience += 1;
+        }
+        assert_ne!(base, input_fingerprint(gfp, &seed, &gen, &s_pat, &extract));
+        let mut s_tol = solve.clone();
+        if let Some(es) = s_tol.early_stop.as_mut() {
+            es.rel_tol *= 0.1;
+        }
+        assert_ne!(base, input_fingerprint(gfp, &seed, &gen, &s_tol, &extract));
+        let mut s_min = solve.clone();
+        if let Some(es) = s_min.early_stop.as_mut() {
+            es.min_iters += 10;
+        }
+        assert_ne!(base, input_fingerprint(gfp, &seed, &gen, &s_min, &extract));
         let mut e2 = extract.clone();
         e2.decay *= 0.5;
         assert_ne!(base, input_fingerprint(gfp, &seed, &gen, &solve, &e2));

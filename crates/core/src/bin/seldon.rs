@@ -48,7 +48,7 @@ use seldon_core::{
 };
 use seldon_corpus::{Corpus, Project, SourceFile};
 use seldon_propgraph::{to_dot, Budget, FileId};
-use seldon_solver::SolveOptions;
+use seldon_solver::{EarlyStop, SolveOptions};
 use seldon_specs::{paper_seed, TaintSpec};
 use seldon_taint::{render_reports, reports_to_json, TaintAnalyzer, TaintOptions};
 use seldon_telemetry::{diff_manifests, DiffOptions, Level, RunManifest, Telemetry};
@@ -119,6 +119,7 @@ const USAGE: &str = "usage:
   seldon check   <path...> [--spec <spec.txt>] [--param-sensitive] [--format json] [--strict|--lenient] [--log-level off|info|debug]
   seldon learn   <path...> [--seed <spec.txt>] [--out <learned.txt>] [--strict|--lenient]
                  [--cache-dir <dir>] [--no-cache] [--solver-threads <n>]
+                 [--early-stop|--no-early-stop]
                  [--telemetry <manifest.json>] [--trace <out.trace.json>]
                  [--score-dump] [--log-level off|info|debug]
   seldon report  <manifest.json> [--top <k>]
@@ -448,7 +449,14 @@ fn cmd_check(rest: &[String]) -> Result<Outcome, CliError> {
 fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     let (paths, opts, flags) = split_args(
         rest,
-        &["--strict", "--lenient", "--no-cache", "--score-dump"],
+        &[
+            "--strict",
+            "--lenient",
+            "--no-cache",
+            "--score-dump",
+            "--early-stop",
+            "--no-early-stop",
+        ],
         &[
             "--seed",
             "--out",
@@ -528,9 +536,20 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
         }
         None => 1,
     };
+    // Early-stop is on by default (SolveOptions::default()); the flags
+    // force it either way, e.g. `--no-early-stop` to burn the full
+    // `max_iters` budget for an exactly reproducible epoch count.
+    if flags.contains(&"--early-stop") && flags.contains(&"--no-early-stop") {
+        return Err(CliError::usage("--early-stop and --no-early-stop are mutually exclusive"));
+    }
+    let early_stop = if flags.contains(&"--no-early-stop") {
+        None
+    } else {
+        Some(EarlyStop::default())
+    };
     let options = SeldonOptions {
         gen: GenOptions { rep_cutoff: cutoff, ..Default::default() },
-        solve: SolveOptions { threads: solver_threads, ..Default::default() },
+        solve: SolveOptions { threads: solver_threads, early_stop, ..Default::default() },
         score_dump,
         ..Default::default()
     };
@@ -576,11 +595,12 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
             )
         }),
         CheckpointOutcome::Disabled | CheckpointOutcome::MissCold => eprintln!(
-            "{} constraints over {} variables solved in {:?} ({} iterations)",
+            "{} constraints over {} variables solved in {:?} ({} iterations, stop: {})",
             run.system.constraint_count(),
             run.system.var_count(),
             run.solve_time,
-            run.solution.iterations
+            run.solution.iterations,
+            run.solution.stop
         ),
     }
     if let Some(cache) = &cache {
@@ -718,12 +738,17 @@ fn cmd_report(rest: &[String]) -> Result<Outcome, CliError> {
         m.constraints.pinned
     );
     println!(
-        "solver       {} iteration(s), {} restart(s), objective {:.6}, violation {:.6} ({} thread(s)){}",
+        "solver       {} iteration(s), {} restart(s), objective {:.6}, violation {:.6} ({} thread(s)){}{}",
         m.solver.iterations,
         m.solver.restarts,
         m.solver.objective,
         m.solver.violation,
         m.solver.threads,
+        if m.solver.stop_reason.is_empty() {
+            String::new()
+        } else {
+            format!(", stop {} (saved {} epochs)", m.solver.stop_reason, m.solver.epochs_saved)
+        },
         if m.solver.diverged { " [diverged]" } else { "" }
     );
     println!(

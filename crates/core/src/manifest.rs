@@ -179,6 +179,8 @@ fn assemble_manifest(
         objective: run.solution.objective,
         violation: run.solution.violation,
         threads: seldon.solve.threads.max(1) as u64,
+        stop_reason: run.solution.stop.as_str().to_string(),
+        epochs_saved: run.solution.epochs_saved as u64,
         curve: run.solution.trace.clone(),
     };
     let mut learned = [0u64; 3];
@@ -289,6 +291,19 @@ fn fill_metrics(
             "Projected-Adam epochs run (or replayed) this run.",
             false,
             run.solution.iterations as f64,
+        );
+        reg.set_gauge(
+            "solver_stop_reason",
+            "Stop-reason code (0 max_iters, 1 stall, 2 plateau, 3 diverged, \
+             4 invalid_options).",
+            false,
+            run.solution.stop.code() as f64,
+        );
+        reg.set_gauge(
+            "solver_epochs_saved",
+            "Epochs the convergence exit saved against the max_iters budget.",
+            false,
+            run.solution.epochs_saved as f64,
         );
     }
     if let Some(compile) = m.stages.iter().find(|s| s.name == stage::COMPILE) {

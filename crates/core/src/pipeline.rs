@@ -36,6 +36,7 @@ use seldon_propgraph::{
 };
 use seldon_solver::{
     extract, solve_compiled, CompiledSystem, ExtractOptions, Extraction, SolveOptions, Solution,
+    StopReason,
 };
 use seldon_specs::TaintSpec;
 use seldon_telemetry::{stage, Histogram, ParseHistogram, Telemetry, PARSE_HIST_BOUNDS};
@@ -829,6 +830,8 @@ fn solve_stage(
     solve_span.counter("restarts", solution.restarts as f64);
     solve_span.counter("objective", solution.objective);
     solve_span.counter("violation", solution.violation);
+    solve_span.counter("stop_reason", solution.stop.code() as f64);
+    solve_span.counter("epochs_saved", solution.epochs_saved as f64);
     drop(solve_span);
     (solution, t1.elapsed())
 }
@@ -935,6 +938,8 @@ fn replay_full(
             ("restarts", ckpt.restarts as f64),
             ("objective", ckpt.objective),
             ("violation", ckpt.violation),
+            ("stop_reason", StopReason::parse(&ckpt.stop_reason).unwrap_or_default().code() as f64),
+            ("epochs_saved", ckpt.epochs_saved as f64),
             ("replayed", 1.0),
         ],
     );
@@ -958,6 +963,8 @@ fn replay_full(
             diverged: ckpt.diverged,
             restarts: ckpt.restarts,
             final_lr: ckpt.final_lr,
+            stop: StopReason::parse(&ckpt.stop_reason).unwrap_or_default(),
+            epochs_saved: ckpt.epochs_saved,
             trace: ckpt.curve.clone(),
         },
         extraction: Extraction {
@@ -1006,6 +1013,8 @@ fn checkpoint_of(
         restarts: solution.restarts,
         final_lr: solution.final_lr,
         diverged: solution.diverged,
+        stop_reason: solution.stop.as_str().to_string(),
+        epochs_saved: solution.epochs_saved,
         curve: solution.trace.clone(),
         spec_text: extraction.spec.to_text(),
         event_roles,
@@ -1094,6 +1103,11 @@ pub fn run_seldon_cached(
                     ("restarts", ckpt.restarts as f64),
                     ("objective", ckpt.objective),
                     ("violation", ckpt.violation),
+                    (
+                        "stop_reason",
+                        StopReason::parse(&ckpt.stop_reason).unwrap_or_default().code() as f64,
+                    ),
+                    ("epochs_saved", ckpt.epochs_saved as f64),
                     ("replayed", 1.0),
                 ],
             );
@@ -1107,6 +1121,8 @@ pub fn run_seldon_cached(
                     diverged: ckpt.diverged,
                     restarts: ckpt.restarts,
                     final_lr: ckpt.final_lr,
+                    stop: StopReason::parse(&ckpt.stop_reason).unwrap_or_default(),
+                    epochs_saved: ckpt.epochs_saved,
                     trace: ckpt.curve.clone(),
                 },
                 load_time,

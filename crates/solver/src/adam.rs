@@ -49,8 +49,10 @@ impl AdamConfig {
 /// One element of the bias-corrected Adam update with box projection.
 /// `b1t`/`b2t` are the step's bias corrections `1 − βᵏᵗ`. Shared by
 /// [`Adam::step_projected`] and the compiled solver kernel so the two
-/// code paths can never drift arithmetically.
-#[inline]
+/// code paths can never drift arithmetically. `inline(always)` keeps the
+/// per-element body fused into the solver's chunked update loop instead
+/// of a call per variable.
+#[inline(always)]
 #[allow(clippy::too_many_arguments)]
 pub fn step_element(
     cfg: &AdamConfig,

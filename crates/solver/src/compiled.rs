@@ -26,10 +26,33 @@
 //! Each lane accumulates hinge-gradient contributions
 //! into its own compact slot buffer (one slot per distinct variable the
 //! lane touches), and a variable-major transpose (`var_offsets` /
-//! `var_entries`) reduces the per-lane partials in ascending lane order.
+//! `var_entries`) reduces the per-lane partials in a fixed order.
 //! Threads only decide *which worker* runs a lane; the arithmetic — the
 //! order every term is added in — is identical for 1 and N threads, so
 //! scores are byte-identical across thread counts.
+//!
+//! ## Vector-friendly inner loops
+//!
+//! The hot reductions — the per-row gap dot product, the per-variable
+//! gradient fold, and the L1 score sum — run as fixed-width chunks of
+//! [`ACC_WIDTH`] independent f64 accumulators with a scalar tail, combined
+//! pairwise in one fixed order. Independent accumulators break the serial
+//! addition dependency chain so the autovectorizer can lift the loop body
+//! into SIMD lanes (and scalar hardware overlaps the FMAs); because the
+//! chunk layout is a pure function of the data length — never of the
+//! thread count — the summation order stays deterministic and results
+//! bitwise thread-invariant.
+//!
+//! ## Row reordering for locality
+//!
+//! After row dedup, rows *within each lane* are reordered by their
+//! dominant (lowest-index) variable, so consecutive rows touch
+//! neighbouring score/slot entries and the gap pass walks `x` and the
+//! lane buffer roughly in order instead of hopping across them. Lane
+//! boundaries are fixed before the sort, so no row changes lanes, and the
+//! permutation ([`CompiledSystem::row_permutation`]) is recorded so the
+//! compile stays auditable — nothing downstream observes row order:
+//! scores are indexed by variable, and extraction reads only scores.
 
 use seldon_constraints::ConstraintSystem;
 use std::collections::HashMap;
@@ -41,6 +64,49 @@ const MAX_LANES: usize = 64;
 /// Target number of variables per update chunk (the fixed partition the
 /// gradient-norm reduction and the Adam update phase are chunked by).
 const VAR_CHUNK_TARGET: usize = 4096;
+/// Width of the chunked reductions: independent f64 accumulators per
+/// chunk, combined pairwise in a fixed order. 4 keeps the combine tree
+/// exact to spell out while filling a 256-bit SIMD register.
+const ACC_WIDTH: usize = 4;
+
+/// Sums `xs` with [`ACC_WIDTH`] independent accumulators and a scalar
+/// tail — the chunked, autovectorizer-friendly reduction every L1 sum in
+/// the solver shares. The summation order depends only on `xs.len()`.
+pub(crate) fn chunked_sum(xs: &[f64]) -> f64 {
+    let chunks = xs.len() / ACC_WIDTH;
+    let mut acc = [0.0f64; ACC_WIDTH];
+    for chunk in xs[..chunks * ACC_WIDTH].chunks_exact(ACC_WIDTH) {
+        for (a, &v) in acc.iter_mut().zip(chunk) {
+            *a += v;
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for &v in &xs[chunks * ACC_WIDTH..] {
+        sum += v;
+    }
+    sum
+}
+
+/// The signed gap dot product of one row: `Σ coeffs[t] · x[vars[t]]`,
+/// chunked like [`chunked_sum`]. `coeffs` and `vars` must be parallel.
+#[inline]
+fn chunked_dot(coeffs: &[f64], vars: &[u32], x: &[f64]) -> f64 {
+    let chunks = coeffs.len() / ACC_WIDTH;
+    let mut acc = [0.0f64; ACC_WIDTH];
+    for (cc, vc) in coeffs[..chunks * ACC_WIDTH]
+        .chunks_exact(ACC_WIDTH)
+        .zip(vars[..chunks * ACC_WIDTH].chunks_exact(ACC_WIDTH))
+    {
+        for ((a, &coeff), &var) in acc.iter_mut().zip(cc).zip(vc) {
+            *a += coeff * x[var as usize];
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&coeff, &var) in coeffs[chunks * ACC_WIDTH..].iter().zip(&vars[chunks * ACC_WIDTH..]) {
+        sum += coeff * x[var as usize];
+    }
+    sum
+}
 
 /// One contiguous row range with a private gradient buffer shape.
 #[derive(Debug, Clone)]
@@ -78,6 +144,10 @@ pub struct CompiledSystem {
     term_wcoeffs: Vec<f64>,
     /// Lane-local gradient-buffer slot per term, parallel to `term_vars`.
     term_slots: Vec<u32>,
+    /// Row permutation of the locality sort: `row_perm[new] = old`, where
+    /// `old` is the row's index in first-occurrence (dedup) order. A
+    /// within-lane permutation — no row crosses a lane boundary.
+    row_perm: Vec<u32>,
     lanes: Vec<Lane>,
     /// Variable-major transpose offsets; length `n_vars + 1`.
     var_offsets: Vec<u32>,
@@ -140,6 +210,48 @@ impl CompiledSystem {
             }
         }
         let rows = weights.len();
+
+        // Locality reordering: lane boundaries are fixed *before* the sort
+        // (a pure function of the row count), then rows within each lane
+        // are stably sorted by their dominant — lowest-index, i.e. first,
+        // since terms are var-ascending — variable. Consecutive rows then
+        // touch neighbouring `x` entries and the gap pass walks the score
+        // vector roughly in order. Empty rows (no terms) sort last.
+        let lane_count = rows.div_ceil(LANE_TARGET).clamp(1, MAX_LANES);
+        let per_lane = rows.div_ceil(lane_count).max(1);
+        let mut row_perm: Vec<u32> = (0..rows as u32).collect();
+        for l in 0..lane_count {
+            let start = (l * per_lane).min(rows);
+            let end = ((l + 1) * per_lane).min(rows);
+            row_perm[start..end].sort_by_key(|&ri| {
+                let t0 = offsets[ri as usize] as usize;
+                let t1 = offsets[ri as usize + 1] as usize;
+                if t0 == t1 {
+                    u32::MAX
+                } else {
+                    term_vars[t0]
+                }
+            });
+        }
+        // Rebuild the CSR arrays in permuted order.
+        let mut p_offsets = Vec::with_capacity(rows + 1);
+        p_offsets.push(0u32);
+        let mut p_weights = Vec::with_capacity(rows);
+        let mut p_vars = Vec::with_capacity(term_vars.len());
+        let mut p_coeffs = Vec::with_capacity(term_coeffs.len());
+        for &old in &row_perm {
+            let (t0, t1) =
+                (offsets[old as usize] as usize, offsets[old as usize + 1] as usize);
+            p_weights.push(weights[old as usize]);
+            p_vars.extend_from_slice(&term_vars[t0..t1]);
+            p_coeffs.extend_from_slice(&term_coeffs[t0..t1]);
+            p_offsets.push(p_vars.len() as u32);
+        }
+        let offsets = p_offsets;
+        let weights = p_weights;
+        let term_vars = p_vars;
+        let term_coeffs = p_coeffs;
+
         let mut term_wcoeffs = vec![0.0f64; term_coeffs.len()];
         for ri in 0..rows {
             let (t0, t1) = (offsets[ri] as usize, offsets[ri + 1] as usize);
@@ -147,9 +259,6 @@ impl CompiledSystem {
                 term_wcoeffs[t] = weights[ri] * term_coeffs[t];
             }
         }
-
-        let lane_count = rows.div_ceil(LANE_TARGET).clamp(1, MAX_LANES);
-        let per_lane = rows.div_ceil(lane_count).max(1);
 
         // Lane slot assignment: first appearance of a variable in a lane
         // claims the next slot; `touch` records every (var, lane, slot)
@@ -208,6 +317,7 @@ impl CompiledSystem {
             term_coeffs,
             term_wcoeffs,
             term_slots,
+            row_perm,
             lanes,
             var_offsets,
             var_entries,
@@ -238,6 +348,13 @@ impl CompiledSystem {
     /// Number of lanes in the fixed row partition.
     pub fn lane_count(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// The locality-sort row permutation: `row_permutation()[new] = old`,
+    /// mapping each stored row back to its index in first-occurrence
+    /// (dedup) order. Always a within-lane permutation.
+    pub fn row_permutation(&self) -> &[u32] {
+        &self.row_perm
     }
 
     /// The implication-strength constant `C`.
@@ -287,10 +404,7 @@ impl CompiledSystem {
         for ri in l.start as usize..l.end as usize {
             let t0 = self.offsets[ri] as usize;
             let t1 = self.offsets[ri + 1] as usize;
-            let mut acc = 0.0;
-            for (&coeff, &var) in self.term_coeffs[t0..t1].iter().zip(&self.term_vars[t0..t1]) {
-                acc += coeff * x[var as usize];
-            }
+            let acc = chunked_dot(&self.term_coeffs[t0..t1], &self.term_vars[t0..t1], x);
             let gap = acc - self.c;
             if gap > 0.0 {
                 let w = self.weights[ri];
@@ -345,14 +459,23 @@ impl CompiledSystem {
     }
 
     /// The full objective gradient component for variable `i`: λ plus the
-    /// per-lane hinge partials from `bufs`, reduced in ascending lane
-    /// order (the fixed, thread-independent order).
+    /// per-lane hinge partials from `bufs`, reduced in the fixed chunked
+    /// order of [`chunked_sum`] over the lane-ascending entry list — a
+    /// pure function of the entry count, never of the thread count.
     #[inline]
     pub fn grad_var(&self, i: usize, lambda: f64, bufs: &[Vec<f64>]) -> f64 {
         let e0 = self.var_offsets[i] as usize;
         let e1 = self.var_offsets[i + 1] as usize;
-        let mut g = lambda;
-        for &(lane, slot) in &self.var_entries[e0..e1] {
+        let entries = &self.var_entries[e0..e1];
+        let chunks = entries.len() / ACC_WIDTH;
+        let mut acc = [0.0f64; ACC_WIDTH];
+        for chunk in entries[..chunks * ACC_WIDTH].chunks_exact(ACC_WIDTH) {
+            for (a, &(lane, slot)) in acc.iter_mut().zip(chunk) {
+                *a += bufs[lane as usize][slot as usize];
+            }
+        }
+        let mut g = lambda + ((acc[0] + acc[1]) + (acc[2] + acc[3]));
+        for &(lane, slot) in &entries[chunks * ACC_WIDTH..] {
             g += bufs[lane as usize][slot as usize];
         }
         g
@@ -366,16 +489,13 @@ impl CompiledSystem {
         for ri in 0..self.row_count() {
             let t0 = self.offsets[ri] as usize;
             let t1 = self.offsets[ri + 1] as usize;
-            let mut acc = 0.0;
-            for (&coeff, &var) in self.term_coeffs[t0..t1].iter().zip(&self.term_vars[t0..t1]) {
-                acc += coeff * x[var as usize];
-            }
+            let acc = chunked_dot(&self.term_coeffs[t0..t1], &self.term_vars[t0..t1], x);
             let gap = acc - self.c;
             if gap > 0.0 {
                 violation += self.weights[ri] * gap;
             }
         }
-        let l1: f64 = x.iter().sum();
+        let l1 = chunked_sum(x);
         (violation, violation + lambda * l1)
     }
 
@@ -527,6 +647,85 @@ mod tests {
         assert!((grad[0] - 1.1).abs() < 1e-12);
         assert!((grad[1] - (0.1 - 0.5)).abs() < 1e-12);
         assert!((grad[2] - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_sum_matches_naive_sum_exactly_on_integers() {
+        // Integer-valued f64s make every addition exact, so the chunked
+        // combine tree and the serial fold must agree bit-for-bit — at
+        // lengths that exercise full chunks, the tail, and both together.
+        for len in [0usize, 1, 3, 4, 5, 8, 11, 17] {
+            let xs: Vec<f64> = (0..len).map(|i| (i * 3 + 1) as f64).collect();
+            let naive: f64 = xs.iter().sum();
+            assert_eq!(chunked_sum(&xs), naive, "len {len}");
+        }
+    }
+
+    /// Three single-variable constraints added in *descending* variable
+    /// order, with distinct multiplicities (c ×2, b ×1, a ×3) plus one
+    /// empty constraint, so the locality sort has real work to do.
+    fn descending_system() -> ConstraintSystem {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let b = sys.rep("b()");
+        let c = sys.rep("c()");
+        let va = sys.var(a, Role::Source);
+        let vb = sys.var(b, Role::Sanitizer);
+        let vc = sys.var(c, Role::Sink);
+        let single = |v, times: usize, sys: &mut ConstraintSystem| {
+            for _ in 0..times {
+                sys.add_constraint(FlowConstraint {
+                    lhs: vec![Term { var: v, coeff: 1.0 }],
+                    rhs: vec![],
+                    ..Default::default()
+                });
+            }
+        };
+        // `add_constraint` filters empty constraints; push one directly to
+        // exercise the empty-row (key `u32::MAX`) sort guard anyway.
+        sys.constraints.push(FlowConstraint::default());
+        single(vc, 2, &mut sys);
+        single(vb, 1, &mut sys);
+        single(va, 3, &mut sys);
+        sys
+    }
+
+    #[test]
+    fn rows_are_reordered_by_dominant_variable_within_a_lane() {
+        let sys = descending_system();
+        let cs = CompiledSystem::compile(&sys);
+        // Dedup (first-occurrence) order was [empty, c, b, a] with weights
+        // [1, 2, 1, 3]; the locality sort puts a, b, c first and the
+        // empty row (key u32::MAX) last.
+        assert_eq!(cs.row_count(), 4);
+        assert_eq!(cs.term_vars, vec![0, 1, 2]);
+        assert_eq!(cs.weights, vec![3.0, 1.0, 2.0, 1.0]);
+        assert_eq!(cs.row_permutation(), &[3, 2, 1, 0]);
+        // Semantics are order-independent: at x = 1 each singleton row
+        // violates by 0.25, weighted 3 + 1 + 2 = 6 constraints.
+        let x = vec![1.0, 1.0, 1.0];
+        let (viol, _) = cs.objective(&x, 0.0);
+        assert!((viol - 6.0 * 0.25).abs() < 1e-12);
+        let (grad, _, violated) = cs.gradient(&x, 0.0);
+        assert_eq!(violated, 6);
+        assert_eq!(grad, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn row_permutation_round_trips_first_occurrence_order() {
+        let sys = descending_system();
+        let cs = CompiledSystem::compile(&sys);
+        let perm = cs.row_permutation();
+        // A valid permutation of 0..rows …
+        let mut sorted: Vec<u32> = perm.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..cs.row_count() as u32).collect::<Vec<_>>());
+        // … that recovers dedup order: weights[new] is the weight the row
+        // had at first-occurrence index perm[new].
+        let dedup_weights = [1.0, 2.0, 1.0, 3.0];
+        for (new, &old) in perm.iter().enumerate() {
+            assert_eq!(cs.weights[new], dedup_weights[old as usize]);
+        }
     }
 
     #[test]

@@ -231,4 +231,39 @@ mod tests {
         assert_eq!(rep_score(&sys, &sol, "pkg.mod.api()", Role::Sink), None);
         assert_eq!(rep_score(&sys, &sol, "missing()", Role::Source), None);
     }
+
+    /// An early-stopped solve extracts the same specification as the
+    /// full-budget solve of the same system: on a converged trajectory
+    /// the exits land in the same settled region, so the learned entries
+    /// do not depend on whether the detector was enabled.
+    #[test]
+    fn early_stopped_solve_extracts_same_spec() {
+        use crate::solve::{solve, EarlyStop, SolveOptions};
+        use seldon_constraints::{FlowConstraint, Term};
+
+        let mut sys = ConstraintSystem::new(0.75);
+        let src = sys.rep("flask.request.args.get()");
+        let snk = sys.rep("os.system()");
+        let vsrc = sys.var(src, Role::Source);
+        let vsnk = sys.var(snk, Role::Sink);
+        sys.event_reps.push((EventId(0), vec![src]));
+        sys.event_reps.push((EventId(1), vec![snk]));
+        sys.pin(vsrc, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vsrc, coeff: 1.0 }],
+            rhs: vec![Term { var: vsnk, coeff: 1.0 }],
+            ..Default::default()
+        });
+
+        let full = solve(&sys, &SolveOptions { early_stop: None, ..Default::default() });
+        let early = solve(
+            &sys,
+            &SolveOptions { early_stop: Some(EarlyStop::default()), ..Default::default() },
+        );
+        let opts = ExtractOptions { exclude_seeded: false, ..Default::default() };
+        let spec_full = extract(&sys, &full, &opts).spec.to_text();
+        let spec_early = extract(&sys, &early, &opts).spec.to_text();
+        assert_eq!(spec_full, spec_early);
+        assert!(!spec_early.is_empty());
+    }
 }

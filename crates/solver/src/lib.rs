@@ -28,4 +28,7 @@ pub use adam::{step_element, Adam, AdamConfig};
 pub use compiled::CompiledSystem;
 pub use extract::{extract, rep_score, ExtractOptions, Extraction};
 pub use simplex::{simplex, solve_exact, ExactSolution, LpOutcome, LpProblem};
-pub use solve::{evaluate, solve, solve_compiled, Solution, SolveOptions};
+pub use solve::{
+    evaluate, solve, solve_compiled, EarlyStop, Solution, SolveOptions, StopReason,
+    EARLY_STOP_STRIDE,
+};

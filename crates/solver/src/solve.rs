@@ -16,11 +16,150 @@
 //! [`SolveOptions::threads`] scoped workers. The lane/chunk partitions the
 //! workers split on depend only on the compiled system, so scores are
 //! byte-identical for `threads = 1` and `threads = N`.
+//!
+//! Instead of always burning the full `max_iters` budget, the loop can
+//! exit on a deterministic objective plateau ([`EarlyStop`], on by
+//! default): relative-improvement checks at fixed [`EARLY_STOP_STRIDE`]
+//! epoch boundaries, on the thread-invariant objective series, so the
+//! stop epoch — recorded as [`Solution::stop`] — is itself identical at
+//! any thread count.
 
 use crate::adam::{step_element, AdamConfig};
-use crate::compiled::CompiledSystem;
+use crate::compiled::{chunked_sum, CompiledSystem};
 use seldon_constraints::ConstraintSystem;
 use seldon_telemetry::EpochSample;
+
+/// Epoch interval of the plateau-detector checks: every
+/// `EARLY_STOP_STRIDE`-th epoch, matching the default convergence-trace
+/// stride. The check reads only the per-epoch objective series — which is
+/// already bitwise thread-invariant — at epochs fixed by this constant, so
+/// the stop decision is identical for any thread count *and* for any
+/// [`SolveOptions::trace_stride`] (including 0: tracing off never changes
+/// where the solver stops).
+pub const EARLY_STOP_STRIDE: usize = 10;
+
+/// Consecutive no-improvement epochs (beyond [`SolveOptions::tol`],
+/// absolute) after which the stall exit fires. This is the legacy
+/// convergence exit and always runs; when [`SolveOptions::early_stop`] is
+/// set it is additionally gated by [`EarlyStop::min_iters`] so every exit
+/// honors the detector's floor.
+pub const STALL_WINDOW: usize = 50;
+
+/// Convergence-based early exit: a deterministic plateau detector on the
+/// objective series, checked only at [`EARLY_STOP_STRIDE`] boundaries.
+///
+/// The best objective so far is tracked every epoch (the per-epoch
+/// objective is already bitwise thread-invariant, so this adds no thread
+/// sensitivity); an epoch improves the best only by beating it by more
+/// than `rel_tol`, scaled by `max(|best|, 1)`. At each check epoch, no
+/// new best since the previous check counts as one strike; after
+/// `patience` consecutive strikes (and at least `min_iters` epochs), the
+/// solver stops with [`StopReason::Plateau`] instead of burning the rest
+/// of `max_iters`. Best-so-far tracking — rather than consecutive
+/// per-check deltas — keeps the detector robust to the small oscillations
+/// Adam's late epochs produce around a settled objective.
+///
+/// The detector layers on top of the always-active [`STALL_WINDOW`]
+/// stall exit rather than replacing it: the stall window handles small
+/// systems (where the absolute tolerance is meaningful and the legacy
+/// stop epoch is preserved bit-for-bit), while the relative-tolerance
+/// plateau check is what stops large-corpus runs whose objective keeps
+/// shaving more than an absolute 1e-6 per epoch forever. `min_iters`
+/// gates both exits whenever the detector is enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EarlyStop {
+    /// Consecutive checks without a new best required before stopping.
+    pub patience: usize,
+    /// Relative improvement on the best objective below which an epoch
+    /// does not count as progress (scaled by `max(|best|, 1)`).
+    pub rel_tol: f64,
+    /// Epochs that must complete before the detector may stop the run.
+    pub min_iters: usize,
+}
+
+impl Default for EarlyStop {
+    fn default() -> Self {
+        // patience × EARLY_STOP_STRIDE = STALL_WINDOW epochs without a
+        // new best — the same no-improvement span the stall exit uses, so
+        // on trajectories where only the scale-aware relative check can
+        // see the plateau, the detector stops in the same settled region
+        // the stall window would have found under a finer tolerance.
+        EarlyStop { patience: 5, rel_tol: 1e-6, min_iters: 50 }
+    }
+}
+
+impl EarlyStop {
+    /// Rejects configurations the detector cannot evaluate.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.patience == 0 {
+            return Err("early-stop patience must be ≥ 1".to_string());
+        }
+        if !self.rel_tol.is_finite() || self.rel_tol < 0.0 {
+            return Err(format!("early-stop rel_tol must be finite and ≥ 0, got {}", self.rel_tol));
+        }
+        Ok(())
+    }
+}
+
+/// Why the solver's epoch loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopReason {
+    /// The full `max_iters` budget ran.
+    #[default]
+    MaxIters,
+    /// The absolute-tolerance stall window fired (no improvement beyond
+    /// [`SolveOptions::tol`] for [`STALL_WINDOW`] consecutive epochs).
+    Stall,
+    /// The [`EarlyStop`] plateau detector fired at a check boundary.
+    Plateau,
+    /// The run produced a non-finite objective or scores; for a restarted
+    /// solve this reports the final (restarted) run's reason.
+    Diverged,
+    /// Options failed [`SolveOptions::validate`]; no epoch ran.
+    InvalidOptions,
+}
+
+impl StopReason {
+    /// Stable string form (manifest / checkpoint serialization).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::MaxIters => "max_iters",
+            StopReason::Stall => "stall",
+            StopReason::Plateau => "plateau",
+            StopReason::Diverged => "diverged",
+            StopReason::InvalidOptions => "invalid_options",
+        }
+    }
+
+    /// Small integer code for numeric metric gauges, in declaration order.
+    pub fn code(self) -> u8 {
+        match self {
+            StopReason::MaxIters => 0,
+            StopReason::Stall => 1,
+            StopReason::Plateau => 2,
+            StopReason::Diverged => 3,
+            StopReason::InvalidOptions => 4,
+        }
+    }
+
+    /// Inverse of [`StopReason::as_str`]; `None` on unknown input.
+    pub fn parse(s: &str) -> Option<StopReason> {
+        match s {
+            "max_iters" => Some(StopReason::MaxIters),
+            "stall" => Some(StopReason::Stall),
+            "plateau" => Some(StopReason::Plateau),
+            "diverged" => Some(StopReason::Diverged),
+            "invalid_options" => Some(StopReason::InvalidOptions),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Solver hyperparameters; defaults follow the paper (λ = 0.1).
 #[derive(Debug, Clone)]
@@ -29,10 +168,21 @@ pub struct SolveOptions {
     pub lambda: f64,
     /// Maximum Adam iterations.
     pub max_iters: usize,
-    /// Stop when the objective improves less than this over a window.
+    /// Stall exit tolerance: stop after [`STALL_WINDOW`] consecutive
+    /// epochs whose objective improves less than this absolute amount.
+    /// Always active; with `early_stop` set the exit is additionally
+    /// gated by [`EarlyStop::min_iters`].
     pub tol: f64,
     /// Adam configuration.
     pub adam: AdamConfig,
+    /// Convergence-based early exit layered on top of the stall window.
+    /// The stall window is absolute-tolerance and corpus-scale blind: on
+    /// large corpora the objective is big enough that it keeps improving
+    /// by more than `tol` forever, so runs burn the whole `max_iters`
+    /// budget. The plateau detector's *relative* tolerance is what stops
+    /// those runs early. `None` reproduces the pre-early-stop behavior
+    /// exactly; on by default.
+    pub early_stop: Option<EarlyStop>,
     /// Convergence-trace sampling stride: every `trace_stride`-th epoch
     /// (plus the final one) is recorded into [`Solution::trace`] as an
     /// [`EpochSample`]. `0` (the default) disables tracing entirely and
@@ -52,6 +202,7 @@ impl Default for SolveOptions {
             max_iters: 800,
             tol: 1e-6,
             adam: AdamConfig::default(),
+            early_stop: Some(EarlyStop::default()),
             trace_stride: 0,
             threads: 1,
         }
@@ -66,6 +217,9 @@ impl SolveOptions {
     pub fn validate(&self) -> Result<(), String> {
         if !self.lambda.is_finite() {
             return Err(format!("lambda must be finite, got {}", self.lambda));
+        }
+        if let Some(es) = &self.early_stop {
+            es.validate()?;
         }
         self.adam.validate()
     }
@@ -96,6 +250,12 @@ pub struct Solution {
     /// Learning rate of the run that produced `scores` — the configured
     /// rate, scaled by [`RESTART_LR_SCALE`] if the run restarted.
     pub final_lr: f64,
+    /// Why the epoch loop ended (for the restarted run, if any).
+    pub stop: StopReason,
+    /// Epochs *not* run against the `max_iters` budget
+    /// (`max_iters − iterations`); 0 for diverged or short-circuited runs,
+    /// where the savings were not earned by convergence.
+    pub epochs_saved: usize,
     /// Sampled convergence trace (empty when
     /// [`SolveOptions::trace_stride`] is 0); epochs strictly increase and
     /// the final epoch is always included. After a restart this traces the
@@ -124,6 +284,7 @@ struct AdamRun {
     history: Vec<f64>,
     trace: Vec<EpochSample>,
     diverged: bool,
+    stop: StopReason,
 }
 
 /// Applies one Adam step to a contiguous block of variables starting at
@@ -248,6 +409,15 @@ fn run_adam(cs: &CompiledSystem, opts: &SolveOptions, lr_scale: f64) -> AdamRun 
     let mut iterations = 0usize;
     let mut diverged = false;
     let mut step = 0u64;
+    let mut stop = StopReason::MaxIters;
+    // Plateau-detector state: the best objective seen so far, whether it
+    // improved since the previous check, and the consecutive checks
+    // without improvement. Decisions run only at `EARLY_STOP_STRIDE`
+    // boundaries, on the thread-invariant objective series, so the stop
+    // epoch is identical at any thread count.
+    let mut check_best = f64::INFINITY;
+    let mut improved = false;
+    let mut since_best = 0usize;
 
     for iter in 0..opts.max_iters {
         iterations = iter + 1;
@@ -258,7 +428,7 @@ fn run_adam(cs: &CompiledSystem, opts: &SolveOptions, lr_scale: f64) -> AdamRun 
             violation += lane_violation;
             violated += lane_violated;
         }
-        let objective = violation + opts.lambda * x.iter().sum::<f64>();
+        let objective = violation + opts.lambda * chunked_sum(&x);
         if !objective.is_finite() {
             if stride != 0 {
                 let sample = EpochSample {
@@ -275,6 +445,7 @@ fn run_adam(cs: &CompiledSystem, opts: &SolveOptions, lr_scale: f64) -> AdamRun 
                 last_sample = Some(sample);
             }
             diverged = true;
+            stop = StopReason::Diverged;
             break;
         }
         history.push(objective);
@@ -312,16 +483,67 @@ fn run_adam(cs: &CompiledSystem, opts: &SolveOptions, lr_scale: f64) -> AdamRun 
 
         if x.iter().any(|s| !s.is_finite()) {
             diverged = true;
+            stop = StopReason::Diverged;
             break;
         }
 
+        // Convergence exits. The legacy stall window (absolute `tol`, 50
+        // consecutive epochs without improvement) always runs — with
+        // early-stop enabled it is additionally gated by `min_iters`, so
+        // the detector's floor is honored by every exit. The plateau
+        // detector layers a *relative*-tolerance exit on top: on large
+        // corpora the objective is O(10³) and keeps shaving more than the
+        // absolute 1e-6 forever, so the stall window never fires and the
+        // run burns the whole `max_iters` budget; a scale-aware threshold
+        // is what actually stops those runs early. On small systems the
+        // stall window typically fires first, so enabling early-stop
+        // changes nothing there — outputs stay bit-for-bit identical.
         if objective + opts.tol < best {
             best = objective;
             stall = 0;
         } else {
             stall += 1;
-            if stall >= 50 {
-                break;
+        }
+        match &opts.early_stop {
+            Some(es) => {
+                if stall >= STALL_WINDOW && iterations >= es.min_iters {
+                    stop = StopReason::Stall;
+                    break;
+                }
+                // Best-so-far tracking runs every epoch — the objective
+                // series is already bitwise thread-invariant, so this adds
+                // no thread sensitivity — but the stop *decision* happens
+                // only at fixed stride boundaries: a check without a new
+                // best since the previous check is a strike, `patience`
+                // consecutive strikes end the run. Best-so-far (rather
+                // than consecutive per-check deltas) keeps the detector
+                // robust to the small oscillations Adam's late epochs
+                // produce; `min_iters` gates the stop itself, never the
+                // strike bookkeeping.
+                if !check_best.is_finite()
+                    || objective < check_best - es.rel_tol * check_best.abs().max(1.0)
+                {
+                    check_best = objective;
+                    improved = true;
+                }
+                if iter % EARLY_STOP_STRIDE == 0 {
+                    if improved {
+                        since_best = 0;
+                        improved = false;
+                    } else {
+                        since_best += 1;
+                    }
+                    if since_best >= es.patience && iterations >= es.min_iters {
+                        stop = StopReason::Plateau;
+                        break;
+                    }
+                }
+            }
+            None => {
+                if stall >= STALL_WINDOW {
+                    stop = StopReason::Stall;
+                    break;
+                }
             }
         }
     }
@@ -334,7 +556,7 @@ fn run_adam(cs: &CompiledSystem, opts: &SolveOptions, lr_scale: f64) -> AdamRun 
         }
     }
 
-    AdamRun { x, iterations, history, trace, diverged }
+    AdamRun { x, iterations, history, trace, diverged, stop }
 }
 
 /// Learning-rate scale of the single restart after a diverged run.
@@ -372,6 +594,8 @@ pub fn solve_compiled(cs: &CompiledSystem, opts: &SolveOptions) -> Solution {
             diverged: true,
             restarts: 0,
             final_lr: opts.adam.lr,
+            stop: StopReason::InvalidOptions,
+            epochs_saved: 0,
             trace: Vec::new(),
         };
     }
@@ -385,7 +609,11 @@ pub fn solve_compiled(cs: &CompiledSystem, opts: &SolveOptions) -> Solution {
         restarts = 1;
         final_lr = opts.adam.lr * RESTART_LR_SCALE;
     }
-    let AdamRun { mut x, iterations, history, trace, .. } = run;
+    let AdamRun { mut x, iterations, history, trace, stop, .. } = run;
+    // Epochs saved are only claimed for runs that converged on their own;
+    // a diverged run's short iteration count is a failure, not a saving.
+    let epochs_saved =
+        if diverged { 0 } else { opts.max_iters.saturating_sub(iterations) };
 
     // Final sanitization: a diverged restart can still be non-finite;
     // downstream extraction must never see it.
@@ -408,6 +636,8 @@ pub fn solve_compiled(cs: &CompiledSystem, opts: &SolveOptions) -> Solution {
         diverged,
         restarts,
         final_lr,
+        stop,
+        epochs_saved,
         trace,
     }
 }
@@ -710,11 +940,154 @@ mod tests {
             assert!(same, "threads={threads} changed the scores");
             assert_eq!(base.history, sol.history);
             assert_eq!(base.iterations, sol.iterations);
+            assert_eq!(base.stop, sol.stop, "stop reason must be thread-invariant");
             assert_eq!(base.objective.to_bits(), sol.objective.to_bits());
             assert_eq!(base.trace.len(), sol.trace.len());
             for (a, b) in base.trace.iter().zip(&sol.trace) {
                 assert_eq!(a.grad_norm.to_bits(), b.grad_norm.to_bits());
             }
         }
+    }
+
+    /// A system whose objective settles quickly: the plateau detector
+    /// stops well short of `max_iters`, records the reason, and counts
+    /// the saved epochs — while `early_stop: None` reproduces the legacy
+    /// stall exit.
+    #[test]
+    fn plateau_detector_stops_early_and_reports() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let s = sys.rep("src()");
+        let m = sys.rep("san()");
+        let vsrc = sys.var(s, Role::Source);
+        let vsan = sys.var(m, Role::Sanitizer);
+        sys.pin(vsrc, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vsrc, coeff: 1.0 }],
+            rhs: vec![Term { var: vsan, coeff: 1.0 }],
+            ..Default::default()
+        });
+        // With defaults, the absolute stall window sees this small
+        // system's plateau first — enabling early-stop preserves the
+        // legacy stop epoch and scores bit-for-bit.
+        let default_run = solve(&sys, &SolveOptions::default());
+        let legacy = solve(&sys, &SolveOptions { early_stop: None, ..Default::default() });
+        assert_eq!(default_run.stop, StopReason::Stall);
+        assert_eq!(legacy.stop, StopReason::Stall);
+        assert_eq!(default_run.iterations, legacy.iterations);
+        assert!(default_run.iterations < SolveOptions::default().max_iters);
+        for (a, b) in default_run.scores.iter().zip(&legacy.scores) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            default_run.epochs_saved,
+            SolveOptions::default().max_iters - default_run.iterations
+        );
+        assert_eq!(legacy.epochs_saved, SolveOptions::default().max_iters - legacy.iterations);
+
+        // A coarse relative tolerance makes the plateau detector the
+        // first exit: per-epoch gains stop counting as progress long
+        // before they drop below the absolute stall tolerance.
+        let coarse = SolveOptions {
+            early_stop: Some(EarlyStop { patience: 2, rel_tol: 0.5, min_iters: 0 }),
+            ..Default::default()
+        };
+        let early = solve(&sys, &coarse);
+        assert_eq!(early.stop, StopReason::Plateau, "iterations = {}", early.iterations);
+        assert!(early.iterations < default_run.iterations);
+        assert_eq!(early.epochs_saved, coarse.max_iters - early.iterations);
+    }
+
+    /// `min_iters` gates every convergence exit — stall window included —
+    /// however flat the objective is from epoch 0.
+    #[test]
+    fn min_iters_is_respected() {
+        // An empty system is maximally flat: objective 0 every epoch. The
+        // stall window is ready from epoch 51 but the floor defers the
+        // exit to exactly `min_iters`.
+        let sys = ConstraintSystem::new(0.75);
+        let opts = SolveOptions {
+            early_stop: Some(EarlyStop { patience: 1, rel_tol: 1e-3, min_iters: 73 }),
+            ..Default::default()
+        };
+        let sol = solve(&sys, &opts);
+        assert_eq!(sol.stop, StopReason::Stall);
+        assert!(sol.iterations >= 73, "stopped at {} < min_iters", sol.iterations);
+        assert_eq!(sol.iterations, 73);
+
+        // Without a floor, patience 1 lets the plateau detector fire at
+        // the first strike boundary: epoch 10, so 11 iterations.
+        let opts = SolveOptions {
+            early_stop: Some(EarlyStop { patience: 1, rel_tol: 1e-3, min_iters: 0 }),
+            ..Default::default()
+        };
+        let sol = solve(&sys, &opts);
+        assert_eq!(sol.stop, StopReason::Plateau);
+        assert_eq!(sol.iterations, 11);
+    }
+
+    /// Invalid early-stop configurations short-circuit like any other bad
+    /// hyperparameter.
+    #[test]
+    fn invalid_early_stop_short_circuits() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let a = sys.rep("a()");
+        let va = sys.var(a, Role::Source);
+        sys.pin(va, 1.0);
+        for es in [
+            EarlyStop { patience: 0, ..Default::default() },
+            EarlyStop { rel_tol: f64::NAN, ..Default::default() },
+            EarlyStop { rel_tol: -1.0, ..Default::default() },
+        ] {
+            let opts = SolveOptions { early_stop: Some(es), ..Default::default() };
+            assert!(opts.validate().is_err());
+            let sol = solve(&sys, &opts);
+            assert!(sol.diverged);
+            assert_eq!(sol.stop, StopReason::InvalidOptions);
+            assert_eq!(sol.iterations, 0);
+            assert_eq!(sol.epochs_saved, 0);
+        }
+    }
+
+    /// The stride-aligned check means tracing on or off never moves the
+    /// stop epoch — `trace_stride` stays a pure observability knob.
+    #[test]
+    fn trace_stride_does_not_move_the_stop_epoch() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let s = sys.rep("src()");
+        let m = sys.rep("san()");
+        let vsrc = sys.var(s, Role::Source);
+        let vsan = sys.var(m, Role::Sanitizer);
+        sys.pin(vsrc, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vsrc, coeff: 1.0 }],
+            rhs: vec![Term { var: vsan, coeff: 1.0 }],
+            ..Default::default()
+        });
+        let untraced = solve(&sys, &SolveOptions::default());
+        for stride in [1, 3, 7, 10] {
+            let traced = solve(&sys, &SolveOptions { trace_stride: stride, ..Default::default() });
+            assert_eq!(untraced.iterations, traced.iterations, "stride {stride}");
+            assert_eq!(untraced.stop, traced.stop);
+            for (a, b) in untraced.scores.iter().zip(&traced.scores) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn stop_reason_round_trips_through_strings_and_codes() {
+        let all = [
+            StopReason::MaxIters,
+            StopReason::Stall,
+            StopReason::Plateau,
+            StopReason::Diverged,
+            StopReason::InvalidOptions,
+        ];
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(StopReason::parse(r.as_str()), Some(*r));
+            assert_eq!(r.code() as usize, i);
+            assert_eq!(r.to_string(), r.as_str());
+        }
+        assert_eq!(StopReason::parse("warp_drive"), None);
     }
 }

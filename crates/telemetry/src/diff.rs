@@ -309,8 +309,17 @@ fn bench_slack(key: &str) -> Option<f64> {
     }
 }
 
+/// Whether a bench section's numbers depend on the host's parallelism
+/// rather than the code under test: per-thread-count scaling rows vary
+/// with the core count of whatever machine ran the bench, so they are
+/// recorded for the report but never gate.
+fn is_machine_scaling_section(section: &str) -> bool {
+    section.starts_with("scaling_threads_")
+}
+
 /// Compares two bench records key by key: unit-suffixed cost keys gate
-/// with tolerance + slack, everything else is informational.
+/// with tolerance + slack, everything else is informational. Scaling-table
+/// sections (`scaling_threads_*`) are machine state and never gate.
 pub fn diff_bench(a: &BenchRecord, b: &BenchRecord, opts: &DiffOptions) -> DiffReport {
     let mut r = DiffReport::default();
     if a.benchmark != b.benchmark {
@@ -323,6 +332,16 @@ pub fn diff_bench(a: &BenchRecord, b: &BenchRecord, opts: &DiffOptions) -> DiffR
                 r.note(format!("{path}: only in baseline"));
                 continue;
             };
+            if is_machine_scaling_section(section) {
+                if va != vb {
+                    r.note(format!(
+                        "{path}: {} -> {} (machine scaling)",
+                        va.compact(),
+                        vb.compact()
+                    ));
+                }
+                continue;
+            }
             match (va.as_f64(), vb.as_f64(), bench_slack(key)) {
                 (Some(x), Some(y), Some(slack)) if x.is_finite() && y.is_finite() => {
                     r.cost(&path, x, y, slack, opts);
@@ -478,5 +497,30 @@ mod tests {
         let r = diff_bench(&a, &fast, &DiffOptions::default());
         assert!(!r.regressed());
         assert_eq!(r.improvements, 1);
+    }
+
+    /// Per-thread-count scaling rows depend on the bench host's core
+    /// count, so they report as notes and never gate — a record captured
+    /// on a single-core box must not fail CI on a multi-core runner.
+    #[test]
+    fn scaling_table_sections_never_gate() {
+        let mut a = BenchRecord::new("solver", "solver_bench", "m");
+        a.num("after", "solve_ms", 100.0)
+            .num("scaling_threads_8", "solve_ms", 170.0)
+            .num("scaling_threads_8", "speedup_vs_1_thread", 0.7);
+        // 3x slower on the scaling row, and a candidate-only row: notes.
+        let mut other_host = a.clone();
+        other_host
+            .num("scaling_threads_8", "solve_ms", 510.0)
+            .num("scaling_threads_8", "speedup_vs_1_thread", 3.4)
+            .num("scaling_threads_16", "solve_ms", 40.0);
+        let r = diff_bench(&a, &other_host, &DiffOptions::default());
+        assert!(!r.regressed(), "{}", r.render());
+        assert!(r.render().contains("machine scaling"), "{}", r.render());
+        assert!(r.render().contains("scaling_threads_16.solve_ms: only in candidate"));
+        // The same drift outside a scaling section still gates.
+        let mut slow = a.clone();
+        slow.num("after", "solve_ms", 300.0);
+        assert!(diff_bench(&a, &slow, &DiffOptions::default()).regressed());
     }
 }

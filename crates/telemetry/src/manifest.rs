@@ -28,8 +28,10 @@ use std::fmt;
 /// per-file parse-time buckets. Version 5 added the `memory` section
 /// ([`MemorySummary`]), the per-span `mem_now_bytes` / `mem_peak_bytes`
 /// fields, the `metrics` registry ([`MetricsRegistry`]), and the opt-in
-/// `score_dump` section ([`ScoreDumpEntry`], Fig. 11 data).
-pub const SCHEMA_VERSION: u64 = 5;
+/// `score_dump` section ([`ScoreDumpEntry`], Fig. 11 data). Version 6
+/// added the solver `stop_reason` / `epochs_saved` fields
+/// ([`SolverSummary`]) recording the convergence early-exit outcome.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Upper bounds (inclusive, microseconds) of the per-file parse-time
 /// histogram buckets. A file lands in the first bucket whose bound its
@@ -247,6 +249,14 @@ pub struct SolverSummary {
     /// byte-identical across thread counts; this records cost, not
     /// result shape.
     pub threads: u64,
+    /// Why the run stopped (`"max_iters"`, `"stall"`, `"plateau"`,
+    /// `"diverged"`, `"invalid_options"`). Stored as a string so this
+    /// crate stays independent of the solver crate; empty when unknown
+    /// (pre-v6 manifests).
+    pub stop_reason: String,
+    /// Epochs the stop saved relative to the `max_iters` budget (0 when
+    /// the budget ran out or the run diverged).
+    pub epochs_saved: u64,
     /// Sampled convergence curve (stride-spaced epochs).
     pub curve: Vec<EpochSample>,
 }
@@ -523,6 +533,8 @@ impl RunManifest {
                     ("objective".into(), Json::num(self.solver.objective)),
                     ("violation".into(), Json::num(self.solver.violation)),
                     ("threads".into(), Json::num(self.solver.threads as f64)),
+                    ("stop_reason".into(), Json::str(&self.solver.stop_reason)),
+                    ("epochs_saved".into(), Json::num(self.solver.epochs_saved as f64)),
                     (
                         "curve".into(),
                         Json::Arr(
@@ -700,6 +712,16 @@ impl RunManifest {
                 objective: req_f64(solver, "objective")?,
                 violation: req_f64(solver, "violation")?,
                 threads: req_u64(solver, "threads")?,
+                // Lenient: absent in pre-v6 manifests.
+                stop_reason: solver
+                    .get("stop_reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                epochs_saved: solver
+                    .get("epochs_saved")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
                 curve: req_arr(solver, "curve")?
                     .iter()
                     .map(parse_epoch)
@@ -1025,6 +1047,8 @@ mod tests {
             objective: 1.25,
             violation: 0.5,
             threads: 4,
+            stop_reason: "plateau".into(),
+            epochs_saved: 95,
             curve: vec![
                 EpochSample {
                     epoch: 0,

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use seldon_constraints::{ConstraintSystem, FlowConstraint, Term, VarId};
-use seldon_solver::{solve, solve_compiled, CompiledSystem, SolveOptions};
+use seldon_solver::{solve, solve_compiled, CompiledSystem, EarlyStop, SolveOptions, StopReason};
 use seldon_specs::Role;
 
 const COEFFS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
@@ -136,6 +136,59 @@ proptest! {
         }
         for (a, b) in s1.history.iter().zip(&s4.history) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// With the plateau detector enabled, the stop epoch, stop reason,
+    /// and scores are bitwise identical at 1 and 4 worker threads: the
+    /// detector reads only the thread-invariant objective series at
+    /// fixed stride boundaries, so early exit adds no thread sensitivity.
+    #[test]
+    fn early_stop_is_bitwise_thread_invariant(
+        seed in any::<u64>(),
+        patience in 1usize..7,
+        min_iters in 0usize..90,
+    ) {
+        let sys = random_system(seed);
+        let es = EarlyStop { patience, rel_tol: 1e-4, min_iters };
+        let opts1 = SolveOptions {
+            max_iters: 120,
+            early_stop: Some(es),
+            ..Default::default()
+        };
+        let opts4 = SolveOptions { threads: 4, ..opts1.clone() };
+        let s1 = solve(&sys, &opts1);
+        let s4 = solve(&sys, &opts4);
+        prop_assert_eq!(s1.stop, s4.stop, "stop reason must be thread-invariant");
+        prop_assert_eq!(s1.iterations, s4.iterations, "stop epoch must be thread-invariant");
+        prop_assert_eq!(s1.epochs_saved, s4.epochs_saved);
+        prop_assert_eq!(s1.objective.to_bits(), s4.objective.to_bits());
+        for (a, b) in s1.scores.iter().zip(&s4.scores) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// No convergence exit — stall window or plateau — ever fires before
+    /// `min_iters`, whatever the system looks like.
+    #[test]
+    fn min_iters_is_always_respected(
+        seed in any::<u64>(),
+        patience in 1usize..4,
+        min_iters in 0usize..100,
+    ) {
+        let sys = random_system(seed);
+        let opts = SolveOptions {
+            max_iters: 120,
+            early_stop: Some(EarlyStop { patience, rel_tol: 1e-3, min_iters }),
+            ..Default::default()
+        };
+        let sol = solve(&sys, &opts);
+        if matches!(sol.stop, StopReason::Stall | StopReason::Plateau) {
+            prop_assert!(
+                sol.iterations >= min_iters,
+                "{:?} fired at {} < min_iters {}",
+                sol.stop, sol.iterations, min_iters
+            );
         }
     }
 
