@@ -15,9 +15,16 @@
 //!   reuse the stored score vector exactly.
 //!
 //! Both are **exact-match** keys. A near-miss warm start (seeding Adam
-//! with stale scores) would converge to *almost* the same solution, and
-//! "almost" breaks the byte-identical-spec guarantee the cache is held
-//! to; a fingerprint miss therefore always re-solves from zero.
+//! with stale scores) converges to *almost* the same solution, and
+//! "almost" breaks the byte-identical-spec guarantee the *replay* path
+//! is held to; a fingerprint miss therefore never silently reuses
+//! anything. Callers that can tolerate (and police) near-miss reuse —
+//! the incremental daemon guards warm solves with an extraction-margin
+//! check and falls back to a cold solve when a decision is close — opt
+//! in explicitly through [`Checkpoint::warm_init_for`], which remaps the
+//! stored scores onto a *different* constraint system by matching
+//! variables on their process-stable `(representation, role)` keys
+//! recorded in [`Checkpoint::var_keys`].
 //!
 //! Scores and every other float are serialized as IEEE-754 bit patterns
 //! (`%016x`), never as decimal text, so a load returns the exact f64s the
@@ -64,6 +71,13 @@ pub struct Checkpoint {
     pub system_fp: u64,
     /// The solved score vector, indexed by `VarId`.
     pub scores: Vec<f64>,
+    /// Per-variable identity keys, parallel to `scores`: the
+    /// representation string and [`Role`] index of each `VarId`. These
+    /// survive re-numbering, so a later run whose system assigns
+    /// different `VarId`s can still seed Adam from these scores via
+    /// [`Checkpoint::warm_init_for`]. Empty on checkpoints written
+    /// before warm-starting landed (parse is lenient).
+    pub var_keys: Vec<(String, u8)>,
     /// Final objective value.
     pub objective: f64,
     /// Final total hinge violation.
@@ -242,6 +256,46 @@ impl Checkpoint {
             .fold(RoleSet::EMPTY, |set, &role| set.with(role))
     }
 
+    /// Records the `(representation, role)` identity of every variable
+    /// in `system`, in `VarId` order, for a checkpoint solved from it.
+    pub fn var_keys_of(system: &ConstraintSystem) -> Vec<(String, u8)> {
+        system
+            .variables()
+            .map(|(_, rep, role)| (rep.to_string(), role.index() as u8))
+            .collect()
+    }
+
+    /// Remaps the stored scores onto a (possibly different) constraint
+    /// system, producing an initial point for
+    /// [`seldon_solver::solve_compiled_warm`]: each variable of `system`
+    /// takes the old score of the variable with the same
+    /// `(representation, role)` key, and variables with no predecessor
+    /// start at the cold default `0.0`. Scores of variables that no
+    /// longer exist are dropped.
+    ///
+    /// Returns `None` when this checkpoint carries no usable key table
+    /// (legacy payload, or one whose keys do not line up with its
+    /// scores) — callers should then solve cold.
+    pub fn warm_init_for(&self, system: &ConstraintSystem) -> Option<Vec<f64>> {
+        if self.var_keys.len() != self.scores.len() {
+            return None;
+        }
+        let old: std::collections::HashMap<(&str, u8), f64> = self
+            .var_keys
+            .iter()
+            .zip(&self.scores)
+            .map(|((rep, role), &score)| ((rep.as_str(), *role), score))
+            .collect();
+        Some(
+            system
+                .variables()
+                .map(|(_, rep, role)| {
+                    old.get(&(rep, role.index() as u8)).copied().unwrap_or(0.0)
+                })
+                .collect(),
+        )
+    }
+
     /// Per-event roles as the `HashMap` the extraction API uses.
     pub fn event_role_map(&self) -> std::collections::HashMap<EventId, RoleSet> {
         self.event_roles
@@ -291,10 +345,21 @@ impl Checkpoint {
             let _ = write!(event_roles, "{id},{bits}");
         }
         let s = &self.summary;
+        // Variable keys ride as a JSON array of "<role digit><rep>"
+        // strings rather than a delimited table: representation strings
+        // are arbitrary source-derived text, and JSON string escaping is
+        // the only framing here that cannot collide with their content.
+        let var_keys = Json::Arr(
+            self.var_keys
+                .iter()
+                .map(|(rep, role)| Json::str(format!("{role}{rep}")))
+                .collect(),
+        );
         Json::Obj(vec![
             ("input_fp".into(), hex64(self.input_fp)),
             ("system_fp".into(), hex64(self.system_fp)),
             ("scores".into(), Json::str(scores)),
+            ("var_keys".into(), var_keys),
             ("objective".into(), hex_f64(self.objective)),
             ("violation".into(), hex_f64(self.violation)),
             ("iterations".into(), Json::num(self.iterations as f64)),
@@ -367,6 +432,22 @@ impl Checkpoint {
         let scores = rows(table("scores")?)
             .map(|s| hex_field(s, "score"))
             .collect::<Result<Vec<_>, _>>()?;
+        // Lenient: absent from checkpoints written before warm-starting
+        // landed. Those still replay on exact fingerprint matches; they
+        // just cannot seed a warm solve (`warm_init_for` returns None).
+        let mut var_keys = Vec::new();
+        if let Some(entries) = v.get("var_keys").and_then(Json::as_arr) {
+            for entry in entries {
+                let s = entry.as_str().ok_or_else(|| corrupt("var_keys entry not a string"))?;
+                let role = s
+                    .chars()
+                    .next()
+                    .and_then(|c| c.to_digit(10))
+                    .filter(|&d| d < 3)
+                    .ok_or_else(|| corrupt("var_keys entry missing role digit"))?;
+                var_keys.push((s[1..].to_string(), role as u8));
+            }
+        }
         let mut curve = Vec::new();
         for row in rows(table("curve")?) {
             let fields: Vec<&str> = row.split(',').collect();
@@ -416,6 +497,7 @@ impl Checkpoint {
             input_fp: parse_hex64(field("input_fp")?, "input_fp")?,
             system_fp: parse_hex64(field("system_fp")?, "system_fp")?,
             scores,
+            var_keys,
             objective: parse_hex_f64(field("objective")?, "objective")?,
             violation: parse_hex_f64(field("violation")?, "violation")?,
             iterations: count("iterations")?,
@@ -467,6 +549,14 @@ mod tests {
             input_fp: 0xdead_beef_0123_4567,
             system_fp: 0x0bad_cafe_89ab_cdef,
             scores: vec![0.0, 0.5, 1.0, 1e-300, f64::MIN_POSITIVE, -0.0],
+            var_keys: vec![
+                ("flask.request.args.get()".into(), 0),
+                ("escape()".into(), 1),
+                ("cursor.execute()".into(), 2),
+                ("weird;rep,with\"chars\\".into(), 0),
+                ("os.system()".into(), 2),
+                ("json.loads()".into(), 0),
+            ],
             objective: 1.25,
             violation: 0.0625,
             iterations: 131,
@@ -519,6 +609,50 @@ mod tests {
         let back = Checkpoint::from_payload(legacy.as_bytes()).unwrap();
         assert_eq!(back.stop_reason, "max_iters");
         assert_eq!(back.epochs_saved, 0);
+    }
+
+    #[test]
+    fn legacy_payload_without_var_keys_parses_and_declines_warm_start() {
+        let text = String::from_utf8(sample().to_payload()).unwrap();
+        let start = text.find(",\"var_keys\":[").unwrap();
+        let end = text[start..].find(']').unwrap() + start + 1;
+        let legacy = format!("{}{}", &text[..start], &text[end..]);
+        let back = Checkpoint::from_payload(legacy.as_bytes()).unwrap();
+        assert!(back.var_keys.is_empty());
+        let sys = ConstraintSystem::new(0.75);
+        assert_eq!(back.warm_init_for(&sys), None, "no key table, no warm seed");
+    }
+
+    #[test]
+    fn warm_init_remaps_scores_across_var_id_spaces() {
+        use seldon_specs::Role;
+        let mut ckpt = sample();
+        ckpt.scores = vec![0.1, 0.2, 0.3];
+        ckpt.var_keys = vec![
+            ("a()".into(), Role::Source.index() as u8),
+            ("b()".into(), Role::Sink.index() as u8),
+            ("gone()".into(), Role::Source.index() as u8),
+        ];
+        // New system: same reps in a different order (different VarIds),
+        // one variable removed, one brand new.
+        let mut sys = ConstraintSystem::new(0.75);
+        let b = sys.rep("b()");
+        let a = sys.rep("a()");
+        let fresh = sys.rep("fresh()");
+        sys.var(b, Role::Sink);
+        sys.var(fresh, Role::Sanitizer);
+        sys.var(a, Role::Source);
+        let init = ckpt.warm_init_for(&sys).unwrap();
+        assert_eq!(init, vec![0.2, 0.0, 0.1], "matched keys remap, new vars cold");
+        // Same rep under a different role is a different variable.
+        let mut other = ConstraintSystem::new(0.75);
+        let a2 = other.rep("a()");
+        other.var(a2, Role::Sanitizer);
+        assert_eq!(ckpt.warm_init_for(&other).unwrap(), vec![0.0]);
+        // A corrupt checkpoint whose keys disagree with its scores is
+        // rejected rather than half-applied.
+        ckpt.var_keys.pop();
+        assert_eq!(ckpt.warm_init_for(&sys), None);
     }
 
     #[test]

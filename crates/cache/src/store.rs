@@ -400,6 +400,20 @@ impl ArtifactCache {
         }
     }
 
+    /// Drops the artifact stored under `key`, if any. Returns whether an
+    /// entry was actually removed. Used when a file leaves the corpus —
+    /// its artifact would otherwise sit on disk forever, since content
+    /// keys of deleted files are never looked up again.
+    pub fn evict(&self, key: u64) -> bool {
+        match fs::remove_file(self.entry_path(key)) {
+            Ok(()) => {
+                self.bump(|c| &c.evicted);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Loads the solver checkpoint, if present and intact.
     pub fn load_checkpoint(&self) -> CheckpointLookup {
         let payload = match self.load_frame(CHECKPOINT_NAME) {
@@ -476,6 +490,20 @@ mod tests {
         }
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.stores), (1, 0, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evict_removes_the_entry_and_counts_it() {
+        let dir = temp_cache("evict");
+        let (cache, _) = ArtifactCache::open(&dir).unwrap();
+        let key = file_key("import os\nos.system('x')\n", 0, 0);
+        assert!(!cache.evict(key), "nothing stored yet");
+        assert!(cache.store_artifact(key, &sample_graph(), 0).is_none());
+        assert!(cache.evict(key));
+        assert!(matches!(cache.load_artifact(key, FileId(0)), ArtifactLookup::Miss));
+        assert_eq!(cache.stats().evicted, 1);
+        assert!(!cache.evict(key), "second evict is a no-op");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -85,14 +85,34 @@ pub fn generate(
     generate_with_stats(graph, seed, opts).0
 }
 
-/// Like [`generate`], also returning the [`GenStats`] the telemetry layer
-/// folds into stage spans. The stats cost a handful of clock reads and
-/// counter increments; the generated system is identical to [`generate`].
-pub fn generate_with_stats(
-    graph: &PropagationGraph,
-    seed: &TaintSpec,
-    opts: &GenOptions,
-) -> (ConstraintSystem, GenStats) {
+/// Output of the selection phases (§4.3 backoff selection, variable
+/// creation, §4.1 seed pinning): a [`ConstraintSystem`] populated with
+/// members, variables, and pins — everything except the Fig. 4 flow
+/// constraints — plus the per-event surviving representation lists the
+/// collector consumes.
+///
+/// Splitting selection from collection is what makes *incremental*
+/// generation possible: selection is global (the §4.3 frequency cutoff
+/// couples files through corpus-wide counts) and cheap, while collection
+/// is expensive but — because the unioned graph is a disjoint
+/// concatenation of per-file graphs — decomposes into independent
+/// per-file row ranges (see [`collect_rows`]).
+#[derive(Debug)]
+pub struct Selection {
+    /// The system with members, variables, and pins; no constraints yet.
+    pub sys: ConstraintSystem,
+    /// Surviving representations per event (`None` = not a candidate),
+    /// indexed by event id.
+    pub event_reps: Vec<Option<Vec<RepId>>>,
+    /// Selection-phase counters; `collect_time` is still zero.
+    pub stats: GenStats,
+}
+
+/// Runs the selection phases only. [`generate_with_stats`] is exactly
+/// [`select`] followed by a full-range [`collect_rows`] splice, so a
+/// caller reassembling per-file row ranges in event order reproduces the
+/// batch system byte for byte.
+pub fn select(graph: &PropagationGraph, seed: &TaintSpec, opts: &GenOptions) -> Selection {
     let mut stats = GenStats::default();
     let select_started = Instant::now();
     let mut sys = ConstraintSystem::new(opts.c);
@@ -159,18 +179,55 @@ pub fn generate_with_stats(
     stats.candidate_events = event_reps.iter().filter(|r| r.is_some()).count();
     stats.surviving_reps = sys.rep_syms().len();
     stats.select_time = select_started.elapsed();
+    Selection { sys, event_reps, stats }
+}
+
+/// Collects the Fig. 4 flow rows for anchor events in `range` (a
+/// half-open event-id interval), without mutating the system. Returns the
+/// Fig. 4a/4b rows and the Fig. 4c rows as separate pools: the batch
+/// order is *all* a/b rows (anchors in event order) followed by *all* c
+/// rows, so per-file pools concatenated file-by-file — a/b pools first,
+/// then c pools — splice back into exactly the batch row sequence.
+///
+/// Per-file graphs share no edges, so every row anchored in a file's
+/// event range mentions only that range: a range-restricted call yields
+/// the same rows for those anchors as the full pass, which is what lets
+/// an incremental caller regenerate only the files whose graph or
+/// selection changed.
+pub fn collect_rows(
+    graph: &PropagationGraph,
+    sys: &ConstraintSystem,
+    event_reps: &[Option<Vec<RepId>>],
+    opts: &GenOptions,
+    range: std::ops::Range<usize>,
+) -> (Vec<FlowConstraint>, Vec<FlowConstraint>) {
+    let collector = Collector { graph, sys, event_reps, opts };
+    collector.collect(range)
+}
+
+/// Like [`generate`], also returning the [`GenStats`] the telemetry layer
+/// folds into stage spans. The stats cost a handful of clock reads and
+/// counter increments; the generated system is identical to [`generate`].
+pub fn generate_with_stats(
+    graph: &PropagationGraph,
+    seed: &TaintSpec,
+    opts: &GenOptions,
+) -> (ConstraintSystem, GenStats) {
+    let Selection { mut sys, event_reps, mut stats } = select(graph, seed, opts);
 
     // --- flow constraints ---------------------------------------------------
     let collect_started = Instant::now();
-    let collector = Collector { graph, sys: &mut sys, event_reps: &event_reps, opts };
-    collector.collect();
+    let (ab, c) = collect_rows(graph, &sys, &event_reps, opts, 0..graph.event_count());
+    for row in ab.into_iter().chain(c) {
+        sys.add_constraint(row);
+    }
     stats.collect_time = collect_started.elapsed();
     (sys, stats)
 }
 
 struct Collector<'a> {
     graph: &'a PropagationGraph,
-    sys: &'a mut ConstraintSystem,
+    sys: &'a ConstraintSystem,
     event_reps: &'a [Option<Vec<RepId>>],
     opts: &'a GenOptions,
 }
@@ -181,13 +238,21 @@ impl Collector<'_> {
             && self.graph.event(id).candidates.contains(role)
     }
 
-    /// Average-of-backoffs terms for `(event, role)` (§4.3).
-    fn terms(&mut self, id: EventId, role: Role) -> Vec<Term> {
+    /// Average-of-backoffs terms for `(event, role)` (§4.3). Selection
+    /// already created the variable of every `(candidate role, surviving
+    /// rep)` pair, so collection only looks variables up — which is what
+    /// lets it run against an immutable system, range by range.
+    fn terms(&self, id: EventId, role: Role) -> Vec<Term> {
         let Some(reps) = &self.event_reps[id.index()] else { return Vec::new() };
         let coeff = 1.0 / reps.len() as f64;
-        let reps = reps.clone();
         reps.iter()
-            .map(|&rep| Term { var: self.sys.var(rep, role), coeff })
+            .map(|&rep| Term {
+                var: self
+                    .sys
+                    .lookup_var(rep, role)
+                    .expect("selection created all candidate-role variables"),
+                coeff,
+            })
             .collect()
     }
 
@@ -203,8 +268,18 @@ impl Collector<'_> {
         v
     }
 
-    fn collect(mut self) {
-        let ids: Vec<EventId> = self.graph.events().map(|(id, _)| id).collect();
+    fn collect(
+        self,
+        range: std::ops::Range<usize>,
+    ) -> (Vec<FlowConstraint>, Vec<FlowConstraint>) {
+        let mut ab: Vec<FlowConstraint> = Vec::new();
+        let mut cs: Vec<FlowConstraint> = Vec::new();
+        let ids: Vec<EventId> = self
+            .graph
+            .events()
+            .map(|(id, _)| id)
+            .filter(|id| range.contains(&id.index()))
+            .collect();
 
         // Fig. 4a and Fig. 4b, anchored at sanitizer candidates.
         for &s in &ids {
@@ -235,7 +310,7 @@ impl Collector<'_> {
                 for &t in &sinks {
                     let mut lhs = san_terms.clone();
                     lhs.extend(self.terms(t, Role::Sink));
-                    self.sys.add_constraint(FlowConstraint {
+                    ab.push(FlowConstraint {
                         lhs,
                         rhs: src_sum.clone(),
                         template: Template::A,
@@ -252,7 +327,7 @@ impl Collector<'_> {
                 for &u in &sources {
                     let mut lhs = self.terms(u, Role::Source);
                     lhs.extend(san_terms.clone());
-                    self.sys.add_constraint(FlowConstraint {
+                    ab.push(FlowConstraint {
                         lhs,
                         rhs: snk_sum.clone(),
                         template: Template::B,
@@ -263,7 +338,7 @@ impl Collector<'_> {
 
         // Fig. 4c, anchored at source candidates; sanitizers on some path.
         if !self.opts.templates[2] {
-            return;
+            return (ab, cs);
         }
         let mut forward_sets: HashMap<EventId, HashSet<EventId>> = HashMap::new();
         for &u in &ids {
@@ -326,10 +401,10 @@ impl Collector<'_> {
                     .iter()
                     .flat_map(|&m| self.terms(m, Role::Sanitizer))
                     .collect();
-                self.sys
-                    .add_constraint(FlowConstraint { lhs, rhs, template: Template::C });
+                cs.push(FlowConstraint { lhs, rhs, template: Template::C });
             }
         }
+        (ab, cs)
     }
 }
 
@@ -494,6 +569,39 @@ def media():
         seed.blacklist("os.path.join()");
         let (_, stats) = generate_with_stats(&g, &seed, &opts());
         assert!(stats.dropped_by_blacklist > 0);
+    }
+
+    /// Per-range collection spliced in event order — a/b pools for every
+    /// range first, then c pools — reproduces the batch system exactly:
+    /// the contract incremental per-file regeneration rests on.
+    #[test]
+    fn ranged_collection_splices_to_the_batch_system() {
+        let mut g = fig2_graph();
+        let g1 = build_source(
+            "from m import src, sink\nx = src()\nsink(x)\n",
+            FileId(1),
+        )
+        .unwrap();
+        let boundary = g.event_count();
+        g.union(&g1);
+        let o = opts();
+        let (batch, _) = generate_with_stats(&g, &TaintSpec::new(), &o);
+
+        let Selection { mut sys, event_reps, .. } = select(&g, &TaintSpec::new(), &o);
+        let (ab0, c0) = collect_rows(&g, &sys, &event_reps, &o, 0..boundary);
+        let (ab1, c1) = collect_rows(&g, &sys, &event_reps, &o, boundary..g.event_count());
+        for row in ab0.into_iter().chain(ab1).chain(c0).chain(c1) {
+            sys.add_constraint(row);
+        }
+
+        assert_eq!(batch.var_count(), sys.var_count());
+        assert_eq!(batch.constraint_count(), sys.constraint_count());
+        assert!(batch.constraint_count() > 0);
+        for (a, b) in batch.constraints.iter().zip(&sys.constraints) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(batch.pinned_sorted(), sys.pinned_sorted());
+        assert_eq!(batch.event_reps, sys.event_reps);
     }
 
     #[test]

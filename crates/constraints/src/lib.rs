@@ -26,5 +26,8 @@
 pub mod gen;
 pub mod system;
 
-pub use gen::{constraint_gap, constraint_vars, generate, generate_with_stats, GenOptions, GenStats};
+pub use gen::{
+    collect_rows, constraint_gap, constraint_vars, generate, generate_with_stats, select,
+    GenOptions, GenStats, Selection,
+};
 pub use system::{ConstraintSystem, FlowConstraint, RepId, Template, Term, VarId};

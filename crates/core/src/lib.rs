@@ -40,8 +40,9 @@ pub use eval::{
 };
 pub use manifest::{run_full, FullRun};
 pub use pipeline::{
-    analyze_corpus, analyze_corpus_with, analyze_project, run_seldon, run_seldon_cached,
-    run_seldon_traced, AnalyzeOptions, AnalyzedCorpus, CheckpointOutcome, CheckpointUse,
-    FaultPolicy, FileMeta, Frontend, SeldonOptions, SeldonRun, DEFAULT_TRACE_STRIDE,
+    analysis_cache_key, analyze_corpus, analyze_corpus_with, analyze_file, analyze_project,
+    run_seldon, run_seldon_cached, run_seldon_traced, AnalyzeOptions, AnalyzedCorpus,
+    CheckpointOutcome, CheckpointUse, FaultPolicy, FileAnalysis, FileMeta, Frontend,
+    SeldonOptions, SeldonRun, WarmStartOptions, DEFAULT_TRACE_STRIDE, DEFAULT_WARM_MARGIN,
 };
 pub use report::{AnalysisReport, CacheFaultReport, FileOutcome, FileReport};

@@ -239,6 +239,15 @@ fn fill_metrics(
         false,
         (report.ok() + report.recovered()) as f64,
     );
+    // Non-volatile: interning is deterministic per corpus, so two runs
+    // over the same inputs must agree. In a long-lived daemon this is the
+    // leak detector — repeated identical deltas must not grow it.
+    reg.set_gauge(
+        "intern_symbols",
+        "Global interner size (symbols live for the process lifetime).",
+        false,
+        seldon_intern::len() as f64,
+    );
     // Representation frequency distribution over the union graph: every
     // rep counted once per backoff option it appears in. Present even
     // when empty so `validate_manifest --require-full` can demand it.

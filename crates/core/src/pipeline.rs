@@ -35,8 +35,8 @@ use seldon_propgraph::{
     PropagationGraph,
 };
 use seldon_solver::{
-    extract, solve_compiled, CompiledSystem, ExtractOptions, Extraction, SolveOptions, Solution,
-    StopReason,
+    extract, extraction_margin, solve_compiled, solve_compiled_warm, CompiledSystem,
+    ExtractOptions, Extraction, SolveOptions, Solution, StopReason,
 };
 use seldon_specs::TaintSpec;
 use seldon_telemetry::{stage, Histogram, ParseHistogram, Telemetry, PARSE_HIST_BOUNDS};
@@ -403,6 +403,47 @@ fn analyze_one_cached(
     FileSlot { graph, outcome, timings, frontend, cache_time, faults, from_cache: false }
 }
 
+/// One file's (possibly cached) analysis, as returned by [`analyze_file`].
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// The file's propagation graph, stamped with the requested
+    /// [`FileId`]; `None` when the file was quarantined.
+    pub graph: Option<PropagationGraph>,
+    /// The per-file verdict (ok, recovered, skipped, over budget,
+    /// panicked).
+    pub outcome: FileOutcome,
+    /// Whether the graph came from a validated cache entry (no parse
+    /// ran).
+    pub from_cache: bool,
+    /// Contained cache faults hit serving this file.
+    pub faults: Vec<CacheFault>,
+}
+
+/// Analyzes a single file exactly as [`analyze_corpus_with`] would —
+/// same budget/policy guard rails, same artifact-cache keying — without
+/// requiring the rest of the corpus. This is the unit of re-work for the
+/// incremental daemon: on a delta, only the touched files go through
+/// here; every untouched file keeps its previous graph.
+pub fn analyze_file(path: &str, content: &str, id: FileId, opts: &AnalyzeOptions) -> FileAnalysis {
+    let salt = if opts.cache.is_some() { option_salt(opts) } else { 0 };
+    let slot = analyze_one_cached(path, content, id, opts, salt);
+    FileAnalysis {
+        graph: slot.graph,
+        outcome: slot.outcome,
+        from_cache: slot.from_cache,
+        faults: slot.faults,
+    }
+}
+
+/// The artifact-cache key [`analyze_file`] files this path/content under
+/// for `opts` — exposed so a caller that knows a file left the corpus can
+/// [`ArtifactCache::evict`] its entry (content keys of deleted files are
+/// never looked up again, so nothing else would ever reclaim them).
+pub fn analysis_cache_key(path: &str, content: &str, opts: &AnalyzeOptions) -> u64 {
+    let salt = if opts.cache.is_some() { option_salt(opts) } else { 0 };
+    file_key(content, salt, Frontend::of_path(path).salt_tag())
+}
+
 /// Parses every file of `corpus` under `opts`, unions the graphs of
 /// successfully analyzed files, and reports a per-file verdict for each.
 ///
@@ -713,6 +754,42 @@ pub struct SeldonOptions {
     /// per-representation score dump with backoff levels — the Fig. 11
     /// dataset. Off by default: the dump scales with the learned spec.
     pub score_dump: bool,
+    /// Opt-in near-miss checkpoint reuse for [`run_seldon_cached`]: when
+    /// set and the system fingerprint misses, the solver is seeded from
+    /// the previous checkpoint's scores (remapped by representation and
+    /// role). `None` (the default) keeps the historical exact-match-only
+    /// behavior, so existing cached runs are untouched.
+    pub warm_start: Option<WarmStartOptions>,
+}
+
+/// Margin used by [`WarmStartOptions::default`]: a warm solution is only
+/// accepted when every extraction decision clears the threshold by at
+/// least this much, comfortably above the score wobble between a warm and
+/// a cold convergence (both stop at relative tolerance `1e-6`).
+pub const DEFAULT_WARM_MARGIN: f64 = 0.02;
+
+/// Policy for near-miss checkpoint warm-starting (see
+/// [`SeldonOptions::warm_start`]).
+///
+/// Warm and cold solves converge to the same optimum region but not to
+/// bit-identical scores, so a warm solution is only *accepted* when its
+/// extraction margin — the smallest distance between any decayed score
+/// and its role threshold, over every (event, role, backoff level)
+/// decision — is at least `min_margin`. A tighter margin means the tiny
+/// warm-vs-cold score difference could flip a spec entry, so the run
+/// falls back to a cold solve on the same compiled system and the output
+/// stays byte-identical to an uncached run by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmStartOptions {
+    /// Minimum extraction margin below which the warm solution is
+    /// discarded in favor of a cold solve.
+    pub min_margin: f64,
+}
+
+impl Default for WarmStartOptions {
+    fn default() -> Self {
+        WarmStartOptions { min_margin: DEFAULT_WARM_MARGIN }
+    }
 }
 
 /// The artifacts of a full Seldon run.
@@ -836,6 +913,49 @@ fn solve_stage(
     (solution, t1.elapsed())
 }
 
+/// The guarded warm solve: seed Adam from `init`, then accept the warm
+/// solution only when its extraction margin clears `policy.min_margin`;
+/// otherwise re-solve cold on the same compiled system so the output is
+/// byte-identical to an uncached run. Returns whether the warm solution
+/// was accepted.
+fn warm_solve_stage(
+    system: &ConstraintSystem,
+    init: &[f64],
+    policy: &WarmStartOptions,
+    opts: &SeldonOptions,
+    tele: &Telemetry,
+) -> (Solution, Duration, bool) {
+    let mut solve_opts = opts.solve.clone();
+    if tele.is_recording() && solve_opts.trace_stride == 0 {
+        solve_opts.trace_stride = DEFAULT_TRACE_STRIDE;
+    }
+    let t1 = Instant::now();
+    let solve_span = tele.span(stage::SOLVE);
+    let compile_span = tele.span(stage::COMPILE);
+    let compiled = CompiledSystem::compile(system);
+    compile_span.counter("constraints", compiled.constraint_count() as f64);
+    compile_span.counter("rows", compiled.row_count() as f64);
+    compile_span.counter("terms", compiled.term_count() as f64);
+    compile_span.counter("lanes", compiled.lane_count() as f64);
+    drop(compile_span);
+    let warm = solve_compiled_warm(&compiled, &solve_opts, init);
+    let margin = extraction_margin(system, &warm, &opts.extract);
+    let accepted = margin >= policy.min_margin;
+    let solution =
+        if accepted { warm } else { solve_compiled(&compiled, &solve_opts) };
+    solve_span.counter("threads", solve_opts.threads.max(1) as f64);
+    solve_span.counter("iterations", solution.iterations as f64);
+    solve_span.counter("restarts", solution.restarts as f64);
+    solve_span.counter("objective", solution.objective);
+    solve_span.counter("violation", solution.violation);
+    solve_span.counter("stop_reason", solution.stop.code() as f64);
+    solve_span.counter("epochs_saved", solution.epochs_saved as f64);
+    solve_span.counter("warm_accepted", f64::from(accepted));
+    solve_span.counter("warm_margin", margin);
+    drop(solve_span);
+    (solution, t1.elapsed(), accepted)
+}
+
 /// Specification extraction with its `extract` span.
 fn extract_stage(
     system: &ConstraintSystem,
@@ -866,6 +986,10 @@ pub enum CheckpointOutcome {
     /// The input fingerprint matched: generation, solving, and extraction
     /// were all skipped and the stored outputs replayed.
     HitFull,
+    /// The system changed, but ([`SeldonOptions::warm_start`] being set)
+    /// the solver was seeded from the previous checkpoint's remapped
+    /// scores and the warm solution cleared the extraction-margin guard.
+    HitWarm,
 }
 
 impl CheckpointOutcome {
@@ -876,6 +1000,7 @@ impl CheckpointOutcome {
             CheckpointOutcome::MissCold => "cold",
             CheckpointOutcome::HitScores => "scores",
             CheckpointOutcome::HitFull => "full",
+            CheckpointOutcome::HitWarm => "warm",
         }
     }
 }
@@ -1007,6 +1132,7 @@ fn checkpoint_of(
         input_fp,
         system_fp,
         scores: solution.scores.clone(),
+        var_keys: Checkpoint::var_keys_of(system),
         objective: solution.objective,
         violation: solution.violation,
         iterations: solution.iterations,
@@ -1043,9 +1169,15 @@ fn checkpoint_of(
 /// replays the stored scores, spec, and roles without generating or
 /// solving anything; a system-fingerprint match reuses the score vector
 /// and skips only the solve; anything else runs cold and stores a fresh
-/// checkpoint. Reuse is all-or-nothing, so the returned spec and scores
-/// are byte-identical to what the cold run would produce — a damaged or
-/// mismatched checkpoint costs time, never output fidelity.
+/// checkpoint. Reuse is all-or-nothing by default, so the returned spec
+/// and scores are byte-identical to what the cold run would produce — a
+/// damaged or mismatched checkpoint costs time, never output fidelity.
+///
+/// With [`SeldonOptions::warm_start`] set, a system-fingerprint miss
+/// additionally tries a *near-miss* warm solve seeded from the previous
+/// checkpoint's scores (remapped by `(representation, role)`), accepted
+/// only when the extraction margin clears the policy's threshold — below
+/// it, the run falls back to a cold solve on the same system.
 pub fn run_seldon_cached(
     graph: &PropagationGraph,
     seed: &TaintSpec,
@@ -1128,7 +1260,23 @@ pub fn run_seldon_cached(
                 load_time,
             )
         }
-        _ => solve_stage(&system, opts, tele),
+        _ => {
+            let warm_seed = opts.warm_start.as_ref().and_then(|policy| {
+                let init = stored.as_ref()?.warm_init_for(&system)?;
+                Some((policy, init))
+            });
+            match warm_seed {
+                Some((policy, init)) => {
+                    let (solution, solve_time, accepted) =
+                        warm_solve_stage(&system, &init, policy, opts, tele);
+                    if accepted {
+                        usage.outcome = CheckpointOutcome::HitWarm;
+                    }
+                    (solution, solve_time)
+                }
+                None => solve_stage(&system, opts, tele),
+            }
+        }
     };
     let extraction = extract_stage(&system, &solution, opts, tele);
     // Store (or re-key) the checkpoint so the next identical run takes the

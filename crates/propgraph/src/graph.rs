@@ -99,6 +99,17 @@ impl PropagationGraph {
         self.edge_count += 1;
     }
 
+    /// Rewrites the [`FileId`] stamp of every event. Per-file graphs are
+    /// parsed once but their file's *index* in the corpus shifts when
+    /// files are added or removed before it; restamping a stored graph is
+    /// how an incremental caller keeps event identity equal to what a
+    /// from-scratch run over the current corpus would produce.
+    pub fn restamp_file(&mut self, file: FileId) {
+        for event in &mut self.events {
+            event.file = file;
+        }
+    }
+
     /// Records the argument position of an edge into a call event.
     pub fn set_arg_position(&mut self, from: EventId, to: EventId, pos: ArgPos) {
         self.arg_positions.entry((from, to)).or_insert(pos);

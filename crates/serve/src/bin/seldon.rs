@@ -45,17 +45,21 @@ use seldon_constraints::GenOptions;
 use seldon_core::{
     analyze_corpus_with, run_full, AnalysisReport, AnalyzeOptions, AnalyzedCorpus,
     CacheFaultReport, CheckpointOutcome, FaultPolicy, FileOutcome, Frontend, SeldonOptions,
+    WarmStartOptions,
 };
 use seldon_corpus::{Corpus, Project, SourceFile};
 use seldon_propgraph::{to_dot, Budget, FileId};
 use seldon_solver::{EarlyStop, SolveOptions};
 use seldon_specs::{paper_seed, TaintSpec};
 use seldon_taint::{render_reports, reports_to_json, TaintAnalyzer, TaintOptions};
+use seldon_serve::{client_request, run_daemon, Delta, EngineConfig, ServeDaemon, ServeEngine};
+use seldon_telemetry::json::{self, Json};
 use seldon_telemetry::{diff_manifests, DiffOptions, Level, RunManifest, Telemetry};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How a successfully completed command ends.
 enum Outcome {
@@ -90,6 +94,8 @@ fn main() -> ExitCode {
         "ir-dump" => cmd_ir_dump(rest),
         "check" => cmd_check(rest),
         "learn" => cmd_learn(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "report" => cmd_report(rest),
         "metrics-dump" => cmd_metrics_dump(rest),
         "diff-runs" => cmd_diff_runs(rest),
@@ -122,6 +128,11 @@ const USAGE: &str = "usage:
                  [--early-stop|--no-early-stop]
                  [--telemetry <manifest.json>] [--trace <out.trace.json>]
                  [--score-dump] [--log-level off|info|debug]
+  seldon serve   <path...> --socket <sock> [--seed <spec.txt>] [--cache-dir <dir>|--no-cache]
+                 [--cutoff <n>] [--solver-threads <n>] [--no-warm-start]
+                 [--telemetry <manifest.json>] [--strict|--lenient] [--log-level off|info|debug]
+  seldon client  <ping|spec|stats|metrics|delta|shutdown> --socket <sock>
+                 [--add <p,..>] [--change <p,..>] [--remove <p,..>] [--out <spec.txt>] [--wait <secs>]
   seldon report  <manifest.json> [--top <k>]
   seldon metrics-dump <manifest.json>
   seldon diff-runs <baseline.json> <candidate.json> [--tolerance <pct>]
@@ -594,6 +605,15 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
                 run.solution.iterations
             )
         }),
+        CheckpointOutcome::HitWarm => tele.info(|| {
+            format!(
+                "{} constraints over {} variables; warm-started from checkpoint ({} iterations, stop: {})",
+                run.system.constraint_count(),
+                run.system.var_count(),
+                run.solution.iterations,
+                run.solution.stop
+            )
+        }),
         CheckpointOutcome::Disabled | CheckpointOutcome::MissCold => eprintln!(
             "{} constraints over {} variables solved in {:?} ({} iterations, stop: {})",
             run.system.constraint_count(),
@@ -656,6 +676,171 @@ fn cmd_learn(rest: &[String]) -> Result<Outcome, CliError> {
     })
 }
 
+/// `seldon serve <path...> --socket <sock>` — analyzes the corpus once,
+/// then serves corpus deltas over a Unix socket (see `seldon client`).
+/// The served spec is always byte-identical to what `seldon learn` would
+/// print over the same corpus state; only redundant work is skipped.
+fn cmd_serve(rest: &[String]) -> Result<Outcome, CliError> {
+    let (paths, opts, flags) = split_args(
+        rest,
+        &["--strict", "--lenient", "--no-cache", "--no-warm-start"],
+        &[
+            "--socket",
+            "--seed",
+            "--cutoff",
+            "--cache-dir",
+            "--solver-threads",
+            "--telemetry",
+            "--log-level",
+        ],
+    )?;
+    let Some(socket) = opts.get("--socket").copied() else {
+        return Err(CliError::usage("serve needs --socket <path>"));
+    };
+    let policy = policy_from_flags(&flags)?;
+    let cache_dir = opts.get("--cache-dir").copied();
+    if cache_dir.is_some() && flags.contains(&"--no-cache") {
+        return Err(CliError::usage("--cache-dir and --no-cache are mutually exclusive"));
+    }
+    let manifest_path = opts.get("--telemetry").copied();
+    let tele = if manifest_path.is_some() {
+        Telemetry::recording()
+    } else {
+        Telemetry::disabled()
+    }
+    .with_log_level(level_from_opts(&opts)?);
+    let seed = load_spec(opts.get("--seed").copied())?;
+    let files = collect_source_files(&paths)?;
+    let cache = match cache_dir {
+        None => None,
+        Some(dir) => match ArtifactCache::open(Path::new(dir)) {
+            Ok((cache, faults)) => {
+                for fault in faults {
+                    eprintln!("warning: cache fault ({dir}): {fault}");
+                }
+                Some(Arc::new(cache))
+            }
+            Err(e) => {
+                eprintln!("warning: cannot open cache at {dir}: {e}; running uncached");
+                None
+            }
+        },
+    };
+    let explicit_cutoff: Option<usize> = match opts.get("--cutoff") {
+        Some(v) => Some(v.parse().map_err(|_| {
+            CliError::usage(format!("--cutoff expects a number, got `{v}`"))
+        })?),
+        None => None,
+    };
+    let solver_threads = match opts.get("--solver-threads") {
+        Some(v) => {
+            let t: usize = v.parse().map_err(|_| {
+                CliError::usage(format!("--solver-threads expects a number, got `{v}`"))
+            })?;
+            if t == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                t
+            }
+        }
+        None => 1,
+    };
+    let options = SeldonOptions {
+        gen: GenOptions { rep_cutoff: explicit_cutoff.unwrap_or(5), ..Default::default() },
+        solve: SolveOptions { threads: solver_threads, ..Default::default() },
+        warm_start: if flags.contains(&"--no-warm-start") {
+            None
+        } else {
+            Some(WarmStartOptions::default())
+        },
+        ..Default::default()
+    };
+    let mut analyze_opts = cli_analyze_opts(policy, &tele);
+    analyze_opts.cache = cache;
+    let cfg = EngineConfig {
+        seed,
+        analyze: analyze_opts,
+        seldon: options,
+        dynamic_cutoff: explicit_cutoff.is_none(),
+    };
+    let mut engine = ServeEngine::new(cfg);
+    // Initial corpus load: one big `add` delta. Unreadable files are
+    // skipped with a warning, mirroring `learn`.
+    let mut delta = Delta::default();
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(content) => delta.add.push((f.clone(), content)),
+            Err(e) => eprintln!("warning: skipping {}: {e}", f.display()),
+        }
+    }
+    let initial = engine.apply_delta(&delta).map_err(|e| CliError::Runtime(e.to_string()))?;
+    for fault in &initial.faults {
+        eprintln!("warning: cache fault contained: {fault}");
+    }
+    eprintln!(
+        "seldon serve: initial build over {} file(s): {} events, {} edges, {} learned entries ({})",
+        initial.files, initial.events, initial.edges, initial.learned_entries, initial.solve
+    );
+    let mut daemon = ServeDaemon::new(engine);
+    daemon.telemetry_path = manifest_path.map(PathBuf::from);
+    run_daemon(&mut daemon, Path::new(socket))
+        .map_err(|e| CliError::Runtime(format!("serve: {e}")))?;
+    Ok(Outcome::Clean)
+}
+
+/// `seldon client <op> --socket <sock>` — sends one request to a running
+/// daemon and prints its one-line JSON response. Exit 0 when the daemon
+/// answered `ok: true`, 1 otherwise.
+fn cmd_client(rest: &[String]) -> Result<Outcome, CliError> {
+    let (paths, opts, _) = split_args(
+        rest,
+        &[],
+        &["--socket", "--add", "--change", "--remove", "--out", "--wait"],
+    )?;
+    let [op] = paths.as_slice() else {
+        return Err(CliError::usage(
+            "client expects exactly one op: ping|spec|stats|metrics|delta|shutdown",
+        ));
+    };
+    let op = op.display().to_string();
+    let Some(socket) = opts.get("--socket").copied() else {
+        return Err(CliError::usage("client needs --socket <path>"));
+    };
+    let wait: f64 = match opts.get("--wait") {
+        Some(v) => v.parse().map_err(|_| {
+            CliError::usage(format!("--wait expects seconds, got `{v}`"))
+        })?,
+        None => 5.0,
+    };
+    let mut obj = vec![("op".to_string(), Json::str(&op))];
+    if op == "delta" {
+        for (flag, key) in [("--add", "add"), ("--change", "change"), ("--remove", "remove")] {
+            let items: Vec<Json> = opts
+                .get(flag)
+                .map(|v| v.split(',').filter(|s| !s.is_empty()).map(Json::str).collect())
+                .unwrap_or_default();
+            obj.push((key.to_string(), Json::Arr(items)));
+        }
+    } else if ["--add", "--change", "--remove"].iter().any(|f| opts.contains_key(f)) {
+        return Err(CliError::usage("--add/--change/--remove only apply to the delta op"));
+    }
+    let line = Json::Obj(obj).compact();
+    let response = client_request(Path::new(socket), &line, Duration::from_secs_f64(wait))
+        .map_err(|e| CliError::Runtime(format!("client: {e}")))?;
+    println!("{response}");
+    let parsed = json::parse(&response)
+        .map_err(|e| CliError::Runtime(format!("unparseable daemon response: {e}")))?;
+    if let Some(path) = opts.get("--out") {
+        if let Some(spec) = parsed.get("spec").and_then(Json::as_str) {
+            std::fs::write(path, spec)
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote served spec to {path}");
+        }
+    }
+    let ok = parsed.get("ok").and_then(Json::as_bool) == Some(true);
+    Ok(if ok { Outcome::Clean } else { Outcome::Findings })
+}
+
 /// Reads and validates a run manifest written by `learn --telemetry`.
 fn load_manifest(path: &Path) -> Result<RunManifest, CliError> {
     let text = std::fs::read_to_string(path)
@@ -702,7 +887,10 @@ fn cmd_report(rest: &[String]) -> Result<Outcome, CliError> {
     };
     let m = load_manifest(path)?;
 
-    println!("seldon run report — command `{}` (schema v{})", m.command, m.schema_version);
+    println!(
+        "seldon run report — command `{}` mode `{}` (schema v{})",
+        m.command, m.mode, m.schema_version
+    );
     println!();
     println!(
         "corpus       {} file(s) / {} project(s) — {} events, {} edges, {} symbols",

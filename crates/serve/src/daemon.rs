@@ -1,0 +1,247 @@
+//! The Unix-socket daemon loop and the matching client helper.
+//!
+//! [`run_daemon`] accepts connections one at a time (requests are
+//! serialized through the single resident [`ServeEngine`] anyway) and
+//! answers each request line with one response line. Request handling is
+//! wrapped in `catch_unwind`: a panic inside the engine produces an
+//! `ok: false` response and the daemon keeps serving — the engine clears
+//! its `built` flag before mutating state, so the next delta rebuilds
+//! instead of serving a spec that no longer matches the corpus.
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use seldon_telemetry::json::Json;
+
+use crate::engine::{Delta, ServeEngine};
+use crate::protocol::{delta_response, error_response, ok_response, Request};
+
+/// The daemon: one resident engine plus its serving options.
+pub struct ServeDaemon {
+    /// The resident incremental engine.
+    pub engine: ServeEngine,
+    /// When set, a `mode: "served-incremental"` run manifest is written
+    /// here after every applied delta.
+    pub telemetry_path: Option<PathBuf>,
+    /// Protocol errors answered (malformed requests, rejected deltas,
+    /// contained panics).
+    pub errors: usize,
+}
+
+impl ServeDaemon {
+    /// Wraps an engine with no manifest sink.
+    pub fn new(engine: ServeEngine) -> ServeDaemon {
+        ServeDaemon { engine, telemetry_path: None, errors: 0 }
+    }
+
+    /// Handles one request line; returns the response line and whether
+    /// the daemon should shut down.
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(message) => {
+                self.errors += 1;
+                return (error_response(&message), false);
+            }
+        };
+        match request {
+            Request::Ping => (ok_response(vec![("pong".to_string(), Json::Bool(true))]), false),
+            Request::Shutdown => {
+                (ok_response(vec![("shutdown".to_string(), Json::Bool(true))]), true)
+            }
+            Request::Spec => match self.engine.spec() {
+                Some(spec) => (
+                    ok_response(vec![
+                        ("solve".to_string(), Json::str(self.engine.last_solve())),
+                        ("spec".to_string(), Json::str(spec)),
+                    ]),
+                    false,
+                ),
+                None => {
+                    self.errors += 1;
+                    (error_response("no specification built yet"), false)
+                }
+            },
+            Request::Stats => (self.stats_response(), false),
+            Request::Metrics => {
+                let mut reg = seldon_telemetry::MetricsRegistry::default();
+                self.engine.fill_metrics(&mut reg);
+                (ok_response(vec![("metrics".to_string(), reg.to_json())]), false)
+            }
+            Request::Delta { add, change, remove } => self.handle_delta(add, change, remove),
+        }
+    }
+
+    fn stats_response(&self) -> String {
+        let c = self.engine.counters();
+        let num = |v: usize| Json::num(v as f64);
+        ok_response(vec![
+            ("files".to_string(), num(self.engine.file_count())),
+            ("deltas".to_string(), num(c.deltas)),
+            ("noops".to_string(), num(c.noops)),
+            ("unchanged".to_string(), num(c.unchanged)),
+            ("rebuilds".to_string(), num(c.rebuilds)),
+            ("replays".to_string(), num(c.replays)),
+            ("solves_scores".to_string(), num(c.solves_scores)),
+            ("solves_warm".to_string(), num(c.solves_warm)),
+            ("solves_cold".to_string(), num(c.solves_cold)),
+            ("reparsed".to_string(), num(c.reparsed)),
+            ("removed".to_string(), num(c.removed)),
+            ("evicted".to_string(), num(c.evicted)),
+            ("fragments_reused".to_string(), num(c.fragments_reused)),
+            ("fragments_collected".to_string(), num(c.fragments_collected)),
+            ("protocol_errors".to_string(), num(self.errors)),
+            ("solve".to_string(), Json::str(self.engine.last_solve())),
+        ])
+    }
+
+    /// Reads delta contents from disk, applies the delta with panics
+    /// contained, and answers with the served spec or the failure.
+    fn handle_delta(
+        &mut self,
+        add: Vec<String>,
+        change: Vec<String>,
+        remove: Vec<String>,
+    ) -> (String, bool) {
+        let mut delta = Delta::default();
+        for (paths, slot) in
+            [(add, &mut delta.add), (change, &mut delta.change)]
+        {
+            for path in paths {
+                match fs::read_to_string(&path) {
+                    Ok(content) => slot.push((PathBuf::from(path), content)),
+                    Err(err) => {
+                        self.errors += 1;
+                        return (
+                            error_response(&format!("cannot read `{path}`: {err}")),
+                            false,
+                        );
+                    }
+                }
+            }
+        }
+        delta.remove = remove.into_iter().map(PathBuf::from).collect();
+        let applied = catch_unwind(AssertUnwindSafe(|| self.engine.apply_delta(&delta)));
+        match applied {
+            Ok(Ok(outcome)) => {
+                if let Some(path) = self.telemetry_path.as_deref() {
+                    let manifest = self.engine.manifest("serve");
+                    if let Err(err) = fs::write(path, manifest.to_json()) {
+                        eprintln!(
+                            "seldon serve: cannot write telemetry `{}`: {err}",
+                            path.display()
+                        );
+                    }
+                }
+                (delta_response(&outcome), false)
+            }
+            Ok(Err(err)) => {
+                self.errors += 1;
+                (error_response(&err.to_string()), false)
+            }
+            Err(panic) => {
+                self.errors += 1;
+                let detail = panic_message(&panic);
+                (
+                    error_response(&format!(
+                        "delta panicked (contained; state will rebuild on the next delta): {detail}"
+                    )),
+                    false,
+                )
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Binds `socket` (replacing any stale socket file) and serves requests
+/// until a `shutdown` request arrives. The socket file is removed on
+/// exit. Prints one `listening on ...` line to stderr once ready — test
+/// and CI harnesses wait for it.
+pub fn run_daemon(daemon: &mut ServeDaemon, socket: &Path) -> io::Result<()> {
+    if socket.exists() {
+        fs::remove_file(socket)?;
+    }
+    let listener = UnixListener::bind(socket)?;
+    eprintln!(
+        "seldon serve: listening on {} ({} files tracked)",
+        socket.display(),
+        daemon.engine.file_count()
+    );
+    let mut shutdown = false;
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let mut writer = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => continue,
+        };
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(_) => break,
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let (response, stop) = daemon.handle_line(trimmed);
+            if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+                break;
+            }
+            if stop {
+                shutdown = true;
+                break;
+            }
+        }
+        if shutdown {
+            break;
+        }
+    }
+    let _ = fs::remove_file(socket);
+    Ok(())
+}
+
+/// Sends one request line to a daemon and returns its one response
+/// line. Retries the connection until `wait` elapses, so callers can
+/// race daemon startup (`--wait`).
+pub fn client_request(socket: &Path, line: &str, wait: Duration) -> io::Result<String> {
+    let deadline = Instant::now() + wait;
+    let stream = loop {
+        match UnixStream::connect(socket) {
+            Ok(stream) => break stream,
+            Err(err) => {
+                if Instant::now() >= deadline {
+                    return Err(err);
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    };
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{line}")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    if response.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection"));
+    }
+    Ok(response.trim_end().to_string())
+}

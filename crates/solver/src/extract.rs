@@ -120,6 +120,52 @@ pub fn extract(
     out
 }
 
+/// The smallest distance between any threshold comparison [`extract`]
+/// could make and its threshold — the *decision margin* of a solution.
+///
+/// This walks every `(event, role, backoff level)` combination the
+/// extraction rule may evaluate (not stopping at the first selection, as
+/// the extractor itself does: an earlier selection flipping would expose
+/// later comparisons) and returns the minimum `|decay^i · score − t|`.
+/// Comparisons decided by seed pins are skipped — pinned scores are
+/// restored after every solver step, so they cannot differ between two
+/// solves of the same system.
+///
+/// Warm-started solves land near, but not bit-for-bit on, the cold
+/// optimum. A caller that must serve the cold solve's exact spec checks
+/// this margin against the worst plausible warm-vs-cold score gap: a
+/// comfortable margin proves every selection decision is insensitive to
+/// that gap, so the warm extraction equals the cold one; a tight margin
+/// means the decision is too close to call and the caller re-solves
+/// cold. Returns `+∞` when no score-based comparison exists.
+pub fn extraction_margin(
+    sys: &ConstraintSystem,
+    sol: &Solution,
+    opts: &ExtractOptions,
+) -> f64 {
+    let mut margin = f64::INFINITY;
+    for (_, reps) in &sys.event_reps {
+        for role in Role::ALL {
+            if opts.exclude_seeded
+                && reps
+                    .iter()
+                    .any(|&r| sys.lookup_var(r, role).and_then(|v| sys.pinned(v)).is_some())
+            {
+                continue;
+            }
+            for (i, &rep) in reps.iter().enumerate() {
+                let Some(var) = sys.lookup_var(rep, role) else { continue };
+                if sys.pinned(var).is_some() {
+                    continue;
+                }
+                let effective = opts.decay.powi(i as i32) * sol.score(var);
+                margin = margin.min((effective - opts.threshold(role)).abs());
+            }
+        }
+    }
+    margin
+}
+
 /// Convenience: the solved score of `(rep text, role)`, if the variable
 /// exists.
 pub fn rep_score(sys: &ConstraintSystem, sol: &Solution, rep: &str, role: Role) -> Option<f64> {
@@ -230,6 +276,38 @@ mod tests {
         assert_eq!(rep_score(&sys, &sol, "pkg.mod.api()", Role::Source), Some(0.4));
         assert_eq!(rep_score(&sys, &sol, "pkg.mod.api()", Role::Sink), None);
         assert_eq!(rep_score(&sys, &sol, "missing()", Role::Source), None);
+    }
+
+    /// The margin is the distance from the closest threshold comparison,
+    /// measured across *all* backoff levels, with pin-decided variables
+    /// excluded.
+    #[test]
+    fn extraction_margin_finds_tightest_decision() {
+        let (sys, _) = mk_system();
+        // Level 0 at 0.35 (|0.35-0.1| = 0.25), level 1 at 0.15
+        // (|0.8·0.15-0.1| = 0.02): the deeper comparison is the margin,
+        // even though extraction would stop at level 0.
+        let sol = solution_with(&sys, &[(0, 0.35), (1, 0.15)]);
+        let m = extraction_margin(&sys, &sol, &ExtractOptions::default());
+        assert!((m - 0.02).abs() < 1e-12, "margin {m}");
+
+        // Pinning the specific rep decides Source via the seed shortcut:
+        // with exclude_seeded the whole role is skipped and no score
+        // comparison remains.
+        let (mut sys, reps) = mk_system();
+        let v = sys.lookup_var(reps[0], Role::Source).unwrap();
+        sys.pin(v, 1.0);
+        let sol = solution_with(&sys, &[(0, 1.0), (1, 0.100001)]);
+        let m = extraction_margin(&sys, &sol, &ExtractOptions::default());
+        assert_eq!(m, f64::INFINITY, "pin-decided roles carry no margin");
+
+        // An empty system has nothing to compare.
+        let empty = ConstraintSystem::new(0.75);
+        let sol = Solution::default();
+        assert_eq!(
+            extraction_margin(&empty, &sol, &ExtractOptions::default()),
+            f64::INFINITY
+        );
     }
 
     /// An early-stopped solve extracts the same specification as the

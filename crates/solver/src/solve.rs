@@ -384,13 +384,28 @@ fn grad_norm_only(cs: &CompiledSystem, lambda: f64, bufs: &[Vec<f64>]) -> f64 {
 /// objective or any score turns non-finite and reports it in
 /// [`AdamRun::diverged`].
 ///
+/// `init` seeds the starting iterate (warm start); `None` starts from
+/// zeros, the classic cold start. Warm values are sanitized into `[0,1]`
+/// before the first epoch and pins are re-applied either way, so every
+/// iterate the loop sees is feasible.
+///
 /// With `opts.trace_stride > 0`, every stride-th epoch (and the final
 /// epoch) is recorded as an [`EpochSample`]; with a stride of 0 the loop
 /// does no telemetry work at all.
-fn run_adam(cs: &CompiledSystem, opts: &SolveOptions, lr_scale: f64) -> AdamRun {
+fn run_adam(
+    cs: &CompiledSystem,
+    opts: &SolveOptions,
+    lr_scale: f64,
+    init: Option<&[f64]>,
+) -> AdamRun {
     let n = cs.var_count();
     let threads = opts.threads.max(1);
-    let mut x = vec![0.0f64; n];
+    let mut x = match init {
+        Some(seed) if seed.len() == n => {
+            seed.iter().map(|&s| if s.is_finite() { s.clamp(0.0, 1.0) } else { 0.0 }).collect()
+        }
+        _ => vec![0.0f64; n],
+    };
     cs.apply_pins(&mut x);
 
     let lr = opts.adam.lr * lr_scale;
@@ -581,6 +596,38 @@ pub fn solve(sys: &ConstraintSystem, opts: &SolveOptions) -> Solution {
 /// to `0`, and sets [`Solution::diverged`]. Scores are always finite and
 /// in `[0,1]` with pinned variables at their pinned values.
 pub fn solve_compiled(cs: &CompiledSystem, opts: &SolveOptions) -> Solution {
+    solve_compiled_from(cs, opts, None)
+}
+
+/// Like [`solve_compiled`] but warm-started: the first iterate is `init`
+/// (sanitized into `[0,1]`, pins re-applied) instead of zeros.
+///
+/// A warm start changes only where the trajectory *begins* — the epoch
+/// loop, both convergence exits, the divergence guard, and the final
+/// sanitization are byte-for-byte the code the cold path runs, so a warm
+/// solve is exactly as thread-invariant as a cold one. A diverged warm
+/// run restarts from the *same* warm iterate at the reduced learning
+/// rate. An `init` of the wrong length is ignored (cold start) rather
+/// than guessed at.
+///
+/// Note warm and cold solves of the same system converge to the same
+/// optimum *region* but not to bit-identical scores: callers that
+/// advertise byte-identical downstream output (the serve daemon's
+/// warm-start contract) must guard extraction with a margin check and
+/// fall back to [`solve_compiled`] when a decision is too close to call.
+pub fn solve_compiled_warm(
+    cs: &CompiledSystem,
+    opts: &SolveOptions,
+    init: &[f64],
+) -> Solution {
+    solve_compiled_from(cs, opts, Some(init))
+}
+
+fn solve_compiled_from(
+    cs: &CompiledSystem,
+    opts: &SolveOptions,
+    init: Option<&[f64]>,
+) -> Solution {
     if opts.validate().is_err() {
         let mut x = vec![0.0f64; cs.var_count()];
         cs.apply_pins(&mut x);
@@ -600,12 +647,12 @@ pub fn solve_compiled(cs: &CompiledSystem, opts: &SolveOptions) -> Solution {
         };
     }
 
-    let mut run = run_adam(cs, opts, 1.0);
+    let mut run = run_adam(cs, opts, 1.0, init);
     let diverged = run.diverged;
     let mut restarts = 0usize;
     let mut final_lr = opts.adam.lr;
     if diverged {
-        run = run_adam(cs, opts, RESTART_LR_SCALE);
+        run = run_adam(cs, opts, RESTART_LR_SCALE, init);
         restarts = 1;
         final_lr = opts.adam.lr * RESTART_LR_SCALE;
     }
@@ -1071,6 +1118,80 @@ mod tests {
             for (a, b) in untraced.scores.iter().zip(&traced.scores) {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
+        }
+    }
+
+    /// Warm-starting from a converged iterate: pins survive, scores stay
+    /// sanitized, and the warm trajectory is bitwise thread-invariant —
+    /// the init only moves where the trajectory begins.
+    #[test]
+    fn warm_start_is_thread_invariant_and_respects_pins() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let s = sys.rep("src()");
+        let m = sys.rep("san()");
+        let t = sys.rep("snk()");
+        let vsrc = sys.var(s, Role::Source);
+        let vsan = sys.var(m, Role::Sanitizer);
+        let vsnk = sys.var(t, Role::Sink);
+        sys.pin(vsrc, 1.0);
+        sys.pin(vsnk, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vsrc, coeff: 1.0 }, Term { var: vsnk, coeff: 1.0 }],
+            rhs: vec![Term { var: vsan, coeff: 1.0 }],
+            ..Default::default()
+        });
+        let cs = CompiledSystem::compile(&sys);
+        let cold = solve_compiled(&cs, &SolveOptions::default());
+        // Perturb the converged scores slightly — the shape of a stale
+        // checkpoint after a small corpus delta.
+        let init: Vec<f64> = cold.scores.iter().map(|s| (s - 0.05).clamp(0.0, 1.0)).collect();
+        let base = solve_compiled_warm(&cs, &SolveOptions::default(), &init);
+        assert!(!base.diverged);
+        assert_eq!(base.score(vsrc), 1.0, "pins reassert over the warm init");
+        assert_eq!(base.score(vsnk), 1.0);
+        assert!(base.score(vsan) > 0.9, "san = {}", base.score(vsan));
+        assert!(base.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        for threads in [2, 4] {
+            let warm = solve_compiled_warm(
+                &cs,
+                &SolveOptions { threads, ..Default::default() },
+                &init,
+            );
+            assert_eq!(base.iterations, warm.iterations, "threads={threads}");
+            assert_eq!(base.stop, warm.stop);
+            for (a, b) in base.scores.iter().zip(&warm.scores) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+        // Warm inits are sanitized: NaN entries become 0, out-of-range
+        // entries are clamped, and the run stays healthy.
+        let dirty = vec![f64::NAN, 7.0, -3.0];
+        let sol = solve_compiled_warm(&cs, &SolveOptions::default(), &dirty);
+        assert!(!sol.diverged);
+        assert!(sol.scores.iter().all(|s| s.is_finite() && (0.0..=1.0).contains(s)));
+    }
+
+    /// An init vector of the wrong length is ignored: the run is exactly
+    /// the cold solve, bit for bit.
+    #[test]
+    fn warm_start_wrong_length_falls_back_to_cold() {
+        let mut sys = ConstraintSystem::new(0.75);
+        let s = sys.rep("src()");
+        let m = sys.rep("san()");
+        let vsrc = sys.var(s, Role::Source);
+        let vsan = sys.var(m, Role::Sanitizer);
+        sys.pin(vsrc, 1.0);
+        sys.add_constraint(FlowConstraint {
+            lhs: vec![Term { var: vsrc, coeff: 1.0 }],
+            rhs: vec![Term { var: vsan, coeff: 1.0 }],
+            ..Default::default()
+        });
+        let cs = CompiledSystem::compile(&sys);
+        let cold = solve_compiled(&cs, &SolveOptions::default());
+        let warm = solve_compiled_warm(&cs, &SolveOptions::default(), &[0.9]);
+        assert_eq!(cold.iterations, warm.iterations);
+        for (a, b) in cold.scores.iter().zip(&warm.scores) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -31,7 +31,11 @@ use std::fmt;
 /// `score_dump` section ([`ScoreDumpEntry`], Fig. 11 data). Version 6
 /// added the solver `stop_reason` / `epochs_saved` fields
 /// ([`SolverSummary`]) recording the convergence early-exit outcome.
-pub const SCHEMA_VERSION: u64 = 6;
+/// Version 7 added the `mode` field ([`RunManifest::mode`]) recording
+/// whether the run was a one-shot batch (`"batch"`) or served by the
+/// incremental daemon (`"served-incremental"`); v6 manifests parse
+/// leniently with the mode defaulting to `"batch"`.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Upper bounds (inclusive, microseconds) of the per-file parse-time
 /// histogram buckets. A file lands in the first bucket whose bound its
@@ -371,6 +375,11 @@ pub struct RunManifest {
     pub tool: String,
     /// The command that produced the run (e.g. `"learn"`).
     pub command: String,
+    /// How the run was produced: `"batch"` for a one-shot pipeline run,
+    /// `"served-incremental"` for a spec computed by the `seldon serve`
+    /// daemon applying a corpus delta. Absent in pre-v7 manifests
+    /// (parsed as `"batch"`).
+    pub mode: String,
     /// Corpus and global-graph shape.
     pub corpus: CorpusShape,
     /// Per-file fault/budget outcomes.
@@ -407,6 +416,7 @@ impl RunManifest {
             schema_version: SCHEMA_VERSION,
             tool: "seldon".to_string(),
             command: command.into(),
+            mode: "batch".to_string(),
             ..RunManifest::default()
         }
     }
@@ -454,6 +464,7 @@ impl RunManifest {
             ("schema_version".into(), Json::num(self.schema_version as f64)),
             ("tool".into(), Json::str(&self.tool)),
             ("command".into(), Json::str(&self.command)),
+            ("mode".into(), Json::str(&self.mode)),
             (
                 "corpus".into(),
                 Json::Obj(vec![
@@ -678,6 +689,9 @@ impl RunManifest {
             schema_version: req_u64(&v, "schema_version")?,
             tool: req_str(&v, "tool")?,
             command: req_str(&v, "command")?,
+            // Lenient: absent from v6 and earlier manifests, which were
+            // all one-shot batch runs by construction.
+            mode: v.get("mode").and_then(Json::as_str).unwrap_or("batch").to_string(),
             corpus: CorpusShape {
                 files: req_u64(corpus, "files")?,
                 projects: req_u64(corpus, "projects")?,
@@ -1120,6 +1134,19 @@ mod tests {
         let m = sample_manifest();
         let back = RunManifest::from_json(&m.to_json()).expect("round trip");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn v6_manifest_without_mode_parses_as_batch() {
+        let m = sample_manifest();
+        let legacy = m
+            .to_json()
+            .replace("\"mode\": \"batch\",\n", "")
+            .replace("\"schema_version\": 7", "\"schema_version\": 6");
+        assert_ne!(legacy, m.to_json(), "mode field was present to strip");
+        let back = RunManifest::from_json(&legacy).expect("lenient v6 parse");
+        assert_eq!(back.mode, "batch");
+        assert_eq!(back.schema_version, 6);
     }
 
     #[test]
